@@ -1,0 +1,84 @@
+//! OpenFlow 1.0 codec throughput: the encode/decode work on the
+//! injector's hot path (the paper's protocol message encoder/decoder,
+//! §VI-B2).
+
+use attain_openflow::packet::{self, TcpFlags};
+use attain_openflow::{
+    Action, FlowMod, MacAddr, Match, OfMessage, PacketIn, PacketInReason, PortNo,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn flow_mod() -> OfMessage {
+    OfMessage::FlowMod(FlowMod {
+        idle_timeout: 5,
+        ..FlowMod::add(
+            Match::exact_in_port(PortNo(1)),
+            vec![Action::Output {
+                port: PortNo(2),
+                max_len: 0,
+            }],
+        )
+    })
+}
+
+fn packet_in() -> OfMessage {
+    let frame = packet::tcp_segment(
+        MacAddr::from_low(1),
+        MacAddr::from_low(2),
+        "10.0.0.1".parse().unwrap(),
+        "10.0.0.6".parse().unwrap(),
+        30000,
+        5001,
+        1,
+        1,
+        TcpFlags::ACK,
+        vec![0x49; 64],
+    );
+    OfMessage::PacketIn(PacketIn {
+        buffer_id: Some(7),
+        total_len: frame.wire_len() as u16,
+        in_port: PortNo(3),
+        reason: PacketInReason::NoMatch,
+        data: frame.encode(),
+    })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for (name, msg) in [("flow_mod", flow_mod()), ("packet_in", packet_in())] {
+        let bytes = msg.encode(1);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_function(format!("encode/{name}"), |b| {
+            b.iter(|| black_box(&msg).encode(1))
+        });
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| OfMessage::decode(black_box(&bytes)).unwrap())
+        });
+    }
+    // The switch's per-packet classification step.
+    let frame = packet::tcp_segment(
+        MacAddr::from_low(1),
+        MacAddr::from_low(2),
+        "10.0.0.1".parse().unwrap(),
+        "10.0.0.6".parse().unwrap(),
+        30000,
+        5001,
+        1,
+        1,
+        TcpFlags::ACK,
+        vec![0x49; 1460],
+    )
+    .encode();
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("flow_key/full_frame", |b| {
+        b.iter(|| packet::flow_key(black_box(&frame), PortNo(1)))
+    });
+    group.bench_function("flow_key/truncated_128", |b| {
+        b.iter(|| packet::flow_key(black_box(&frame[..128]), PortNo(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

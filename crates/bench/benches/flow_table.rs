@@ -1,0 +1,65 @@
+//! Flow-table lookup scaling in the OVS model: linear-scan classifier
+//! cost against table occupancy (an ablation for the simulator
+//! substrate's fidelity/performance trade-off).
+
+use attain_netsim::{FlowTable, SimTime};
+use attain_openflow::{packet, Action, FlowKey, FlowMod, MacAddr, Match, PortNo};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn filled_table(entries: usize) -> FlowTable {
+    let mut t = FlowTable::new(entries.max(1024));
+    for i in 0..entries {
+        let key = FlowKey {
+            in_port: PortNo((i % 48 + 1) as u16),
+            dl_src: MacAddr::from_low(i as u64),
+            dl_dst: MacAddr::from_low((i * 7) as u64),
+            dl_type: 0x0800,
+            nw_proto: 6,
+            nw_src: i as u32,
+            nw_dst: (i * 13) as u32,
+            tp_src: (i % 65_535) as u16,
+            tp_dst: 80,
+            ..FlowKey::default()
+        };
+        let fm = FlowMod::add(
+            Match::from_flow_key(&key),
+            vec![Action::Output {
+                port: PortNo(2),
+                max_len: 0,
+            }],
+        );
+        t.apply(&fm, SimTime::ZERO).expect("table has room");
+    }
+    t
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_table");
+    // A miss scans the whole table: the worst case every packet of a new
+    // flow pays.
+    let miss_frame = packet::tcp_segment(
+        MacAddr::from_low(0xdead),
+        MacAddr::from_low(0xbeef),
+        "192.168.9.9".parse().unwrap(),
+        "192.168.9.10".parse().unwrap(),
+        9999,
+        443,
+        1,
+        1,
+        packet::TcpFlags::SYN,
+        vec![],
+    )
+    .encode();
+    let miss_key = packet::flow_key(&miss_frame, PortNo(47));
+    for &n in &[16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("lookup_miss", n), &n, |b, &n| {
+            let mut t = filled_table(n);
+            b.iter(|| t.lookup(black_box(&miss_key), 64, SimTime::ZERO));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_table);
+criterion_main!(benches);

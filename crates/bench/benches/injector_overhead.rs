@@ -1,0 +1,47 @@
+//! Interposition overhead ablation: what the proxy costs per message
+//! when it does nothing (Figure 5's trivial attack) versus when an
+//! attack's rules run — the overhead a practitioner's testbed pays for
+//! hosting ATTAIN at all.
+
+use attain_core::exec::{AttackExecutor, InjectorInput};
+use attain_core::model::ConnectionId;
+use attain_core::{dsl, scenario};
+use attain_openflow::{FlowMod, Match, OfMessage};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn executor(source: &str) -> AttackExecutor {
+    let sc = scenario::enterprise_network();
+    let compiled = dsl::compile(source, &sc.system, &sc.attack_model).expect("attack compiles");
+    AttackExecutor::new(sc.system, sc.attack_model, compiled.attack).expect("attack validates")
+}
+
+fn bench_injector_overhead(c: &mut Criterion) {
+    let flow_mod = OfMessage::FlowMod(FlowMod::add(Match::all(), vec![])).encode(1);
+    let mut group = c.benchmark_group("injector_overhead");
+    group.throughput(Throughput::Elements(1));
+    let cases = [
+        ("trivial_pass", scenario::attacks::TRIVIAL_PASS),
+        ("flow_mod_suppression", scenario::attacks::FLOW_MOD_SUPPRESSION),
+        ("connection_interruption", scenario::attacks::CONNECTION_INTERRUPTION),
+        ("counted_suppression", scenario::attacks::COUNTED_SUPPRESSION),
+    ];
+    for (name, source) in cases {
+        group.bench_function(name, |b| {
+            let mut exec = executor(source);
+            let mut now = 0u64;
+            b.iter(|| {
+                now += 1;
+                exec.on_message(InjectorInput {
+                    conn: ConnectionId(0),
+                    to_controller: false,
+                    bytes: &flow_mod,
+                    now_ns: now,
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_injector_overhead);
+criterion_main!(benches);

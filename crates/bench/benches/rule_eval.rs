@@ -1,0 +1,34 @@
+//! §VI-D2 runtime complexity: per-message rule evaluation cost as the
+//! rule count |Φ| grows, in both the ≤1-match and all-match regimes.
+
+use attain_bench::{bench_message, rule_sweep_executor};
+use attain_core::exec::InjectorInput;
+use attain_core::model::ConnectionId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_rule_eval(c: &mut Criterion) {
+    let msg = bench_message();
+    let mut group = c.benchmark_group("rule_eval");
+    for &rules in &[1usize, 8, 64, 256, 1024] {
+        group.throughput(Throughput::Elements(1));
+        for (label, all_match) in [("one_match", false), ("all_match", true)] {
+            group.bench_with_input(BenchmarkId::new(label, rules), &rules, |b, &rules| {
+                let mut exec = rule_sweep_executor(rules, all_match);
+                let mut now = 0u64;
+                b.iter(|| {
+                    now += 1;
+                    exec.on_message(InjectorInput {
+                        conn: ConnectionId(0),
+                        to_controller: true,
+                        bytes: &msg,
+                        now_ns: now,
+                    })
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_eval);
+criterion_main!(benches);

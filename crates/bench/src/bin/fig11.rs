@@ -1,0 +1,135 @@
+//! Regenerates **Figure 11**: the flow-modification-suppression
+//! experiment (paper §VII-B) — (a) iperf throughput and (b) ping latency
+//! between `h1` and `h6`, baseline vs. under attack, for Floodlight,
+//! POX, and Ryu. An asterisk (*) denotes denial of service (zero
+//! throughput / infinite latency), as in the paper.
+//!
+//! Usage: `cargo run --release -p attain-bench --bin fig11 [--quick]`
+
+use attain_bench::render_table;
+use attain_controllers::ControllerKind;
+use attain_injector::harness::{run_flow_mod_suppression, Fidelity, SuppressionOutcome};
+
+fn fmt_throughput(o: &SuppressionOutcome) -> String {
+    if o.iperf_denied() {
+        "*".to_string()
+    } else {
+        format!("{:.1}", o.mean_throughput_mbps())
+    }
+}
+
+fn fmt_latency(o: &SuppressionOutcome) -> String {
+    if o.ping_denied() {
+        "*".to_string()
+    } else {
+        format!("{:.2}", o.ping.avg_rtt_ms().unwrap_or(f64::NAN))
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let fidelity = if quick {
+        Fidelity::quick()
+    } else {
+        Fidelity::paper()
+    };
+    println!(
+        "Figure 11 — flow modification suppression ({} ping trials, {} x {} s iperf trials)",
+        fidelity.ping_trials, fidelity.iperf_trials, fidelity.iperf_secs
+    );
+    println!("An asterisk (*) denotes a denial of service (throughput zero, latency infinite).\n");
+
+    let mut runs: Vec<(SuppressionOutcome, SuppressionOutcome)> = Vec::new();
+    for kind in ControllerKind::ALL {
+        eprintln!("running {kind} baseline…");
+        let baseline = run_flow_mod_suppression(kind, false, &fidelity);
+        eprintln!("running {kind} under attack…");
+        let attacked = run_flow_mod_suppression(kind, true, &fidelity);
+        runs.push((baseline, attacked));
+    }
+
+    // (a) Throughput.
+    println!("(a) iperf throughput h1→h6 [Mb/s]");
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(b, a)| {
+            vec![
+                b.controller.to_string(),
+                fmt_throughput(b),
+                fmt_throughput(a),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["controller", "baseline", "attack"], &rows));
+
+    // (b) Latency.
+    println!("(b) ping latency h1→h6 [ms, mean over trials]");
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(b, a)| {
+            vec![
+                b.controller.to_string(),
+                fmt_latency(b),
+                fmt_latency(a),
+                format!("{:.1}%", b.ping.loss_pct()),
+                format!("{:.1}%", a.ping.loss_pct()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["controller", "baseline", "attack", "loss (base)", "loss (attack)"],
+            &rows
+        )
+    );
+
+    // Control-plane load (the paper's "increased control plane traffic").
+    println!("control plane load (messages over the whole run)");
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(b, a)| {
+            vec![
+                b.controller.to_string(),
+                b.packet_ins.to_string(),
+                a.packet_ins.to_string(),
+                b.flow_mods_sent.to_string(),
+                a.flow_mods_sent.to_string(),
+                a.phi1_fires.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "controller",
+                "PACKET_IN (base)",
+                "PACKET_IN (attack)",
+                "FLOW_MOD (base)",
+                "FLOW_MOD (attack)",
+                "suppressed"
+            ],
+            &rows
+        )
+    );
+
+    // Per-trial series, for plotting Figure 11 exactly.
+    println!("per-trial iperf series [Mb/s] (baseline | attack):");
+    for (b, a) in &runs {
+        let series = |o: &SuppressionOutcome| {
+            o.iperf
+                .iter()
+                .map(|s| {
+                    if s.is_denial_of_service() {
+                        "*".to_string()
+                    } else {
+                        format!("{:.1}", s.throughput_mbps())
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!("  {:<11} {} | {}", b.controller.to_string(), series(b), series(a));
+    }
+}

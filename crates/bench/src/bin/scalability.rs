@@ -1,0 +1,100 @@
+//! Regenerates the **§VI-D scalability analysis**: measured per-message
+//! rule-evaluation time against the paper's asymptotic bounds —
+//! `O(|Φ| + |α_executed|)` when at most one conditional matches, and
+//! `O(|Φ| · |α_max|)` when all of them do — plus the memory-complexity
+//! formulas for `N_D` and `N_C`.
+//!
+//! Usage: `cargo run --release -p attain-bench --bin scalability`
+
+use attain_bench::{bench_message, render_table, rule_sweep_executor};
+use attain_core::exec::InjectorInput;
+use attain_core::model::ConnectionId;
+use attain_core::scenario;
+use std::time::Instant;
+
+fn measure_ns_per_message(rules: usize, all_match: bool) -> f64 {
+    let mut exec = rule_sweep_executor(rules, all_match);
+    let msg = bench_message();
+    // Warm up, then measure enough iterations to dominate timer noise.
+    let iters: u64 = (2_000_000 / (rules as u64 + 10)).max(200);
+    for i in 0..iters / 10 {
+        exec.on_message(InjectorInput {
+            conn: ConnectionId(0),
+            to_controller: true,
+            bytes: &msg,
+            now_ns: i,
+        });
+    }
+    let start = Instant::now();
+    for i in 0..iters {
+        exec.on_message(InjectorInput {
+            conn: ConnectionId(0),
+            to_controller: true,
+            bytes: &msg,
+            now_ns: i,
+        });
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    println!("Section VI-D — scalability analysis\n");
+
+    println!("(1) memory complexity of the system model representations");
+    let sc = scenario::enterprise_network();
+    let (nd_bound, nc_bound) = sc.system.memory_complexity_bounds();
+    let s = sc.system.switches().count();
+    let h = sc.system.hosts().count();
+    let c = sc.system.controllers().count();
+    let rows = vec![
+        vec![
+            "N_D (data plane graph)".into(),
+            format!("O((|S|+|H|)^2) = O(({s}+{h})^2)"),
+            nd_bound.to_string(),
+            sc.system.data_plane().len().to_string(),
+        ],
+        vec![
+            "N_C (control plane relation)".into(),
+            format!("O(|C|*|S|) = O({c}*{s})"),
+            nc_bound.to_string(),
+            sc.system.connection_count().to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["structure", "paper bound", "worst case", "case study actual"],
+            &rows
+        )
+    );
+
+    println!("(2) runtime complexity of rule execution (per message)");
+    let sizes = [1usize, 4, 16, 64, 256, 1024];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let one = measure_ns_per_message(n, false);
+        let all = measure_ns_per_message(n, true);
+        rows.push(vec![
+            n.to_string(),
+            format!("{one:.0}"),
+            format!("{all:.0}"),
+            format!("{:.2}", all / one),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "|Φ| rules",
+                "≤1 match [ns/msg]  O(|Φ|+|α|)",
+                "all match [ns/msg]  O(|Φ|·|α_max|)",
+                "ratio"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Both cases grow linearly in |Φ|; the all-match case carries the extra\n\
+         per-rule action cost — the two §VI-D2 regimes."
+    );
+}

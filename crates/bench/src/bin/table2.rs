@@ -1,0 +1,85 @@
+//! Regenerates **Table II**: the connection-interruption experiment
+//! (paper §VII-C) — four access checks per controller and fail mode.
+//!
+//! Usage: `cargo run --release -p attain-bench --bin table2`
+
+use attain_bench::render_table;
+use attain_controllers::ControllerKind;
+use attain_injector::harness::{run_connection_interruption, InterruptionOutcome};
+use attain_netsim::FailMode;
+
+fn mark(ok: bool) -> String {
+    if ok { "yes".into() } else { "NO".into() }
+}
+
+fn main() {
+    println!("Table II — connection interruption experiment");
+    println!("(pings: rows 1-2 at t=30 s, row 3 at t=50 s, row 4 at t=95 s)\n");
+
+    let mut outs: Vec<InterruptionOutcome> = Vec::new();
+    for kind in ControllerKind::ALL {
+        for mode in [FailMode::Safe, FailMode::Secure] {
+            eprintln!("running {kind} / {mode:?}…");
+            outs.push(run_connection_interruption(kind, mode));
+        }
+    }
+
+    let header: Vec<String> = std::iter::once("".to_string())
+        .chain(outs.iter().map(|o| {
+            format!(
+                "{}/{}",
+                o.controller,
+                match o.fail_mode {
+                    FailMode::Safe => "Safe",
+                    FailMode::Secure => "Secure",
+                }
+            )
+        }))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let row = |label: &str, f: &dyn Fn(&InterruptionOutcome) -> bool| -> Vec<String> {
+        std::iter::once(label.to_string())
+            .chain(outs.iter().map(|o| mark(f(o))))
+            .collect()
+    };
+    let rows = vec![
+        row("External user can access an external network host? (t=30s)", &|o| {
+            o.ext_to_ext.accessible()
+        }),
+        row("Internal user can access an external network host? (t=30s)", &|o| {
+            o.int_to_ext_before.accessible()
+        }),
+        row("External user can access an internal network host? (t=50s)", &|o| {
+            o.ext_to_int.accessible()
+        }),
+        row("Internal user can access an external network host? (t=95s)", &|o| {
+            o.int_to_ext_after.accessible()
+        }),
+    ];
+    println!("{}", render_table(&header_refs, &rows));
+
+    println!("attack progression:");
+    for o in &outs {
+        println!(
+            "  {:<18} final state {} (φ2 fired {}×) — {}{}",
+            format!("{}/{:?}:", o.controller, o.fail_mode),
+            o.final_state,
+            o.phi2_fires,
+            if o.unauthorized_access() {
+                "UNAUTHORIZED INCREASED ACCESS"
+            } else {
+                "isolation held"
+            },
+            if o.legitimate_dos() {
+                "; DoS AGAINST LEGITIMATE TRAFFIC"
+            } else {
+                ""
+            },
+        );
+    }
+    println!(
+        "\nNote: Ryu's L2-only flow-mod matches never satisfy φ2's nw_src read, so the\n\
+         attack stalls in σ2 and the connection is never interrupted (paper §VII-C4)."
+    );
+}

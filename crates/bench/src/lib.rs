@@ -1,0 +1,181 @@
+//! Shared formatting and workload helpers for the experiment binaries
+//! and criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use attain_core::exec::AttackExecutor;
+use attain_core::lang::{Attack, AttackState, Expr, Property, Rule, Value};
+use attain_core::model::{AttackModel, CapabilitySet, ConnectionId, SystemModel};
+use attain_core::lang::AttackAction;
+use attain_openflow::OfType;
+
+/// Renders an ASCII table: a header row plus data rows, columns padded
+/// to content width.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let rule: String = {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let fmt_row = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            let pad = w - cell.chars().count();
+            s.push(' ');
+            s.push_str(cell);
+            s.push_str(&" ".repeat(pad + 1));
+            s.push('|');
+        }
+        s
+    };
+    let mut out = String::new();
+    out.push_str(&rule);
+    out.push('\n');
+    out.push_str(&fmt_row(
+        &header.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    out
+}
+
+/// Builds a synthetic system model with one controller and one switch
+/// (for executor micro-benchmarks).
+pub fn tiny_system() -> (SystemModel, AttackModel) {
+    let mut m = SystemModel::new();
+    let c = m.add_controller("c1").expect("fresh model");
+    let s = m.add_switch("s1").expect("fresh model");
+    let h1 = m.add_host("h1", None, None).expect("fresh model");
+    let h2 = m.add_host("h2", None, None).expect("fresh model");
+    m.add_host_link(h1, s, 1).expect("valid link");
+    m.add_host_link(h2, s, 2).expect("valid link");
+    m.add_connection(c, s).expect("fresh connection");
+    let model = AttackModel::uniform(&m, CapabilitySet::no_tls());
+    (m, model)
+}
+
+/// Builds an attack whose single state holds `n` rules, for the §VI-D
+/// runtime-complexity sweeps.
+///
+/// * `all_match = false`: every rule's conditional tests a distinct
+///   length (at most one can be true) — the paper's first case,
+///   `O(|Φ| + |α_executed|)`.
+/// * `all_match = true`: every conditional is satisfied by every message
+///   — the second case, `O(|Φ| · |α_max|)`.
+pub fn rule_sweep_attack(n: usize, all_match: bool) -> Attack {
+    let rules = (0..n)
+        .map(|i| Rule {
+            name: format!("phi{i}"),
+            connections: vec![ConnectionId(0)],
+            required: CapabilitySet::no_tls(),
+            condition: if all_match {
+                // length >= 0: always true, but still a real property read.
+                Expr::Ge(
+                    Box::new(Expr::Prop(Property::Length)),
+                    Box::new(Expr::Lit(Value::Int(0))),
+                )
+            } else {
+                // Matches only messages of one specific length, which the
+                // bench workload never produces (i ≠ message length).
+                Expr::eq(
+                    Expr::Prop(Property::Length),
+                    Expr::Lit(Value::Int(1_000_000 + i as i64)),
+                )
+            },
+            actions: vec![AttackAction::ReadMetadata],
+        })
+        .collect();
+    Attack {
+        name: format!("sweep_{n}_{all_match}"),
+        states: vec![AttackState {
+            name: "s".into(),
+            rules,
+        }],
+        start: 0,
+    }
+}
+
+/// Builds an executor over [`tiny_system`] running [`rule_sweep_attack`].
+///
+/// # Panics
+///
+/// Panics if the synthetic attack fails validation (a bug here, not in
+/// caller input).
+pub fn rule_sweep_executor(n: usize, all_match: bool) -> AttackExecutor {
+    let (system, model) = tiny_system();
+    AttackExecutor::new(system, model, rule_sweep_attack(n, all_match))
+        .expect("synthetic sweep attack validates")
+}
+
+/// A representative message workload for executor benches: one encoded
+/// `ECHO_REQUEST` (the length no sweep rule matches).
+pub fn bench_message() -> Vec<u8> {
+    attain_openflow::OfMessage::EchoRequest(vec![7u8; 32]).encode(1)
+}
+
+/// Human-readable OF type histogram line from counts.
+pub fn type_histogram(counts: &[(OfType, u64)]) -> String {
+    counts
+        .iter()
+        .map(|(t, n)| format!("{t}×{n}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attain_core::exec::InjectorInput;
+
+    #[test]
+    fn table_renders_with_padding() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["b".into(), "10000".into()],
+            ],
+        );
+        assert!(t.contains("| alpha | 1     |"));
+        assert!(t.contains("| b     | 10000 |"));
+        assert!(t.starts_with('+'));
+    }
+
+    #[test]
+    fn sweep_attacks_validate_and_run() {
+        for all_match in [false, true] {
+            let mut exec = rule_sweep_executor(64, all_match);
+            let msg = bench_message();
+            let out = exec.on_message(InjectorInput {
+                conn: ConnectionId(0),
+                to_controller: true,
+                bytes: &msg,
+                now_ns: 0,
+            });
+            assert_eq!(out.deliveries.len(), 1); // default pass either way
+            let fired: u64 = (0..64)
+                .map(|i| exec.log().rule_fires(&format!("phi{i}")))
+                .sum();
+            assert_eq!(fired, if all_match { 64 } else { 0 });
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Models of the Floodlight, POX, and Ryu SDN controllers.
+//!
+//! The ATTAIN paper's evaluation (§VII) runs identical attacks against
+//! Floodlight v1.2's `Forwarding` module, POX v0.2.0's
+//! `forwarding.l2_learning`, and Ryu v4.5's `simple_switch` — and its
+//! headline finding is that the *same* attack manifests differently per
+//! controller. This crate reimplements the three learning-switch
+//! applications with exactly the behavioural differences that drive those
+//! divergent manifestations:
+//!
+//! | behaviour | [`Floodlight`] | [`Pox`] | [`Ryu`] |
+//! |---|---|---|---|
+//! | releases the buffered packet via | separate `PACKET_OUT` | the `FLOW_MOD` itself (`buffer_id` attached) | separate `PACKET_OUT` |
+//! | flow-mod match fields | L3-aware (ports + MACs + ethertype + IPs) | exact 12-tuple (`ofp_match.from_packet`) | L2 only (`in_port`, `dl_src`, `dl_dst`) |
+//! | idle / hard timeout | 5 s / none | 10 s / 30 s | none / none |
+//!
+//! Consequences (reproduced by the experiment suite):
+//!
+//! * Under **flow-modification suppression** (paper Figure 10/11), POX's
+//!   buffered packets are released only by the suppressed `FLOW_MOD`, so
+//!   the data plane deadlocks — a full denial of service. Floodlight and
+//!   Ryu keep forwarding each packet via `PACKET_OUT` at controller speed:
+//!   degraded service and ballooning control-plane traffic, but no DoS.
+//! * Under **connection interruption** (paper Figure 12/Table II), the
+//!   attack's rule `φ2` matches a `FLOW_MOD` whose match names `nw_src =
+//!   h2`. Floodlight and POX construct such matches; Ryu's L2-only match
+//!   never satisfies `φ2`, so against Ryu the attack never reaches its
+//!   dropping state — the paper's reported Ryu anomaly.
+//!
+//! The crate also provides [`DmzFirewall`], a policy wrapper for the case
+//! study's DMZ switch `s2`, and the [`Controller`] trait through which the
+//! network simulator (or any other harness) hosts a controller.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod firewall;
+mod floodlight;
+mod learning;
+mod pox;
+mod ryu;
+mod traits;
+
+pub use firewall::{DmzFirewall, DmzPolicy};
+pub use floodlight::Floodlight;
+pub use learning::{L2Table, MatchStyle};
+pub use pox::Pox;
+pub use ryu::Ryu;
+pub use traits::{Controller, ControllerKind, Outbox};

@@ -1,0 +1,223 @@
+//! The POX v0.2.0 `forwarding.l2_learning` model.
+
+use crate::learning::{L2Table, MatchStyle};
+use crate::traits::{Controller, ControllerKind, Outbox};
+use attain_openflow::{
+    packet, Action, DatapathId, FlowMod, FlowModCommand, FlowModFlags, OfMessage, PacketIn,
+    PacketOut, PortNo, SwitchFeatures,
+};
+
+/// POX v0.2.0 `forwarding.l2_learning` learning switch.
+///
+/// Behavioural fingerprint (see the crate docs table):
+/// * flow mods carry an **exact 12-tuple** match built with
+///   `ofp_match.from_packet` — including concrete `nw_src`/`nw_dst`;
+/// * idle timeout 10 s, hard timeout 30 s;
+/// * the flow mod carries **`buffer_id`** itself: the switch forwards the
+///   buffered packet only when the flow mod is applied. Suppressing flow
+///   mods therefore silently discards every first packet of every flow —
+///   the full denial of service the paper marks with an asterisk in
+///   Figure 11.
+#[derive(Debug, Default)]
+pub struct Pox {
+    table: L2Table,
+}
+
+/// POX l2_learning's `idle_timeout=10`.
+const IDLE_TIMEOUT: u16 = 10;
+/// POX l2_learning's `hard_timeout=30`.
+const HARD_TIMEOUT: u16 = 30;
+
+impl Pox {
+    /// Creates a fresh instance with an empty MAC table.
+    pub fn new() -> Pox {
+        Pox::default()
+    }
+}
+
+impl Controller for Pox {
+    fn kind(&self) -> ControllerKind {
+        ControllerKind::Pox
+    }
+
+    fn on_switch_connect(&mut self, _dpid: DatapathId, _features: &SwitchFeatures, _out: &mut Outbox) {}
+
+    fn on_packet_in(&mut self, dpid: DatapathId, pi: &PacketIn, out: &mut Outbox) {
+        let key = packet::flow_key(&pi.data, pi.in_port);
+        self.table.learn(dpid, key.dl_src, pi.in_port);
+
+        let dst_port = if key.dl_dst.is_multicast() {
+            None
+        } else {
+            self.table.lookup(dpid, key.dl_dst)
+        };
+        match dst_port {
+            Some(port) if port == pi.in_port => {
+                // l2_learning installs a short drop flow for the hairpin
+                // case ("same port" warning path).
+                out.send(
+                    dpid,
+                    OfMessage::FlowMod(FlowMod {
+                        r#match: MatchStyle::FullExact.build(&key),
+                        cookie: 0,
+                        command: FlowModCommand::Add,
+                        idle_timeout: IDLE_TIMEOUT,
+                        hard_timeout: HARD_TIMEOUT,
+                        priority: 0x8000,
+                        buffer_id: pi.buffer_id,
+                        out_port: PortNo::NONE,
+                        flags: FlowModFlags::default(),
+                        actions: vec![], // drop
+                    }),
+                );
+            }
+            Some(port) => {
+                // The defining POX behaviour: one flow mod, buffer
+                // attached, no separate packet out.
+                out.send(
+                    dpid,
+                    OfMessage::FlowMod(FlowMod {
+                        r#match: MatchStyle::FullExact.build(&key),
+                        cookie: 0,
+                        command: FlowModCommand::Add,
+                        idle_timeout: IDLE_TIMEOUT,
+                        hard_timeout: HARD_TIMEOUT,
+                        priority: 0x8000,
+                        buffer_id: pi.buffer_id,
+                        out_port: PortNo::NONE,
+                        flags: FlowModFlags::default(),
+                        actions: vec![Action::Output { port, max_len: 0 }],
+                    }),
+                );
+                if pi.buffer_id.is_none() {
+                    // Unbuffered packet-in: l2_learning resends the raw
+                    // packet alongside the flow mod.
+                    out.send(
+                        dpid,
+                        OfMessage::PacketOut(PacketOut {
+                            buffer_id: None,
+                            in_port: pi.in_port,
+                            actions: vec![Action::Output { port, max_len: 0 }],
+                            data: pi.data.clone(),
+                        }),
+                    );
+                }
+            }
+            None => {
+                out.send(
+                    dpid,
+                    OfMessage::PacketOut(PacketOut {
+                        buffer_id: pi.buffer_id,
+                        in_port: pi.in_port,
+                        actions: vec![Action::Output {
+                            port: PortNo::FLOOD,
+                            max_len: 0,
+                        }],
+                        data: if pi.buffer_id.is_none() {
+                            pi.data.clone()
+                        } else {
+                            vec![]
+                        },
+                    }),
+                );
+            }
+        }
+    }
+
+    fn on_switch_disconnect(&mut self, dpid: DatapathId) {
+        self.table.forget_switch(dpid);
+    }
+
+    fn processing_delay_us(&self) -> u64 {
+        // CPython event loop: the slowest of the three platforms.
+        1200
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attain_openflow::{MacAddr, PacketInReason, Wildcards};
+
+    fn packet_in(src: u64, dst: u64, in_port: u16, buffer: Option<u32>) -> PacketIn {
+        let frame = packet::icmp_echo_request(
+            MacAddr::from_low(src),
+            MacAddr::from_low(dst),
+            format!("10.0.0.{src}").parse().unwrap(),
+            format!("10.0.0.{dst}").parse().unwrap(),
+            1,
+            1,
+            vec![0; 16],
+        );
+        PacketIn {
+            buffer_id: buffer,
+            total_len: frame.wire_len() as u16,
+            in_port: PortNo(in_port),
+            reason: PacketInReason::NoMatch,
+            data: frame.encode(),
+        }
+    }
+
+    #[test]
+    fn known_destination_attaches_buffer_to_flow_mod() {
+        let mut c = Pox::new();
+        let mut out = Outbox::new();
+        c.on_packet_in(DatapathId(1), &packet_in(2, 1, 2, None), &mut out);
+        out.drain();
+        c.on_packet_in(DatapathId(1), &packet_in(1, 2, 1, Some(11)), &mut out);
+        let msgs = out.drain();
+        // Exactly one message: the flow mod releases the buffer itself.
+        assert_eq!(msgs.len(), 1);
+        let OfMessage::FlowMod(fm) = &msgs[0].1 else {
+            panic!("expected flow mod");
+        };
+        assert_eq!(fm.buffer_id, Some(11));
+        assert_eq!(fm.idle_timeout, 10);
+        assert_eq!(fm.hard_timeout, 30);
+        assert_eq!(fm.r#match.wildcards, Wildcards::NONE); // exact 12-tuple
+    }
+
+    #[test]
+    fn unbuffered_packet_in_gets_companion_packet_out() {
+        let mut c = Pox::new();
+        let mut out = Outbox::new();
+        c.on_packet_in(DatapathId(1), &packet_in(2, 1, 2, None), &mut out);
+        out.drain();
+        c.on_packet_in(DatapathId(1), &packet_in(1, 2, 1, None), &mut out);
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 2);
+        assert!(matches!(&msgs[0].1, OfMessage::FlowMod(_)));
+        let OfMessage::PacketOut(po) = &msgs[1].1 else {
+            panic!("expected packet out");
+        };
+        assert!(!po.data.is_empty());
+    }
+
+    #[test]
+    fn unknown_destination_floods_via_packet_out() {
+        let mut c = Pox::new();
+        let mut out = Outbox::new();
+        c.on_packet_in(DatapathId(1), &packet_in(1, 2, 1, Some(4)), &mut out);
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 1);
+        let OfMessage::PacketOut(po) = &msgs[0].1 else {
+            panic!("expected packet out");
+        };
+        assert_eq!(po.buffer_id, Some(4));
+    }
+
+    #[test]
+    fn hairpin_installs_drop_flow() {
+        let mut c = Pox::new();
+        let mut out = Outbox::new();
+        c.on_packet_in(DatapathId(1), &packet_in(2, 1, 1, None), &mut out);
+        out.drain();
+        c.on_packet_in(DatapathId(1), &packet_in(1, 2, 1, Some(8)), &mut out);
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 1);
+        let OfMessage::FlowMod(fm) = &msgs[0].1 else {
+            panic!("expected flow mod");
+        };
+        assert!(fm.actions.is_empty());
+    }
+}

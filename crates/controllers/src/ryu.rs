@@ -1,0 +1,188 @@
+//! The Ryu v4.5 `simple_switch` (OpenFlow 1.0) model.
+
+use crate::learning::{L2Table, MatchStyle};
+use crate::traits::{Controller, ControllerKind, Outbox};
+use attain_openflow::{
+    packet, Action, DatapathId, FlowMod, FlowModCommand, FlowModFlags, OfMessage, PacketIn,
+    PacketOut, PortNo, SwitchFeatures,
+};
+
+/// Ryu v4.5 `simple_switch` learning switch.
+///
+/// Behavioural fingerprint (see the crate docs table):
+/// * flow mods carry an **L2-only** match (`in_port`, `dl_src`, `dl_dst`)
+///   with the network addresses wildcarded and **no timeouts** — the
+///   attribute difference that keeps the connection-interruption attack's
+///   rule `φ2` (which reads `nw_src`) from ever firing against Ryu
+///   (paper §VII-C4);
+/// * every packet-in is answered with a `PACKET_OUT` (buffer or raw
+///   data), with the flow mod sent unbuffered alongside — so flow-mod
+///   suppression degrades Ryu but does not deadlock it.
+#[derive(Debug, Default)]
+pub struct Ryu {
+    table: L2Table,
+}
+
+impl Ryu {
+    /// Creates a fresh instance with an empty MAC table.
+    pub fn new() -> Ryu {
+        Ryu::default()
+    }
+}
+
+impl Controller for Ryu {
+    fn kind(&self) -> ControllerKind {
+        ControllerKind::Ryu
+    }
+
+    fn on_switch_connect(&mut self, _dpid: DatapathId, _features: &SwitchFeatures, _out: &mut Outbox) {}
+
+    fn on_packet_in(&mut self, dpid: DatapathId, pi: &PacketIn, out: &mut Outbox) {
+        let key = packet::flow_key(&pi.data, pi.in_port);
+        self.table.learn(dpid, key.dl_src, pi.in_port);
+
+        let out_action = if key.dl_dst.is_multicast() {
+            Action::Output {
+                port: PortNo::FLOOD,
+                max_len: 0,
+            }
+        } else {
+            match self.table.lookup(dpid, key.dl_dst) {
+                Some(port) => Action::Output { port, max_len: 0 },
+                None => Action::Output {
+                    port: PortNo::FLOOD,
+                    max_len: 0,
+                },
+            }
+        };
+
+        // simple_switch: install a flow only once the destination is
+        // known (never for floods), always without a buffer.
+        if let Action::Output { port, .. } = out_action {
+            if port != PortNo::FLOOD {
+                out.send(
+                    dpid,
+                    OfMessage::FlowMod(FlowMod {
+                        r#match: MatchStyle::L2Only.build(&key),
+                        cookie: 0,
+                        command: FlowModCommand::Add,
+                        idle_timeout: 0,
+                        hard_timeout: 0,
+                        priority: 1,
+                        buffer_id: None, // OFP_NO_BUFFER in simple_switch
+                        out_port: PortNo::NONE,
+                        flags: FlowModFlags::default(),
+                        actions: vec![out_action.clone()],
+                    }),
+                );
+            }
+        }
+
+        // simple_switch always emits the packet-out, releasing the buffer
+        // (or resending the raw data) regardless of the flow mod's fate.
+        out.send(
+            dpid,
+            OfMessage::PacketOut(PacketOut {
+                buffer_id: pi.buffer_id,
+                in_port: pi.in_port,
+                actions: vec![out_action],
+                data: if pi.buffer_id.is_none() {
+                    pi.data.clone()
+                } else {
+                    vec![]
+                },
+            }),
+        );
+    }
+
+    fn on_switch_disconnect(&mut self, dpid: DatapathId) {
+        self.table.forget_switch(dpid);
+    }
+
+    fn processing_delay_us(&self) -> u64 {
+        // CPython with an eventlet hub: between Floodlight and POX.
+        800
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attain_openflow::{MacAddr, PacketInReason};
+
+    fn packet_in(src: u64, dst: u64, in_port: u16, buffer: Option<u32>) -> PacketIn {
+        let frame = packet::icmp_echo_request(
+            MacAddr::from_low(src),
+            MacAddr::from_low(dst),
+            format!("10.0.0.{src}").parse().unwrap(),
+            format!("10.0.0.{dst}").parse().unwrap(),
+            1,
+            1,
+            vec![0; 16],
+        );
+        PacketIn {
+            buffer_id: buffer,
+            total_len: frame.wire_len() as u16,
+            in_port: PortNo(in_port),
+            reason: PacketInReason::NoMatch,
+            data: frame.encode(),
+        }
+    }
+
+    #[test]
+    fn known_destination_sends_flow_mod_and_packet_out() {
+        let mut c = Ryu::new();
+        let mut out = Outbox::new();
+        c.on_packet_in(DatapathId(1), &packet_in(2, 1, 2, None), &mut out);
+        out.drain();
+        c.on_packet_in(DatapathId(1), &packet_in(1, 2, 1, Some(5)), &mut out);
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 2);
+        let OfMessage::FlowMod(fm) = &msgs[0].1 else {
+            panic!("expected flow mod");
+        };
+        // The φ2-defeating behaviours: nw fields wildcarded, no buffer,
+        // no timeouts.
+        assert_eq!(fm.r#match.nw_src_addr(), None);
+        assert_eq!(fm.r#match.nw_dst_addr(), None);
+        assert_eq!(fm.buffer_id, None);
+        assert_eq!(fm.idle_timeout, 0);
+        assert_eq!(fm.hard_timeout, 0);
+        let OfMessage::PacketOut(po) = &msgs[1].1 else {
+            panic!("expected packet out");
+        };
+        assert_eq!(po.buffer_id, Some(5)); // buffer released here, not by the flow mod
+    }
+
+    #[test]
+    fn unknown_destination_floods_without_flow_mod() {
+        let mut c = Ryu::new();
+        let mut out = Outbox::new();
+        c.on_packet_in(DatapathId(1), &packet_in(1, 9, 1, Some(2)), &mut out);
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 1);
+        let OfMessage::PacketOut(po) = &msgs[0].1 else {
+            panic!("expected packet out");
+        };
+        assert_eq!(
+            po.actions,
+            vec![Action::Output {
+                port: PortNo::FLOOD,
+                max_len: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn unbuffered_packet_out_carries_raw_data() {
+        let mut c = Ryu::new();
+        let mut out = Outbox::new();
+        let pi = packet_in(1, 9, 1, None);
+        c.on_packet_in(DatapathId(1), &pi, &mut out);
+        let msgs = out.drain();
+        let OfMessage::PacketOut(po) = &msgs[0].1 else {
+            panic!("expected packet out");
+        };
+        assert_eq!(po.data, pi.data);
+    }
+}

@@ -1,0 +1,754 @@
+//! The compiler (paper §VI-B1): resolves parsed attack descriptions
+//! against the system and attack models, validates capabilities, and
+//! produces executable [`Attack`]s.
+
+use crate::dsl::ast::*;
+use crate::dsl::lexer::DslError;
+use crate::dsl::parser;
+use crate::exec::validate_attack;
+use crate::lang::{
+    Attack, AttackAction, AttackState, AttackStateGraph, DequeEnd, Expr, Property, Rule, Value,
+};
+use crate::model::{AttackModel, Capability, CapabilitySet, ConnectionId, SystemModel};
+use attain_openflow::{MacAddr, OfType};
+
+/// A fully compiled and validated attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledAttack {
+    /// The executable attack.
+    pub attack: Attack,
+    /// Its state graph `Σ_G`.
+    pub graph: AttackStateGraph,
+}
+
+impl CompiledAttack {
+    /// The attack's name.
+    pub fn name(&self) -> &str {
+        &self.attack.name
+    }
+
+    /// The attack's states.
+    pub fn states(&self) -> &[crate::lang::AttackState] {
+        self.attack.states()
+    }
+}
+
+/// A compiled self-contained document: system model, attack model, and
+/// attacks — the paper's three compiler inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledDocument {
+    /// The system model from the `system` block.
+    pub system: SystemModel,
+    /// The attack model from the `capabilities` block (uniform
+    /// `Γ_NoTLS` when absent).
+    pub attack_model: AttackModel,
+    /// The compiled attacks.
+    pub attacks: Vec<CompiledAttack>,
+}
+
+/// Compiles an attack-only source (the system and attack models supplied
+/// programmatically), returning the first attack.
+///
+/// # Errors
+///
+/// Fails on syntax errors, unresolved names, capability violations, or
+/// if the source contains `system`/`capabilities` blocks or no attack.
+pub fn compile(
+    source: &str,
+    system: &SystemModel,
+    model: &AttackModel,
+) -> Result<CompiledAttack, DslError> {
+    let mut attacks = compile_all(source, system, model)?;
+    if attacks.is_empty() {
+        return Err(DslError::new(0, "source contains no attack block"));
+    }
+    Ok(attacks.remove(0))
+}
+
+/// Compiles every attack in an attack-only source.
+///
+/// # Errors
+///
+/// As [`compile`].
+pub fn compile_all(
+    source: &str,
+    system: &SystemModel,
+    model: &AttackModel,
+) -> Result<Vec<CompiledAttack>, DslError> {
+    let doc = parser::parse(source)?;
+    if doc.system.is_some() || doc.capabilities.is_some() {
+        return Err(DslError::new(
+            0,
+            "attack-only source expected; use compile_document for self-contained files",
+        ));
+    }
+    doc.attacks
+        .iter()
+        .map(|a| compile_attack(a, system, model))
+        .collect()
+}
+
+/// Compiles a self-contained document with `system`, optional
+/// `capabilities`, and attack blocks.
+///
+/// # Errors
+///
+/// As [`compile`], plus system-model construction errors.
+pub fn compile_document(source: &str) -> Result<CompiledDocument, DslError> {
+    let doc = parser::parse(source)?;
+    let Some(system_block) = &doc.system else {
+        return Err(DslError::new(0, "document has no system block"));
+    };
+    let system = compile_system(system_block)?;
+    let attack_model = match &doc.capabilities {
+        Some(caps) => compile_capabilities(caps, &system)?,
+        None => AttackModel::uniform(&system, CapabilitySet::no_tls()),
+    };
+    let attacks = doc
+        .attacks
+        .iter()
+        .map(|a| compile_attack(a, &system, &attack_model))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CompiledDocument {
+        system,
+        attack_model,
+        attacks,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// System + capabilities
+// ---------------------------------------------------------------------------
+
+fn compile_system(block: &SystemBlock) -> Result<SystemModel, DslError> {
+    let mut system = SystemModel::new();
+    // Components first, then topology, so links may reference nodes
+    // declared later.
+    for stmt in &block.stmts {
+        let result = match stmt {
+            SystemStmt::Controller { name, .. } => system.add_controller(name).map(|_| ()),
+            SystemStmt::Switch { name, .. } => system.add_switch(name).map(|_| ()),
+            SystemStmt::Host { name, ip, mac, .. } => {
+                let mac = match mac {
+                    Some(text) => Some(text.parse::<MacAddr>().map_err(|_| {
+                        DslError::new(stmt_line(stmt), format!("invalid MAC address {text:?}"))
+                    })?),
+                    None => None,
+                };
+                system.add_host(name, *ip, mac).map(|_| ())
+            }
+            _ => Ok(()),
+        };
+        result.map_err(|e| DslError::new(stmt_line(stmt), e.to_string()))?;
+    }
+    let mut next_port: std::collections::HashMap<String, u16> = std::collections::HashMap::new();
+    for stmt in &block.stmts {
+        match stmt {
+            SystemStmt::Link { a, b } => {
+                let ra = system
+                    .resolve(&a.node)
+                    .ok_or_else(|| DslError::new(a.line, format!("unknown node {}", a.node)))?;
+                let rb = system
+                    .resolve(&b.node)
+                    .ok_or_else(|| DslError::new(b.line, format!("unknown node {}", b.node)))?;
+                let mut port_for = |name: &str, explicit: Option<u16>| match explicit {
+                    Some(p) => {
+                        let slot = next_port.entry(name.to_string()).or_insert(0);
+                        *slot = (*slot).max(p);
+                        p
+                    }
+                    None => {
+                        let slot = next_port.entry(name.to_string()).or_insert(0);
+                        *slot += 1;
+                        *slot
+                    }
+                };
+                use crate::model::NodeRef;
+                match (ra, rb) {
+                    (NodeRef::Host(h), NodeRef::Switch(s)) => {
+                        let port = port_for(&b.node, b.port);
+                        system
+                            .add_host_link(h, s, port)
+                            .map_err(|e| DslError::new(a.line, e.to_string()))?;
+                    }
+                    (NodeRef::Switch(s), NodeRef::Host(h)) => {
+                        let port = port_for(&a.node, a.port);
+                        system
+                            .add_host_link(h, s, port)
+                            .map_err(|e| DslError::new(a.line, e.to_string()))?;
+                    }
+                    (NodeRef::Switch(sa), NodeRef::Switch(sb)) => {
+                        let pa = port_for(&a.node, a.port);
+                        let pb = port_for(&b.node, b.port);
+                        system
+                            .add_switch_link(sa, pa, sb, pb)
+                            .map_err(|e| DslError::new(a.line, e.to_string()))?;
+                    }
+                    _ => {
+                        return Err(DslError::new(
+                            a.line,
+                            "links connect hosts to switches or switches to switches",
+                        ))
+                    }
+                }
+            }
+            SystemStmt::Connection {
+                controller,
+                switch,
+                line,
+            } => {
+                use crate::model::NodeRef;
+                let c = match system.resolve(controller) {
+                    Some(NodeRef::Controller(c)) => c,
+                    _ => {
+                        return Err(DslError::new(
+                            *line,
+                            format!("{controller} is not a controller"),
+                        ))
+                    }
+                };
+                let s = match system.resolve(switch) {
+                    Some(NodeRef::Switch(s)) => s,
+                    _ => return Err(DslError::new(*line, format!("{switch} is not a switch"))),
+                };
+                system
+                    .add_connection(c, s)
+                    .map_err(|e| DslError::new(*line, e.to_string()))?;
+            }
+            _ => {}
+        }
+    }
+    system
+        .validate()
+        .map_err(|e| DslError::new(0, e.to_string()))?;
+    Ok(system)
+}
+
+fn stmt_line(stmt: &SystemStmt) -> u32 {
+    match stmt {
+        SystemStmt::Controller { line, .. }
+        | SystemStmt::Switch { line, .. }
+        | SystemStmt::Host { line, .. }
+        | SystemStmt::Connection { line, .. } => *line,
+        SystemStmt::Link { a, .. } => a.line,
+    }
+}
+
+fn cap_class_to_set(class: &CapClass, line: u32) -> Result<CapabilitySet, DslError> {
+    Ok(match class {
+        CapClass::NoTls => CapabilitySet::no_tls(),
+        CapClass::Tls => CapabilitySet::tls(),
+        CapClass::None => CapabilitySet::EMPTY,
+        CapClass::Explicit(names) => {
+            let mut set = CapabilitySet::new();
+            for name in names {
+                let cap = Capability::parse(name).ok_or_else(|| {
+                    DslError::new(line, format!("unknown capability `{name}`"))
+                })?;
+                set.insert(cap);
+            }
+            set
+        }
+    })
+}
+
+fn compile_capabilities(
+    block: &CapabilitiesBlock,
+    system: &SystemModel,
+) -> Result<AttackModel, DslError> {
+    let default = match &block.default {
+        Some((class, line)) => cap_class_to_set(class, *line)?,
+        None => CapabilitySet::no_tls(),
+    };
+    let mut model = AttackModel::uniform(system, default);
+    for (c, s, class, line) in &block.overrides {
+        let conn = system.connection_by_names(c, s).ok_or_else(|| {
+            DslError::new(*line, format!("({c}, {s}) is not a control plane connection"))
+        })?;
+        model.set(conn, cap_class_to_set(class, *line)?);
+    }
+    Ok(model)
+}
+
+// ---------------------------------------------------------------------------
+// Attacks
+// ---------------------------------------------------------------------------
+
+fn compile_attack(
+    block: &AttackBlock,
+    system: &SystemModel,
+    model: &AttackModel,
+) -> Result<CompiledAttack, DslError> {
+    if block.states.is_empty() {
+        return Err(DslError::new(
+            block.line,
+            format!("attack {} has no states", block.name),
+        ));
+    }
+    let starts: Vec<usize> = block
+        .states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.start)
+        .map(|(i, _)| i)
+        .collect();
+    let start = match starts.as_slice() {
+        [] if block.states.len() == 1 => 0,
+        [one] => *one,
+        [] => {
+            return Err(DslError::new(
+                block.line,
+                "multi-state attacks must mark one `start state`",
+            ))
+        }
+        _ => {
+            return Err(DslError::new(
+                block.line,
+                "more than one state is marked `start`",
+            ))
+        }
+    };
+    let state_index = |name: &str, line: u32| {
+        block
+            .states
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or_else(|| DslError::new(line, format!("unknown state `{name}`")))
+    };
+
+    let mut states = Vec::with_capacity(block.states.len());
+    for decl in &block.states {
+        let mut rules = Vec::with_capacity(decl.rules.len());
+        for rd in &decl.rules {
+            let connections: Vec<ConnectionId> = match &rd.connections {
+                ConnSpec::All => system.connections().map(|(id, _, _)| id).collect(),
+                ConnSpec::List(list) => list
+                    .iter()
+                    .map(|(c, s)| {
+                        system.connection_by_names(c, s).ok_or_else(|| {
+                            DslError::new(
+                                rd.line,
+                                format!("({c}, {s}) is not a control plane connection"),
+                            )
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            if connections.is_empty() {
+                return Err(DslError::new(
+                    rd.line,
+                    format!("rule {} watches no connections", rd.name),
+                ));
+            }
+            let condition = compile_expr(&rd.condition, system, rd.line)?;
+            let actions = rd
+                .actions
+                .iter()
+                .map(|a| compile_action(a, system, &state_index, rd.line))
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut rule = Rule {
+                name: rd.name.clone(),
+                connections,
+                required: CapabilitySet::EMPTY,
+                condition,
+                actions,
+            };
+            rule.required = match &rd.requires {
+                Some(class) => cap_class_to_set(class, rd.line)?,
+                None => rule.exercised_capabilities(),
+            };
+            rules.push(rule);
+        }
+        states.push(AttackState {
+            name: decl.name.clone(),
+            rules,
+        });
+    }
+    let attack = Attack {
+        name: block.name.clone(),
+        states,
+        start,
+    };
+    validate_attack(system, model, &attack)
+        .map_err(|e| DslError::new(block.line, e.to_string()))?;
+    let graph = AttackStateGraph::from_attack(&attack);
+    Ok(CompiledAttack { attack, graph })
+}
+
+fn compile_expr(ast: &ExprAst, system: &SystemModel, line: u32) -> Result<Expr, DslError> {
+    Ok(match ast {
+        ExprAst::Int(i) => Expr::Lit(Value::Int(*i)),
+        ExprAst::Float(x) => Expr::Lit(Value::Float(*x)),
+        ExprAst::Str(s) => Expr::Lit(Value::Str(s.clone())),
+        ExprAst::Ip(ip) => Expr::Lit(Value::Ip(*ip)),
+        ExprAst::Bool(b) => Expr::Lit(Value::Bool(*b)),
+        ExprAst::NoneLit => Expr::Lit(Value::None),
+        ExprAst::MacLit(text, line) => Expr::Lit(Value::Mac(text.parse().map_err(|_| {
+            DslError::new(*line, format!("invalid MAC address {text:?}"))
+        })?)),
+        ExprAst::Name(name, line) => {
+            if let Some(t) = OfType::from_spec_name(name) {
+                Expr::Lit(Value::MsgType(t))
+            } else if let Some(node) = system.resolve(name) {
+                Expr::Lit(Value::Addr(node))
+            } else {
+                return Err(DslError::new(
+                    *line,
+                    format!("`{name}` is neither a component nor an OpenFlow message type"),
+                ));
+            }
+        }
+        ExprAst::MsgProp(prop, line) => Expr::Prop(match prop.as_str() {
+            "source" => Property::Source,
+            "destination" => Property::Destination,
+            "timestamp" => Property::Timestamp,
+            "length" => Property::Length,
+            "type" => Property::Type,
+            "id" => Property::Id,
+            "entropy" => Property::Entropy,
+            other => {
+                return Err(DslError::new(
+                    *line,
+                    format!("unknown message property `{other}` (use msg[\"path\"] for type options)"),
+                ))
+            }
+        }),
+        ExprAst::MsgOption(path) => Expr::Prop(Property::TypeOption(path.clone())),
+        ExprAst::DequeFn { func, deque } => match func.as_str() {
+            "front" => Expr::DequeRead {
+                deque: deque.clone(),
+                end: DequeEnd::Front,
+            },
+            "back" => Expr::DequeRead {
+                deque: deque.clone(),
+                end: DequeEnd::End,
+            },
+            "len" => Expr::DequeLen(deque.clone()),
+            _ => unreachable!("parser only yields front/back/len"),
+        },
+        ExprAst::Not(e) => Expr::Not(Box::new(compile_expr(e, system, line)?)),
+        ExprAst::Bin { op, lhs, rhs } => {
+            let l = Box::new(compile_expr(lhs, system, line)?);
+            let r = Box::new(compile_expr(rhs, system, line)?);
+            match *op {
+                "&&" => Expr::And(l, r),
+                "||" => Expr::Or(l, r),
+                "==" => Expr::Eq(l, r),
+                "!=" => Expr::Ne(l, r),
+                "<" => Expr::Lt(l, r),
+                "<=" => Expr::Le(l, r),
+                ">" => Expr::Gt(l, r),
+                ">=" => Expr::Ge(l, r),
+                "+" => Expr::Add(l, r),
+                "-" => Expr::Sub(l, r),
+                other => return Err(DslError::new(line, format!("unknown operator {other}"))),
+            }
+        }
+        ExprAst::In(needle, items) => Expr::In(
+            Box::new(compile_expr(needle, system, line)?),
+            items
+                .iter()
+                .map(|i| compile_expr(i, system, line))
+                .collect::<Result<_, _>>()?,
+        ),
+    })
+}
+
+fn decode_hex(text: &str, line: u32) -> Result<Vec<u8>, DslError> {
+    let clean: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+    if !clean.len().is_multiple_of(2) {
+        return Err(DslError::new(line, "hex literal has odd length"));
+    }
+    (0..clean.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&clean[i..i + 2], 16)
+                .map_err(|_| DslError::new(line, "invalid hex digit"))
+        })
+        .collect()
+}
+
+fn compile_action(
+    ast: &ActionAst,
+    system: &SystemModel,
+    state_index: &impl Fn(&str, u32) -> Result<usize, DslError>,
+    line: u32,
+) -> Result<AttackAction, DslError> {
+    Ok(match ast {
+        ActionAst::Drop => AttackAction::Drop,
+        ActionAst::Pass => AttackAction::Pass,
+        ActionAst::Duplicate => AttackAction::Duplicate,
+        ActionAst::Read => AttackAction::Read,
+        ActionAst::ReadMetadata => AttackAction::ReadMetadata,
+        ActionAst::Delay(e) => AttackAction::Delay(compile_expr(e, system, line)?),
+        ActionAst::Modify(field, e) => AttackAction::Modify {
+            field: field.clone(),
+            value: compile_expr(e, system, line)?,
+        },
+        ActionAst::ModifyMetadata(field, e) => AttackAction::ModifyMetadata {
+            field: field.clone(),
+            value: compile_expr(e, system, line)?,
+        },
+        ActionAst::Fuzz(flips) => AttackAction::Fuzz { flips: *flips },
+        ActionAst::Inject {
+            conn: (c, s),
+            to_controller,
+            hex,
+            line,
+        } => {
+            let conn = system.connection_by_names(c, s).ok_or_else(|| {
+                DslError::new(*line, format!("({c}, {s}) is not a control plane connection"))
+            })?;
+            AttackAction::Inject {
+                conn,
+                to_controller: *to_controller,
+                bytes: decode_hex(hex, *line)?,
+            }
+        }
+        ActionAst::Append { deque, value } => match value {
+            Some(e) => AttackAction::Append {
+                deque: deque.clone(),
+                value: compile_expr(e, system, line)?,
+            },
+            None => AttackAction::StoreMessage {
+                deque: deque.clone(),
+                front: false,
+            },
+        },
+        ActionAst::Prepend { deque, value } => match value {
+            Some(e) => AttackAction::Prepend {
+                deque: deque.clone(),
+                value: compile_expr(e, system, line)?,
+            },
+            None => AttackAction::StoreMessage {
+                deque: deque.clone(),
+                front: true,
+            },
+        },
+        ActionAst::Shift(d) => AttackAction::Shift(d.clone()),
+        ActionAst::Pop(d) => AttackAction::Pop(d.clone()),
+        ActionAst::EmitFront(d) => AttackAction::EmitStored {
+            deque: d.clone(),
+            end: DequeEnd::Front,
+        },
+        ActionAst::EmitBack(d) => AttackAction::EmitStored {
+            deque: d.clone(),
+            end: DequeEnd::End,
+        },
+        ActionAst::Goto(target, line) => AttackAction::GoToState(state_index(target, *line)?),
+        ActionAst::Sleep(e) => AttackAction::Sleep(compile_expr(e, system, line)?),
+        ActionAst::SysCmd { host, cmd, line } => {
+            if system.resolve(host).is_none() {
+                return Err(DslError::new(*line, format!("unknown host `{host}`")));
+            }
+            AttackAction::SysCmd {
+                host: host.clone(),
+                cmd: cmd.clone(),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Capability;
+
+    const SELF_CONTAINED: &str = r#"
+        system {
+            controller c1;
+            switch s1;
+            switch s2;
+            host h1 ip 10.0.0.1;
+            host h2 ip 10.0.0.2;
+            link h1, s1;
+            link s1, s2;
+            link h2, s2;
+            connection c1 -> s1;
+            connection c1 -> s2;
+        }
+        capabilities {
+            default no_tls;
+            (c1, s2): tls;
+        }
+        attack drop_flow_mods {
+            start state sigma1 {
+                rule phi1 on (c1, s1) {
+                    when msg.type == FLOW_MOD && msg.source == c1
+                    do { drop(msg); }
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn compiles_self_contained_document() {
+        let doc = compile_document(SELF_CONTAINED).unwrap();
+        assert_eq!(doc.system.connection_count(), 2);
+        assert!(doc
+            .attack_model
+            .get(ConnectionId(0))
+            .contains(Capability::ReadMessage));
+        assert!(!doc
+            .attack_model
+            .get(ConnectionId(1))
+            .contains(Capability::ReadMessage));
+        assert_eq!(doc.attacks.len(), 1);
+        let atk = &doc.attacks[0];
+        assert_eq!(atk.name(), "drop_flow_mods");
+        assert_eq!(atk.states().len(), 1);
+        // Inferred γ covers the payload read and the drop.
+        let rule = &atk.attack.states[0].rules[0];
+        assert!(rule.required.contains(Capability::ReadMessage));
+        assert!(rule.required.contains(Capability::DropMessage));
+        assert!(rule.required.contains(Capability::ReadMessageMetadata));
+    }
+
+    #[test]
+    fn tls_connection_rejects_payload_reading_rules() {
+        // Same attack, but watching the TLS connection (c1, s2): the
+        // compiler must refuse, since msg.type needs READMESSAGE.
+        let source = SELF_CONTAINED.replace(
+            "rule phi1 on (c1, s1)",
+            "rule phi1 on (c1, s2)",
+        );
+        let err = compile_document(&source).unwrap_err();
+        assert!(
+            err.message.contains("does not grant"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn under_declared_requires_is_rejected() {
+        let source = SELF_CONTAINED.replace(
+            "rule phi1 on (c1, s1) {",
+            "rule phi1 on (c1, s1) requires { drop_message } {",
+        );
+        let err = compile_document(&source).unwrap_err();
+        assert!(
+            err.message.contains("undeclared"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn unknown_names_are_reported_with_lines() {
+        let source = r#"
+            attack x {
+                start state s {
+                    rule r on (c9, s9) {
+                        when true
+                        do { drop(msg); }
+                    }
+                }
+            }
+        "#;
+        let doc = compile_document(SELF_CONTAINED).unwrap();
+        let err = compile(source, &doc.system, &doc.attack_model).unwrap_err();
+        assert!(err.message.contains("not a control plane connection"));
+        assert!(err.line > 0);
+
+        let source = r#"
+            attack x {
+                start state s {
+                    rule r on all {
+                        when msg.source == nobody
+                        do { drop(msg); }
+                    }
+                }
+            }
+        "#;
+        let err = compile(source, &doc.system, &doc.attack_model).unwrap_err();
+        assert!(err.message.contains("nobody"));
+    }
+
+    #[test]
+    fn goto_resolves_state_names() {
+        let doc = compile_document(SELF_CONTAINED).unwrap();
+        let source = r#"
+            attack two_stage {
+                start state a {
+                    # (c1, s1) only: `all` would include the TLS
+                    # connection, where msg.type is unreadable.
+                    rule r on (c1, s1) {
+                        when msg.type == HELLO
+                        do { pass(msg); goto b; }
+                    }
+                }
+                state b { }
+            }
+        "#;
+        let atk = compile(source, &doc.system, &doc.attack_model).unwrap();
+        assert_eq!(atk.attack.start, 0);
+        assert_eq!(atk.graph.edges.len(), 1);
+        assert_eq!(atk.graph.edges[0].to, 1);
+        assert_eq!(atk.graph.end, vec![1]);
+        // Unknown target:
+        let bad = source.replace("goto b;", "goto zz;");
+        assert!(compile(&bad, &doc.system, &doc.attack_model)
+            .unwrap_err()
+            .message
+            .contains("unknown state"));
+    }
+
+    #[test]
+    fn attack_only_compile_rejects_system_blocks() {
+        let doc = compile_document(SELF_CONTAINED).unwrap();
+        let err = compile(SELF_CONTAINED, &doc.system, &doc.attack_model).unwrap_err();
+        assert!(err.message.contains("attack-only"));
+    }
+
+    #[test]
+    fn start_state_marking_rules() {
+        let doc = compile_document(SELF_CONTAINED).unwrap();
+        // Single state: implicit start.
+        let one = "attack a { state s { } }";
+        assert!(compile(one, &doc.system, &doc.attack_model).is_ok());
+        // Two states, no start: error.
+        let two = "attack a { state s { } state t { } }";
+        assert!(compile(two, &doc.system, &doc.attack_model)
+            .unwrap_err()
+            .message
+            .contains("start"));
+        // Two starts: error.
+        let dup = "attack a { start state s { } start state t { } }";
+        assert!(compile(dup, &doc.system, &doc.attack_model)
+            .unwrap_err()
+            .message
+            .contains("more than one"));
+    }
+
+    #[test]
+    fn hex_injection_is_decoded() {
+        let doc = compile_document(SELF_CONTAINED).unwrap();
+        let source = r#"
+            attack inj {
+                start state s {
+                    rule r on (c1, s1) {
+                        when true
+                        do { inject((c1, s1), to_switch, hex("01 04 00 08 00 00 00 63")); }
+                    }
+                }
+            }
+        "#;
+        let atk = compile(source, &doc.system, &doc.attack_model).unwrap();
+        let AttackAction::Inject { bytes, .. } = &atk.attack.states[0].rules[0].actions[0] else {
+            panic!("expected inject");
+        };
+        assert_eq!(bytes, &[0x01, 0x04, 0x00, 0x08, 0x00, 0x00, 0x00, 0x63]);
+        // Malformed hex:
+        let bad = source.replace("00 63", "00 6");
+        assert!(compile(&bad, &doc.system, &doc.attack_model).is_err());
+    }
+
+    #[test]
+    fn auto_port_assignment_numbers_in_declaration_order() {
+        let doc = compile_document(SELF_CONTAINED).unwrap();
+        // s1: port 1 = h1 link, port 2 = s1-s2 link.
+        let (_, s1) = doc.system.switches().next().unwrap();
+        assert_eq!(s1.ports, vec![1, 2]);
+        let (_, s2) = doc.system.switches().nth(1).unwrap();
+        assert_eq!(s2.ports, vec![1, 2]);
+    }
+}

@@ -1,0 +1,671 @@
+//! The attack executor: the paper's Algorithm 1, with `SLEEP` holding
+//! and deterministic fuzzing.
+
+use crate::exec::log::{InjectionLog, LogKind};
+use crate::exec::modifier;
+use crate::lang::{
+    AttackAction, DequeEnd, DequeStore, MessageView, StoredMessage, Value,
+};
+use crate::lang::Attack;
+use crate::model::Capability;
+use crate::model::{ConnectionId, NodeRef, SystemModel};
+use crate::model::AttackModel;
+use attain_openflow::OfMessage;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// A message entering the proxy, as presented to the executor.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectorInput<'a> {
+    /// The connection the message is on.
+    pub conn: ConnectionId,
+    /// `true` when travelling switch→controller.
+    pub to_controller: bool,
+    /// Encoded message.
+    pub bytes: &'a [u8],
+    /// Arrival time at the proxy in nanoseconds.
+    pub now_ns: u64,
+}
+
+/// A message the executor wants delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutMessage {
+    /// Target connection.
+    pub conn: ConnectionId,
+    /// `true` to deliver toward the controller.
+    pub to_controller: bool,
+    /// Encoded message.
+    pub bytes: Vec<u8>,
+    /// Extra delay before delivery, in nanoseconds.
+    pub extra_delay_ns: u64,
+    /// Whether this entry derives from the triggering input message
+    /// (`DROPMESSAGE` removes derived entries; injections survive).
+    derived: bool,
+}
+
+/// Everything one executor step produced.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct ExecOutput {
+    /// Messages to deliver.
+    pub deliveries: Vec<OutMessage>,
+    /// `SYSCMD` commands, as `(host, command)` pairs.
+    pub commands: Vec<(String, String)>,
+    /// Absolute time the executor wants a wakeup at (for `SLEEP`).
+    pub wakeup_ns: Option<u64>,
+}
+
+/// Why an executor could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutorError {
+    /// The attack's state structure is invalid.
+    Attack(crate::lang::AttackError),
+    /// A rule declares fewer capabilities than its condition/actions
+    /// exercise.
+    RuleUnderDeclared {
+        /// Rule name.
+        rule: String,
+        /// Missing capabilities.
+        missing: Vec<Capability>,
+    },
+    /// A rule requires capabilities the attack model does not grant on
+    /// one of its connections.
+    NotGranted {
+        /// Rule name.
+        rule: String,
+        /// The connection.
+        conn: ConnectionId,
+        /// Missing capabilities.
+        missing: Vec<Capability>,
+    },
+    /// A rule names a connection outside the system model's `N_C`.
+    UnknownConnection {
+        /// Rule name.
+        rule: String,
+        /// The bad connection index.
+        conn: ConnectionId,
+    },
+}
+
+impl fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutorError::Attack(e) => write!(f, "{e}"),
+            ExecutorError::RuleUnderDeclared { rule, missing } => write!(
+                f,
+                "rule {rule} exercises undeclared capabilities {missing:?}"
+            ),
+            ExecutorError::NotGranted {
+                rule,
+                conn,
+                missing,
+            } => write!(
+                f,
+                "rule {rule} requires {missing:?} on {conn}, which the attack model does not grant"
+            ),
+            ExecutorError::UnknownConnection { rule, conn } => {
+                write!(f, "rule {rule} names unknown connection {conn}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
+
+/// Validates an attack against a system and attack model (the compiler's
+/// §VI-B1 checks, reusable without the DSL).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_attack(
+    system: &SystemModel,
+    model: &AttackModel,
+    attack: &Attack,
+) -> Result<(), ExecutorError> {
+    attack.validate().map_err(ExecutorError::Attack)?;
+    for state in &attack.states {
+        for rule in &state.rules {
+            let exercised = rule.exercised_capabilities();
+            if !rule.required.is_superset_of(&exercised) {
+                return Err(ExecutorError::RuleUnderDeclared {
+                    rule: rule.name.clone(),
+                    missing: rule.required.missing_from(&exercised),
+                });
+            }
+            for &conn in &rule.connections {
+                if conn.0 >= system.connection_count() {
+                    return Err(ExecutorError::UnknownConnection {
+                        rule: rule.name.clone(),
+                        conn,
+                    });
+                }
+                let granted = model.get(conn);
+                if !granted.is_superset_of(&rule.required) {
+                    return Err(ExecutorError::NotGranted {
+                        rule: rule.name.clone(),
+                        conn,
+                        missing: granted.missing_from(&rule.required),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// SplitMix64-style hash of `(seed, id)` mapped to `[0, 1)`: the
+/// deterministic randomness behind [`Property::Entropy`](crate::lang::Property::Entropy).
+fn entropy_for(seed: u64, id: u64) -> f64 {
+    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+struct HeldMessage {
+    conn: ConnectionId,
+    to_controller: bool,
+    bytes: Vec<u8>,
+    id: u64,
+}
+
+/// The runtime attack executor (paper Algorithm 1 and §VI-B2).
+pub struct AttackExecutor {
+    system: SystemModel,
+    model: AttackModel,
+    attack: Attack,
+    /// Per-state rule lists, shared so the hot path avoids cloning rule
+    /// bodies on every message.
+    rules_by_state: Vec<Arc<[crate::lang::Rule]>>,
+    current: usize,
+    deques: DequeStore,
+    sleep_until_ns: Option<u64>,
+    held: VecDeque<HeldMessage>,
+    log: InjectionLog,
+    next_msg_id: u64,
+    fuzz_rng: SmallRng,
+    /// Seed for the per-message entropy property.
+    entropy_seed: u64,
+}
+
+impl fmt::Debug for AttackExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AttackExecutor")
+            .field("attack", &self.attack.name)
+            .field("current_state", &self.current)
+            .field("held", &self.held.len())
+            .finish()
+    }
+}
+
+impl AttackExecutor {
+    /// Builds an executor, validating the attack first (line 2 of
+    /// Algorithm 1 initializes `σ_current ← σ_start`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutorError`] if validation fails.
+    pub fn new(
+        system: SystemModel,
+        model: AttackModel,
+        attack: Attack,
+    ) -> Result<AttackExecutor, ExecutorError> {
+        validate_attack(&system, &model, &attack)?;
+        let start = attack.start;
+        let rules_by_state = attack
+            .states
+            .iter()
+            .map(|s| Arc::from(s.rules.as_slice()))
+            .collect();
+        Ok(AttackExecutor {
+            system,
+            model,
+            attack,
+            rules_by_state,
+            current: start,
+            deques: DequeStore::new(),
+            sleep_until_ns: None,
+            held: VecDeque::new(),
+            log: InjectionLog::new(),
+            next_msg_id: 1,
+            fuzz_rng: SmallRng::seed_from_u64(0x00A7_7A1D),
+            entropy_seed: 0x05EE_D0FA_77A1,
+        })
+    }
+
+    /// Index of the current attack state.
+    pub fn current_state(&self) -> usize {
+        self.current
+    }
+
+    /// Name of the current attack state.
+    pub fn current_state_name(&self) -> &str {
+        &self.attack.states[self.current].name
+    }
+
+    /// The injection log.
+    pub fn log(&self) -> &InjectionLog {
+        &self.log
+    }
+
+    /// The attack under execution.
+    pub fn attack(&self) -> &Attack {
+        &self.attack
+    }
+
+    /// The deque store (for tests and monitors).
+    pub fn deques(&self) -> &DequeStore {
+        &self.deques
+    }
+
+    fn endpoints(&self, conn: ConnectionId, to_controller: bool) -> (NodeRef, NodeRef) {
+        let (c, s) = self.system.connection(conn);
+        if to_controller {
+            (NodeRef::Switch(s), NodeRef::Controller(c))
+        } else {
+            (NodeRef::Controller(c), NodeRef::Switch(s))
+        }
+    }
+
+    /// Algorithm 1, lines 4–21: processes one asynchronous incoming
+    /// message and returns the outgoing message list plus side effects.
+    pub fn on_message(&mut self, input: InjectorInput<'_>) -> ExecOutput {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        // SLEEP semantics: messages arriving while asleep are held and
+        // replayed, in order, at wake time.
+        if let Some(until) = self.sleep_until_ns {
+            if input.now_ns < until {
+                self.held.push_back(HeldMessage {
+                    conn: input.conn,
+                    to_controller: input.to_controller,
+                    bytes: input.bytes.to_vec(),
+                    id,
+                });
+                self.log.push(input.now_ns, LogKind::Held { msg_id: id });
+                return ExecOutput {
+                    wakeup_ns: Some(until),
+                    ..ExecOutput::default()
+                };
+            }
+            self.sleep_until_ns = None;
+        }
+        self.process(input.conn, input.to_controller, input.bytes, input.now_ns, id)
+    }
+
+    /// A requested wakeup fired: drains held messages (unless a new
+    /// `SLEEP` interrupts the drain).
+    pub fn on_wakeup(&mut self, now_ns: u64) -> ExecOutput {
+        let mut total = ExecOutput::default();
+        if let Some(until) = self.sleep_until_ns {
+            if now_ns < until {
+                total.wakeup_ns = Some(until);
+                return total;
+            }
+            self.sleep_until_ns = None;
+        }
+        while let Some(held) = self.held.pop_front() {
+            let out = self.process(held.conn, held.to_controller, &held.bytes, now_ns, held.id);
+            total.deliveries.extend(out.deliveries);
+            total.commands.extend(out.commands);
+            if let Some(w) = out.wakeup_ns {
+                // A held message triggered another SLEEP: stop draining.
+                total.wakeup_ns = Some(w);
+                break;
+            }
+        }
+        total
+    }
+
+    fn process(
+        &mut self,
+        conn: ConnectionId,
+        to_controller: bool,
+        bytes: &[u8],
+        now_ns: u64,
+        id: u64,
+    ) -> ExecOutput {
+        // Line 5: msg_out ← [msg_in].
+        let mut out = vec![OutMessage {
+            conn,
+            to_controller,
+            bytes: bytes.to_vec(),
+            extra_delay_ns: 0,
+            derived: true,
+        }];
+        let mut commands = Vec::new();
+        let mut wakeup = None;
+
+        let decoded = OfMessage::decode(bytes).ok();
+        let (source, destination) = self.endpoints(conn, to_controller);
+
+        // Line 6: σ_previous ← σ_current — rules are evaluated against
+        // the state as it was when the message arrived, even if an
+        // earlier rule in the same pass transitions.
+        let previous = self.current;
+        // Lines 7–18: evaluate every rule of σ_previous.
+        let rules = Arc::clone(&self.rules_by_state[previous]);
+        for rule in rules.iter() {
+            if !rule.applies_to(conn) {
+                continue;
+            }
+            let view = MessageView {
+                conn,
+                source,
+                destination,
+                timestamp_ns: now_ns,
+                id,
+                bytes,
+                decoded: decoded.as_ref().map(|(m, _)| m),
+                granted: rule.required,
+                entropy: entropy_for(self.entropy_seed, id),
+            };
+            match rule.condition.eval(&view, &self.deques) {
+                Ok(v) if v.truthy() => {}
+                Ok(_) => continue,
+                Err(e) => {
+                    self.log.push(
+                        now_ns,
+                        LogKind::ActionError {
+                            rule: rule.name.clone(),
+                            error: e.to_string(),
+                        },
+                    );
+                    continue;
+                }
+            }
+            self.log.push(
+                now_ns,
+                LogKind::RuleMatched {
+                    state: previous,
+                    rule: rule.name.clone(),
+                    msg_id: id,
+                },
+            );
+            // Lines 10–16: run the rule's actions.
+            for action in &rule.actions {
+                // Defense in depth: the compiler already checked this.
+                let needed = action.required_capabilities();
+                let granted = self.model.get(conn);
+                if !granted.is_superset_of(&needed) {
+                    if let Some(missing) = granted.missing_from(&needed).first() {
+                        self.log.push(
+                            now_ns,
+                            LogKind::CapabilityViolation {
+                                rule: rule.name.clone(),
+                                missing: *missing,
+                            },
+                        );
+                    }
+                    continue;
+                }
+                if let AttackAction::GoToState(target) = action {
+                    if *target != self.current {
+                        self.log.push(
+                            now_ns,
+                            LogKind::Transition {
+                                from: self.current,
+                                to: *target,
+                            },
+                        );
+                        self.current = *target;
+                    }
+                    continue;
+                }
+                self.apply_action(
+                    action,
+                    rule,
+                    &view,
+                    &mut out,
+                    &mut commands,
+                    &mut wakeup,
+                    now_ns,
+                );
+            }
+        }
+
+        ExecOutput {
+            deliveries: out,
+            commands,
+            wakeup_ns: wakeup,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_action(
+        &mut self,
+        action: &AttackAction,
+        rule: &crate::lang::Rule,
+        view: &MessageView<'_>,
+        out: &mut Vec<OutMessage>,
+        commands: &mut Vec<(String, String)>,
+        wakeup: &mut Option<u64>,
+        now_ns: u64,
+    ) {
+        let log_err = |log: &mut InjectionLog, e: String| {
+            log.push(
+                now_ns,
+                LogKind::ActionError {
+                    rule: rule.name.clone(),
+                    error: e,
+                },
+            );
+        };
+        match action {
+            AttackAction::GoToState(_) => unreachable!("handled by caller"),
+            AttackAction::Drop => out.retain(|m| !m.derived),
+            AttackAction::Pass => {
+                if !out.iter().any(|m| m.derived) {
+                    out.push(OutMessage {
+                        conn: view.conn,
+                        to_controller: matches!(view.source, NodeRef::Switch(_)),
+                        bytes: view.bytes.to_vec(),
+                        extra_delay_ns: 0,
+                        derived: true,
+                    });
+                }
+            }
+            AttackAction::Delay(e) => match e.eval(view, &self.deques) {
+                Ok(v) => match v.as_float() {
+                    Some(secs) if secs >= 0.0 => {
+                        let ns = (secs * 1e9) as u64;
+                        for m in out.iter_mut().filter(|m| m.derived) {
+                            m.extra_delay_ns += ns;
+                        }
+                    }
+                    _ => log_err(&mut self.log, format!("delay of non-time value {v}")),
+                },
+                Err(e) => log_err(&mut self.log, e.to_string()),
+            },
+            AttackAction::Duplicate => {
+                let template = out
+                    .iter()
+                    .rev()
+                    .find(|m| m.derived)
+                    .cloned()
+                    .unwrap_or(OutMessage {
+                        conn: view.conn,
+                        to_controller: matches!(view.source, NodeRef::Switch(_)),
+                        bytes: view.bytes.to_vec(),
+                        extra_delay_ns: 0,
+                        derived: true,
+                    });
+                out.push(template);
+            }
+            AttackAction::ReadMetadata => {
+                let summary = format!(
+                    "conn={} {}→{} len={} t={:.6}s",
+                    view.conn.0,
+                    self.system.name_of(view.source),
+                    self.system.name_of(view.destination),
+                    view.bytes.len(),
+                    view.timestamp_ns as f64 / 1e9,
+                );
+                self.log.push(
+                    now_ns,
+                    LogKind::MetadataRecord {
+                        msg_id: view.id,
+                        summary,
+                    },
+                );
+            }
+            AttackAction::Read => {
+                let summary = match view.decoded {
+                    Some(m) => {
+                        let s = format!("{m:?}");
+                        s.chars().take(200).collect()
+                    }
+                    None => "<unparseable>".to_string(),
+                };
+                self.log.push(
+                    now_ns,
+                    LogKind::PayloadRecord {
+                        msg_id: view.id,
+                        summary,
+                    },
+                );
+            }
+            AttackAction::ModifyMetadata { field, value } => {
+                if field != "destination" {
+                    log_err(&mut self.log, format!("unsupported metadata field {field}"));
+                    return;
+                }
+                let v = match value.eval(view, &self.deques) {
+                    Ok(v) => v,
+                    Err(e) => return log_err(&mut self.log, e.to_string()),
+                };
+                let Value::Addr(target) = v else {
+                    return log_err(&mut self.log, format!("destination must be a component, got {v}"));
+                };
+                // Redirect derived copies onto a connection whose far end
+                // is the named component.
+                let redirect = self.system.connections().find_map(|(id, c, s)| match target {
+                    NodeRef::Controller(tc) if tc == c => Some((id, true)),
+                    NodeRef::Switch(ts) if ts == s => Some((id, false)),
+                    _ => None,
+                });
+                match redirect {
+                    Some((conn, to_controller)) => {
+                        for m in out.iter_mut().filter(|m| m.derived) {
+                            m.conn = conn;
+                            m.to_controller = to_controller;
+                        }
+                    }
+                    None => log_err(
+                        &mut self.log,
+                        format!("no control connection reaches {}", self.system.name_of(target)),
+                    ),
+                }
+            }
+            AttackAction::Fuzz { flips } => {
+                for m in out.iter_mut().filter(|m| m.derived) {
+                    if m.bytes.is_empty() {
+                        continue;
+                    }
+                    for _ in 0..*flips {
+                        let bit = self.fuzz_rng.gen_range(0..m.bytes.len() * 8);
+                        m.bytes[bit / 8] ^= 1 << (bit % 8);
+                    }
+                }
+            }
+            AttackAction::Modify { field, value } => {
+                let v = match value.eval(view, &self.deques) {
+                    Ok(v) => v,
+                    Err(e) => return log_err(&mut self.log, e.to_string()),
+                };
+                for m in out.iter_mut().filter(|m| m.derived) {
+                    match modifier::set_field(&m.bytes, field, &v) {
+                        Ok(b) => m.bytes = b,
+                        Err(e) => log_err(&mut self.log, e.to_string()),
+                    }
+                }
+            }
+            AttackAction::Inject {
+                conn,
+                to_controller,
+                bytes,
+            } => {
+                out.push(OutMessage {
+                    conn: *conn,
+                    to_controller: *to_controller,
+                    bytes: bytes.clone(),
+                    extra_delay_ns: 0,
+                    derived: false,
+                });
+                self.log.push(now_ns, LogKind::Injected { conn: conn.0 });
+            }
+            AttackAction::Prepend { deque, value } => match value.eval(view, &self.deques) {
+                Ok(v) => self.deques.prepend(deque, v),
+                Err(e) => log_err(&mut self.log, e.to_string()),
+            },
+            AttackAction::Append { deque, value } => match value.eval(view, &self.deques) {
+                Ok(v) => self.deques.append(deque, v),
+                Err(e) => log_err(&mut self.log, e.to_string()),
+            },
+            AttackAction::Shift(d) => {
+                self.deques.shift(d);
+            }
+            AttackAction::Pop(d) => {
+                self.deques.pop(d);
+            }
+            AttackAction::StoreMessage { deque, front } => {
+                let stored = Value::Message(StoredMessage {
+                    conn: view.conn.0,
+                    to_controller: matches!(view.source, NodeRef::Switch(_)),
+                    bytes: view.bytes.to_vec(),
+                });
+                if *front {
+                    self.deques.prepend(deque, stored);
+                } else {
+                    self.deques.append(deque, stored);
+                }
+            }
+            AttackAction::EmitStored { deque, end } => {
+                let v = match end {
+                    DequeEnd::Front => self.deques.shift(deque),
+                    DequeEnd::End => self.deques.pop(deque),
+                };
+                match v {
+                    Value::Message(m) => out.push(OutMessage {
+                        conn: ConnectionId(m.conn),
+                        to_controller: m.to_controller,
+                        bytes: m.bytes,
+                        extra_delay_ns: 0,
+                        derived: false,
+                    }),
+                    Value::None => {}
+                    other => log_err(
+                        &mut self.log,
+                        format!("deque {deque} held a {} where a message was expected", other.kind()),
+                    ),
+                }
+            }
+            AttackAction::Sleep(e) => match e.eval(view, &self.deques) {
+                Ok(v) => match v.as_float() {
+                    Some(secs) if secs >= 0.0 => {
+                        let until = now_ns + (secs * 1e9) as u64;
+                        self.sleep_until_ns = Some(until);
+                        *wakeup = Some(until);
+                        self.log.push(now_ns, LogKind::SleepStart { until_ns: until });
+                    }
+                    _ => log_err(&mut self.log, format!("sleep of non-time value {v}")),
+                },
+                Err(e) => log_err(&mut self.log, e.to_string()),
+            },
+            AttackAction::SysCmd { host, cmd } => {
+                self.log.push(
+                    now_ns,
+                    LogKind::SysCmd {
+                        host: host.clone(),
+                        cmd: cmd.clone(),
+                    },
+                );
+                commands.push((host.clone(), cmd.clone()));
+            }
+        }
+    }
+}

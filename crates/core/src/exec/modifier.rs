@@ -1,0 +1,254 @@
+//! Payload field modification (`MODIFYMESSAGE`): decode → set field →
+//! re-encode, preserving the transaction id.
+
+use crate::lang::Value;
+use attain_openflow::{Match, OfMessage, PortNo, Wildcards};
+
+/// Error applying a payload modification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModifyError {
+    /// The message bytes do not decode.
+    Unparseable,
+    /// The path does not exist (or is not writable) on this type.
+    NoSuchField(String),
+    /// The value's type does not fit the field.
+    BadValue {
+        /// The field.
+        field: String,
+        /// The offered value's kind.
+        found: &'static str,
+    },
+}
+
+impl std::fmt::Display for ModifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModifyError::Unparseable => write!(f, "message does not parse"),
+            ModifyError::NoSuchField(p) => write!(f, "no writable field {p}"),
+            ModifyError::BadValue { field, found } => {
+                write!(f, "cannot write a {found} into {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModifyError {}
+
+fn as_u16(field: &str, v: &Value) -> Result<u16, ModifyError> {
+    v.as_int()
+        .and_then(|i| u16::try_from(i).ok())
+        .ok_or(ModifyError::BadValue {
+            field: field.to_string(),
+            found: v.kind(),
+        })
+}
+
+fn set_match_field(m: &mut Match, field: &str, value: &Value) -> Result<(), ModifyError> {
+    match field {
+        "nw_src" => match value {
+            Value::Ip(ip) => {
+                m.nw_src = u32::from(*ip);
+                m.wildcards = m.wildcards.with_nw_src_ignored_bits(0);
+                Ok(())
+            }
+            Value::None => {
+                m.wildcards = m.wildcards.with_nw_src_ignored_bits(32);
+                Ok(())
+            }
+            other => Err(ModifyError::BadValue {
+                field: "match.nw_src".into(),
+                found: other.kind(),
+            }),
+        },
+        "nw_dst" => match value {
+            Value::Ip(ip) => {
+                m.nw_dst = u32::from(*ip);
+                m.wildcards = m.wildcards.with_nw_dst_ignored_bits(0);
+                Ok(())
+            }
+            Value::None => {
+                m.wildcards = m.wildcards.with_nw_dst_ignored_bits(32);
+                Ok(())
+            }
+            other => Err(ModifyError::BadValue {
+                field: "match.nw_dst".into(),
+                found: other.kind(),
+            }),
+        },
+        "in_port" => {
+            m.in_port = PortNo(as_u16("match.in_port", value)?);
+            m.wildcards = Wildcards(m.wildcards.0 & !Wildcards::IN_PORT);
+            Ok(())
+        }
+        "dl_type" => {
+            m.dl_type = as_u16("match.dl_type", value)?;
+            m.wildcards = Wildcards(m.wildcards.0 & !Wildcards::DL_TYPE);
+            Ok(())
+        }
+        other => Err(ModifyError::NoSuchField(format!("match.{other}"))),
+    }
+}
+
+/// Rewrites `field` on the encoded message `bytes`, returning new bytes
+/// with the original xid.
+///
+/// Writable fields:
+///
+/// * `FLOW_MOD`: `idle_timeout`, `hard_timeout`, `priority`, `cookie`,
+///   `buffer_id`, `out_port`, `match.nw_src`, `match.nw_dst`,
+///   `match.in_port`, `match.dl_type`, `actions.clear` (any value —
+///   empties the action list, turning the flow into a drop);
+/// * `PACKET_IN` / `PACKET_OUT`: `in_port`, `buffer_id`;
+/// * `ERROR`: `code`.
+///
+/// # Errors
+///
+/// Returns [`ModifyError`] when the bytes do not parse, the field is
+/// unknown, or the value does not fit.
+pub fn set_field(bytes: &[u8], field: &str, value: &Value) -> Result<Vec<u8>, ModifyError> {
+    let (mut msg, xid) = OfMessage::decode(bytes).map_err(|_| ModifyError::Unparseable)?;
+    let (head, rest) = match field.split_once('.') {
+        Some((h, r)) => (h, Some(r)),
+        None => (field, None),
+    };
+    match &mut msg {
+        OfMessage::FlowMod(fm) => match (head, rest) {
+            ("match", Some(sub)) => set_match_field(&mut fm.r#match, sub, value)?,
+            ("idle_timeout", None) => fm.idle_timeout = as_u16(field, value)?,
+            ("hard_timeout", None) => fm.hard_timeout = as_u16(field, value)?,
+            ("priority", None) => fm.priority = as_u16(field, value)?,
+            ("cookie", None) => {
+                fm.cookie = value.as_int().ok_or(ModifyError::BadValue {
+                    field: field.to_string(),
+                    found: value.kind(),
+                })? as u64
+            }
+            ("out_port", None) => fm.out_port = PortNo(as_u16(field, value)?),
+            ("buffer_id", None) => {
+                fm.buffer_id = match value {
+                    Value::None => None,
+                    v => Some(v.as_int().ok_or(ModifyError::BadValue {
+                        field: field.to_string(),
+                        found: v.kind(),
+                    })? as u32),
+                }
+            }
+            ("actions", Some("clear")) => fm.actions.clear(),
+            _ => return Err(ModifyError::NoSuchField(field.to_string())),
+        },
+        OfMessage::PacketIn(pi) => match (head, rest) {
+            ("in_port", None) => pi.in_port = PortNo(as_u16(field, value)?),
+            ("buffer_id", None) => {
+                pi.buffer_id = match value {
+                    Value::None => None,
+                    v => Some(v.as_int().ok_or(ModifyError::BadValue {
+                        field: field.to_string(),
+                        found: v.kind(),
+                    })? as u32),
+                }
+            }
+            _ => return Err(ModifyError::NoSuchField(field.to_string())),
+        },
+        OfMessage::PacketOut(po) => match (head, rest) {
+            ("in_port", None) => po.in_port = PortNo(as_u16(field, value)?),
+            ("buffer_id", None) => {
+                po.buffer_id = match value {
+                    Value::None => None,
+                    v => Some(v.as_int().ok_or(ModifyError::BadValue {
+                        field: field.to_string(),
+                        found: v.kind(),
+                    })? as u32),
+                }
+            }
+            ("actions", Some("clear")) => po.actions.clear(),
+            _ => return Err(ModifyError::NoSuchField(field.to_string())),
+        },
+        OfMessage::Error(e) => match (head, rest) {
+            ("code", None) => e.code = as_u16(field, value)?,
+            _ => return Err(ModifyError::NoSuchField(field.to_string())),
+        },
+        _ => return Err(ModifyError::NoSuchField(field.to_string())),
+    }
+    Ok(msg.encode(xid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attain_openflow::{Action, FlowMod};
+
+    fn flow_mod_bytes() -> Vec<u8> {
+        OfMessage::FlowMod(FlowMod {
+            idle_timeout: 5,
+            ..FlowMod::add(
+                Match::all(),
+                vec![Action::Output {
+                    port: PortNo(2),
+                    max_len: 0,
+                }],
+            )
+        })
+        .encode(0x77)
+    }
+
+    #[test]
+    fn rewrite_idle_timeout_preserves_xid() {
+        let bytes = flow_mod_bytes();
+        let out = set_field(&bytes, "idle_timeout", &Value::Int(0)).unwrap();
+        let (msg, xid) = OfMessage::decode(&out).unwrap();
+        assert_eq!(xid, 0x77);
+        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        assert_eq!(fm.idle_timeout, 0);
+    }
+
+    #[test]
+    fn rewrite_match_nw_dst_clears_wildcard() {
+        let bytes = flow_mod_bytes();
+        let out = set_field(
+            &bytes,
+            "match.nw_dst",
+            &Value::Ip("10.0.0.9".parse().unwrap()),
+        )
+        .unwrap();
+        let (msg, _) = OfMessage::decode(&out).unwrap();
+        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        assert_eq!(fm.r#match.nw_dst_addr(), Some("10.0.0.9".parse().unwrap()));
+    }
+
+    #[test]
+    fn clearing_actions_turns_flow_into_drop() {
+        let bytes = flow_mod_bytes();
+        let out = set_field(&bytes, "actions.clear", &Value::Bool(true)).unwrap();
+        let (msg, _) = OfMessage::decode(&out).unwrap();
+        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        assert!(fm.actions.is_empty());
+    }
+
+    #[test]
+    fn buffer_id_none_detaches_buffer() {
+        let mut fm = FlowMod::add(Match::all(), vec![]);
+        fm.buffer_id = Some(42);
+        let bytes = OfMessage::FlowMod(fm).encode(1);
+        let out = set_field(&bytes, "buffer_id", &Value::None).unwrap();
+        let (msg, _) = OfMessage::decode(&out).unwrap();
+        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        assert_eq!(fm.buffer_id, None);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let bytes = flow_mod_bytes();
+        assert_eq!(
+            set_field(&bytes, "no_such", &Value::Int(1)).unwrap_err(),
+            ModifyError::NoSuchField("no_such".into())
+        );
+        assert!(matches!(
+            set_field(&bytes, "priority", &Value::Str("hi".into())).unwrap_err(),
+            ModifyError::BadValue { .. }
+        ));
+        assert_eq!(
+            set_field(&[1, 2, 3], "priority", &Value::Int(1)).unwrap_err(),
+            ModifyError::Unparseable
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! The ATTAIN attack language (paper §V).
+//!
+//! An attack is written as a set of [`AttackState`]s, each holding
+//! [`Rule`]s `φ = (n, γ, λ, α)` whose conditionals ([`Expr`]) test
+//! message properties ([`Property`]) and whose actions
+//! ([`AttackAction`]) actuate attacker capabilities, manipulate deque
+//! storage ([`DequeStore`]), and drive state transitions — visualized as
+//! the [`AttackStateGraph`].
+
+mod action;
+mod conditional;
+mod deque;
+mod graph;
+mod property;
+mod rule;
+mod state;
+pub mod templates;
+mod value;
+
+pub use action::AttackAction;
+pub use conditional::{DequeEnd, EvalError, Expr};
+pub use deque::DequeStore;
+pub use graph::{AttackStateGraph, GraphEdge};
+pub use property::{type_option, MessageView, Property, PropertyError};
+pub use rule::Rule;
+pub use state::{Attack, AttackError, AttackState};
+pub use value::{StoredMessage, Value};

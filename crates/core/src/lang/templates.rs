@@ -1,0 +1,254 @@
+//! Attack state graph templates (the paper's §X future work): generate
+//! larger attack descriptions programmatically "without having to
+//! manually generate many of the lower-level details".
+//!
+//! Each template returns a plain [`Attack`] that validates against any
+//! attack model granting `Γ_NoTLS` on the named connections, and can be
+//! rendered, inspected, or executed like a hand-written one.
+
+use crate::lang::{
+    Attack, AttackAction, AttackState, DequeEnd, Expr, Property, Rule, Value,
+};
+use crate::model::{CapabilitySet, ConnectionId};
+use attain_openflow::OfType;
+
+fn type_is(t: OfType) -> Expr {
+    Expr::eq(Expr::Prop(Property::Type), Expr::Lit(Value::MsgType(t)))
+}
+
+/// A single-state attack that drops every message of type `t` on the
+/// given connections — the Figure 10 pattern generalized over message
+/// types.
+pub fn suppress_type(t: OfType, connections: Vec<ConnectionId>) -> Attack {
+    Attack {
+        name: format!("suppress_{}", t.spec_name().to_lowercase()),
+        states: vec![AttackState {
+            name: "suppress".into(),
+            rules: vec![Rule {
+                name: "phi1".into(),
+                connections,
+                required: CapabilitySet::no_tls(),
+                condition: type_is(t),
+                actions: vec![AttackAction::Drop],
+            }],
+        }],
+        start: 0,
+    }
+}
+
+/// A chain of history states (the Figure 6 pattern): pass messages until
+/// the types in `sequence` have been observed in order, then apply
+/// `payload` actions to every message of the final type.
+pub fn after_sequence(
+    sequence: &[OfType],
+    payload: Vec<AttackAction>,
+    connections: Vec<ConnectionId>,
+) -> Attack {
+    assert!(!sequence.is_empty(), "sequence must name at least one type");
+    let mut states = Vec::with_capacity(sequence.len() + 1);
+    for (i, t) in sequence.iter().enumerate() {
+        states.push(AttackState {
+            name: format!("wait_{}_{}", i, t.spec_name().to_lowercase()),
+            rules: vec![Rule {
+                name: format!("advance{i}"),
+                connections: connections.clone(),
+                required: CapabilitySet::no_tls(),
+                condition: type_is(*t),
+                actions: vec![AttackAction::Pass, AttackAction::GoToState(i + 1)],
+            }],
+        });
+    }
+    let last = *sequence.last().expect("non-empty sequence");
+    states.push(AttackState {
+        name: "armed".into(),
+        rules: vec![Rule {
+            name: "strike".into(),
+            connections,
+            required: CapabilitySet::no_tls(),
+            condition: type_is(last),
+            actions: payload,
+        }],
+    });
+    Attack {
+        name: "after_sequence".into(),
+        states,
+        start: 0,
+    }
+}
+
+/// The §VIII-B counter pattern as a template: let `n` messages of type
+/// `t` through, then apply `payload` actions to every further one — one
+/// state and O(1) storage regardless of `n`.
+pub fn after_count(
+    t: OfType,
+    n: i64,
+    payload: Vec<AttackAction>,
+    connections: Vec<ConnectionId>,
+) -> Attack {
+    assert!(n >= 0, "count must be non-negative");
+    let counter = "counter".to_string();
+    let front = || Expr::DequeRead {
+        deque: counter.clone(),
+        end: DequeEnd::Front,
+    };
+    let watch = AttackState {
+        name: "watch".into(),
+        rules: vec![
+            Rule {
+                name: "init".into(),
+                connections: connections.clone(),
+                required: CapabilitySet::no_tls(),
+                condition: Expr::and(
+                    Expr::eq(Expr::DequeLen(counter.clone()), Expr::Lit(Value::Int(0))),
+                    type_is(t),
+                ),
+                actions: vec![AttackAction::Prepend {
+                    deque: counter.clone(),
+                    value: Expr::Lit(Value::Int(0)),
+                }],
+            },
+            Rule {
+                name: "count".into(),
+                connections: connections.clone(),
+                required: CapabilitySet::no_tls(),
+                condition: Expr::and(
+                    type_is(t),
+                    Expr::Lt(Box::new(front()), Box::new(Expr::Lit(Value::Int(n)))),
+                ),
+                actions: vec![
+                    AttackAction::Prepend {
+                        deque: counter.clone(),
+                        value: Expr::Add(
+                            Box::new(front()),
+                            Box::new(Expr::Lit(Value::Int(1))),
+                        ),
+                    },
+                    AttackAction::Pop(counter.clone()),
+                    AttackAction::Pass,
+                ],
+            },
+            Rule {
+                name: "trigger".into(),
+                connections: connections.clone(),
+                required: CapabilitySet::no_tls(),
+                condition: Expr::eq(front(), Expr::Lit(Value::Int(n))),
+                actions: vec![AttackAction::GoToState(1)],
+            },
+        ],
+    };
+    let strike = AttackState {
+        name: "strike".into(),
+        rules: vec![Rule {
+            name: "strike".into(),
+            connections,
+            required: CapabilitySet::no_tls(),
+            condition: type_is(t),
+            actions: payload,
+        }],
+    };
+    Attack {
+        name: format!("after_{n}_{}", t.spec_name().to_lowercase()),
+        states: vec![watch, strike],
+        start: 0,
+    }
+}
+
+/// A stochastic variant of [`suppress_type`] (the §VIII-A future-work
+/// extension): drop each matching message independently with probability
+/// `p`, using the executor's deterministic per-message entropy so runs
+/// stay reproducible.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p <= 1.0`.
+pub fn suppress_type_with_probability(
+    t: OfType,
+    p: f64,
+    connections: Vec<ConnectionId>,
+) -> Attack {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    Attack {
+        name: format!("suppress_{}_p{:.0}", t.spec_name().to_lowercase(), p * 100.0),
+        states: vec![AttackState {
+            name: "lossy".into(),
+            rules: vec![Rule {
+                name: "phi1".into(),
+                connections,
+                required: CapabilitySet::no_tls(),
+                condition: Expr::and(
+                    type_is(t),
+                    Expr::Lt(
+                        Box::new(Expr::Prop(Property::Entropy)),
+                        Box::new(Expr::Lit(Value::Float(p))),
+                    ),
+                ),
+                actions: vec![AttackAction::Drop],
+            }],
+        }],
+        start: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::AttackStateGraph;
+
+    fn conns() -> Vec<ConnectionId> {
+        vec![ConnectionId(0)]
+    }
+
+    #[test]
+    fn suppress_type_is_the_figure_10_shape() {
+        let a = suppress_type(OfType::FlowMod, conns());
+        a.validate().expect("template validates");
+        assert_eq!(a.states.len(), 1);
+        assert_eq!(a.absorbing_states(), vec![0]);
+    }
+
+    #[test]
+    fn after_sequence_builds_a_chain() {
+        let a = after_sequence(
+            &[OfType::PacketIn, OfType::FlowMod],
+            vec![AttackAction::Drop],
+            conns(),
+        );
+        a.validate().expect("template validates");
+        assert_eq!(a.states.len(), 3);
+        let g = AttackStateGraph::from_attack(&a);
+        assert_eq!(g.edges.len(), 2);
+        assert!(g.unreachable_states().is_empty());
+        assert_eq!(g.absorbing, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one type")]
+    fn after_sequence_rejects_empty() {
+        after_sequence(&[], vec![], conns());
+    }
+
+    #[test]
+    fn after_count_uses_constant_storage() {
+        // Same structure no matter how large n grows: the §VIII-B claim.
+        let small = after_count(OfType::FlowMod, 3, vec![AttackAction::Drop], conns());
+        let large = after_count(OfType::FlowMod, 1_000_000, vec![AttackAction::Drop], conns());
+        small.validate().expect("validates");
+        large.validate().expect("validates");
+        assert_eq!(small.states.len(), large.states.len());
+    }
+
+    #[test]
+    fn stochastic_template_reads_entropy() {
+        let a = suppress_type_with_probability(OfType::FlowMod, 0.25, conns());
+        a.validate().expect("validates");
+        let caps = a.states[0].rules[0].exercised_capabilities();
+        assert!(caps.contains(crate::model::Capability::ReadMessageMetadata));
+        assert!(caps.contains(crate::model::Capability::DropMessage));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn stochastic_template_rejects_bad_p() {
+        suppress_type_with_probability(OfType::FlowMod, 1.5, conns());
+    }
+}

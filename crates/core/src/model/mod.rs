@@ -1,0 +1,26 @@
+//! The ATTAIN attack model (paper §IV): system model, threat model, and
+//! attacker capabilities model.
+//!
+//! * [`SystemModel`] — the components `(C, S, H)`, the data-plane graph
+//!   `N_D`, and the control-plane relation `N_C ⊆ C × S`;
+//! * [`Capability`] / [`CapabilitySet`] — Table I's attacker
+//!   capabilities and the TLS / no-TLS classes;
+//! * [`AttackModel`] — the mapping `Γ_{N_C} : N_C → P(Γ)` from each
+//!   connection to the attacker's presumed capabilities there.
+//!
+//! The threat model itself (§IV-B) is implicit: the attacker manipulates
+//! control-plane messages only, and *how* components were compromised is
+//! out of scope — exactly what these types encode by construction (an
+//! attack can act only on `N_C` messages, only with granted
+//! capabilities).
+
+mod attack_model;
+mod capability;
+mod system;
+
+pub use attack_model::AttackModel;
+pub use capability::{Capability, CapabilitySet};
+pub use system::{
+    ConnectionId, ControllerId, ControllerSpec, DataEdge, HostId, HostSpec, NodeRef, SwitchId,
+    SwitchSpec, SystemModel, SystemModelError,
+};

@@ -1,0 +1,202 @@
+//! The paper's attack descriptions as DSL sources, ready to compile
+//! against the [`enterprise_network`](super::enterprise_network)
+//! scenario.
+
+/// Figure 5: the trivial "attack" that models normal control-plane
+/// operation — one end state, no rules, everything passes.
+pub const TRIVIAL_PASS: &str = r#"
+# Figure 5: single-state trivial "attack" (normal operation).
+attack trivial_pass {
+    start state sigma1 { }
+}
+"#;
+
+/// Figure 10: the flow-modification suppression attack of §VII-B. One
+/// absorbing state whose rule drops every `FLOW_MOD` the controller
+/// sends to any of the four switches.
+pub const FLOW_MOD_SUPPRESSION: &str = r#"
+# Figure 10: flow modification suppression.
+attack flow_mod_suppression {
+    start state sigma1 {
+        rule phi1 on (c1, s1), (c1, s2), (c1, s3), (c1, s4) requires no_tls {
+            when msg.type == FLOW_MOD && msg.source == c1
+            do { drop(msg); }
+        }
+    }
+}
+"#;
+
+/// Figure 12: the connection interruption attack of §VII-C.
+///
+/// * `sigma1` waits for `s2`'s connection setup (its `HELLO`);
+/// * `sigma2` waits for a flow-modification request about traffic from
+///   the gateway `h2` (10.0.0.2) to an internal host — the DMZ deny
+///   rule. Ryu's L2-only matches never satisfy `φ2`'s `nw_src` read, so
+///   against Ryu the attack never leaves this state (§VII-C4);
+/// * `sigma3` drops everything on `(c1, s2)`, severing the connection.
+pub const CONNECTION_INTERRUPTION: &str = r#"
+# Figure 12: connection interruption against the DMZ firewall switch s2.
+attack connection_interruption {
+    start state sigma1 {
+        rule phi1 on (c1, s2) requires no_tls {
+            when msg.type == HELLO && msg.source == s2
+            do { pass(msg); goto sigma2; }
+        }
+    }
+    state sigma2 {
+        rule phi2 on (c1, s2) requires no_tls {
+            when msg.type == FLOW_MOD
+                 && msg["match.nw_src"] == 10.0.0.2
+                 && msg["match.nw_dst"] in [10.0.0.3, 10.0.0.4, 10.0.0.5, 10.0.0.6]
+            do { drop(msg); goto sigma3; }
+        }
+    }
+    state sigma3 {
+        rule phi3 on (c1, s2) requires no_tls {
+            when true
+            do { drop(msg); }
+        }
+    }
+}
+"#;
+
+/// Figure 6's shape: attack states as prior-message history — act only
+/// after a `PACKET_IN` and then a `FLOW_MOD` have been seen.
+pub const MESSAGE_HISTORY: &str = r#"
+# Figure 6: states modelling prior message history.
+attack message_history {
+    start state sigma1 {
+        rule saw_packet_in on all requires no_tls {
+            when msg.type == PACKET_IN
+            do { pass(msg); goto sigma2; }
+        }
+    }
+    state sigma2 {
+        rule saw_flow_mod on all requires no_tls {
+            when msg.type == FLOW_MOD
+            do { pass(msg); goto sigma3; }
+        }
+    }
+    state sigma3 {
+        rule act on all requires no_tls {
+            when msg.type == FLOW_MOD
+            do { drop(msg); }
+        }
+    }
+}
+"#;
+
+/// §VIII-B's modeling-efficiency example: an O(1)-space counter deque
+/// replaces `n` memoryless states — here, let ten `FLOW_MOD`s through,
+/// then suppress the rest.
+pub const COUNTED_SUPPRESSION: &str = r#"
+# Section VIII-B: deque counter condenses n states into one.
+attack counted_suppression {
+    start state watch {
+        rule init on all requires no_tls {
+            when len(counter) == 0 && msg.type == FLOW_MOD
+            do { prepend(counter, 0); }
+        }
+        rule count on all requires no_tls {
+            when msg.type == FLOW_MOD && front(counter) < 10
+            do { prepend(counter, front(counter) + 1); pop(counter); pass(msg); }
+        }
+        rule trigger on all requires no_tls {
+            when front(counter) == 10
+            do { goto suppress; }
+        }
+    }
+    state suppress {
+        rule drop_mods on all requires no_tls {
+            when msg.type == FLOW_MOD
+            do { drop(msg); }
+        }
+    }
+}
+"#;
+
+/// §VIII-A's message-reordering example: hold two `PACKET_IN`s on a
+/// deque used as a stack, then release them behind a third in reverse
+/// arrival order.
+pub const REORDER_PACKET_INS: &str = r#"
+# Section VIII-A: reordering via a deque used as a stack.
+attack reorder_packet_ins {
+    start state collect {
+        # Algorithm 1 evaluates every rule of the pre-message state, so
+        # `release` guards on a monotonic `seen` counter (not on the
+        # stack length `stash` just changed) to avoid firing on the same
+        # message that filled the stack.
+        rule release on all requires no_tls {
+            when msg.type == PACKET_IN && len(seen) == 2
+            do { pass(msg); emit_front(stack); emit_front(stack); append(seen, 1); }
+        }
+        rule stash on all requires no_tls {
+            when msg.type == PACKET_IN && len(seen) < 2
+            do { append(seen, 1); prepend(stack, msg); drop(msg); }
+        }
+    }
+}
+"#;
+
+/// §VIII-A's replay example: duplicate `FLOW_MOD`s into a queue, then
+/// replay them in FIFO order once five are stored.
+pub const REPLAY_FLOW_MODS: &str = r#"
+# Section VIII-A: replay via a deque used as a queue.
+attack replay_flow_mods {
+    start state record {
+        # `flood` is guarded on the monotonic `copies` counter so it does
+        # not fire in the same pass that stores the fifth copy.
+        rule flood on all requires no_tls {
+            when len(copies) == 5 && len(replay_q) == 5
+            do {
+                emit_front(replay_q);
+                emit_front(replay_q);
+                emit_front(replay_q);
+                emit_front(replay_q);
+                emit_front(replay_q);
+                goto done;
+            }
+        }
+        rule copy on all requires no_tls {
+            when msg.type == FLOW_MOD && len(copies) < 5
+            do { append(copies, 1); duplicate(msg); append(replay_q, msg); pass(msg); }
+        }
+    }
+    state done { }
+}
+"#;
+
+/// A fuzzing attack in the spirit of DELTA (§IX-A): randomly corrupt
+/// every tenth controller-to-switch message.
+pub const FUZZ_CONTROL_PLANE: &str = r#"
+# Related-work flavour: DELTA-style control plane fuzzing.
+attack fuzz_control_plane {
+    start state fuzzing {
+        rule init on all requires no_tls {
+            when len(counter) == 0
+            do { prepend(counter, 0); }
+        }
+        rule tick on all requires no_tls {
+            when msg.source == c1 && front(counter) < 9
+            do { prepend(counter, front(counter) + 1); pop(counter); }
+        }
+        rule corrupt on all requires no_tls {
+            when msg.source == c1 && front(counter) == 9
+            do { fuzz(msg, 16); prepend(counter, 0); pop(counter); }
+        }
+    }
+}
+"#;
+
+/// All bundled attacks with their names, for iteration in tests and
+/// examples.
+pub const ALL: [(&str, &str); 8] = [
+    ("trivial_pass", TRIVIAL_PASS),
+    ("flow_mod_suppression", FLOW_MOD_SUPPRESSION),
+    ("connection_interruption", CONNECTION_INTERRUPTION),
+    ("message_history", MESSAGE_HISTORY),
+    ("counted_suppression", COUNTED_SUPPRESSION),
+    ("reorder_packet_ins", REORDER_PACKET_INS),
+    ("replay_flow_mods", REPLAY_FLOW_MODS),
+    ("fuzz_control_plane", FUZZ_CONTROL_PLANE),
+];

@@ -1,0 +1,26 @@
+//! The ATTAIN runtime attack injector (paper §VI).
+//!
+//! Two deployments of the same [`attain_core::exec::AttackExecutor`]:
+//!
+//! * [`SimInjector`] — interposes on every control-plane connection of
+//!   an [`attain_netsim::Simulation`], exactly where the paper's proxy
+//!   sits ("switches point at the proxy as their controller"). A single
+//!   executor instance sees every connection's messages, giving the
+//!   total order of §VI-C.
+//! * [`tcp`] — a real threaded TCP proxy over `std::net` sockets, for
+//!   running attacks against OpenFlow speakers outside the simulator.
+//!
+//! Plus the experiment [`harness`]: builders and timelines for the
+//! paper's §VII case study (the Figure 11 flow-modification-suppression
+//! experiment and the Table II connection-interruption experiment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod monitors;
+mod sim;
+pub mod tcp;
+
+pub use monitors::ExperimentReport;
+pub use sim::{SharedExecutor, SimInjector};

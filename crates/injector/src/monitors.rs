@@ -1,0 +1,210 @@
+//! Monitors (paper §VI-B3): the components that "record relevant control
+//! and data plane events" for later analysis.
+//!
+//! The paper places `iperf`/`tcpdump`-style monitors throughout the
+//! testbed. Here the raw feeds already exist — the simulator's
+//! [`Trace`](attain_netsim::Trace), the hosts' ping/iperf statistics, and the executor's
+//! [`InjectionLog`](attain_core::exec::InjectionLog) — and this module condenses them into one
+//! [`ExperimentReport`] suitable for printing or asserting against.
+
+use attain_core::exec::{AttackExecutor, LogKind};
+use attain_netsim::{Direction, Simulation};
+use attain_openflow::OfType;
+use std::fmt;
+
+/// Aggregate of one control-plane connection's traffic, by direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectionTraffic {
+    /// Connection label, `controller/switch`.
+    pub label: String,
+    /// Messages switch→controller.
+    pub to_controller: u64,
+    /// Messages controller→switch.
+    pub to_switch: u64,
+}
+
+/// Everything the monitors observed in one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentReport {
+    /// Per-connection control-plane traffic.
+    pub connections: Vec<ConnectionTraffic>,
+    /// Per-message-type totals (both directions), `None` = unparseable.
+    pub by_type: Vec<(Option<OfType>, u64)>,
+    /// Ping runs: `(label, received, transmitted, avg RTT ms)`.
+    pub pings: Vec<(String, u32, u32, Option<f64>)>,
+    /// Iperf runs: `(label, Mb/s, denial of service)`.
+    pub iperfs: Vec<(String, f64, bool)>,
+    /// Rule-fire counters from the injection log.
+    pub rule_fires: Vec<(String, u64)>,
+    /// State transitions taken by the attack.
+    pub transitions: Vec<(usize, usize)>,
+    /// `SYSCMD`s the attack issued.
+    pub syscmds: Vec<(String, String)>,
+    /// The attack's final state name.
+    pub final_state: String,
+    /// Data-plane frames dropped by link queues.
+    pub frames_dropped: u64,
+}
+
+impl ExperimentReport {
+    /// Collects a report from a finished simulation and its executor.
+    pub fn collect(sim: &Simulation, exec: &AttackExecutor) -> ExperimentReport {
+        let infos = sim.conn_infos();
+        let counters = sim.trace().counters();
+        let mut connections: Vec<ConnectionTraffic> = infos
+            .iter()
+            .map(|i| ConnectionTraffic {
+                label: format!("{}/{}", i.controller, i.switch),
+                to_controller: 0,
+                to_switch: 0,
+            })
+            .collect();
+        let mut by_type: std::collections::BTreeMap<u8, (Option<OfType>, u64)> =
+            std::collections::BTreeMap::new();
+        for (conn, dir, ty, n) in counters {
+            if let Some(c) = connections.get_mut(conn.0) {
+                match dir {
+                    Direction::SwitchToController => c.to_controller += n,
+                    Direction::ControllerToSwitch => c.to_switch += n,
+                }
+            }
+            let key = ty.map(|t| t as u8 + 1).unwrap_or(0);
+            let slot = by_type.entry(key).or_insert((ty, 0));
+            slot.1 += n;
+        }
+        let log = exec.log();
+        ExperimentReport {
+            connections,
+            by_type: by_type.into_values().collect(),
+            pings: sim
+                .ping_stats()
+                .iter()
+                .map(|p| (p.label.clone(), p.received(), p.transmitted(), p.avg_rtt_ms()))
+                .collect(),
+            iperfs: sim
+                .iperf_stats()
+                .iter()
+                .map(|s| {
+                    (
+                        s.label.clone(),
+                        s.throughput_mbps(),
+                        s.is_denial_of_service(),
+                    )
+                })
+                .collect(),
+            rule_fires: log
+                .rule_fire_counts()
+                .map(|(name, n)| (name.to_string(), n))
+                .collect(),
+            transitions: log.transitions(),
+            syscmds: log
+                .events()
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    LogKind::SysCmd { host, cmd } => Some((host.clone(), cmd.clone())),
+                    _ => None,
+                })
+                .collect(),
+            final_state: exec.current_state_name().to_string(),
+            frames_dropped: sim.frames_dropped,
+        }
+    }
+
+    /// Total control-plane messages observed.
+    pub fn control_total(&self) -> u64 {
+        self.connections
+            .iter()
+            .map(|c| c.to_controller + c.to_switch)
+            .sum()
+    }
+}
+
+impl fmt::Display for ExperimentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== experiment report ===")?;
+        writeln!(f, "attack final state: {}", self.final_state)?;
+        if !self.transitions.is_empty() {
+            writeln!(f, "transitions: {:?}", self.transitions)?;
+        }
+        for (rule, n) in &self.rule_fires {
+            writeln!(f, "rule {rule}: fired {n}x")?;
+        }
+        for (host, cmd) in &self.syscmds {
+            writeln!(f, "syscmd on {host}: {cmd}")?;
+        }
+        writeln!(f, "control plane ({} messages total):", self.control_total())?;
+        for c in &self.connections {
+            writeln!(
+                f,
+                "  {:<12} →ctrl {:<8} →switch {}",
+                c.label, c.to_controller, c.to_switch
+            )?;
+        }
+        for (ty, n) in &self.by_type {
+            match ty {
+                Some(t) => writeln!(f, "  {t}: {n}")?,
+                None => writeln!(f, "  <unparseable>: {n}")?,
+            }
+        }
+        for (label, rx, tx, rtt) in &self.pings {
+            match rtt {
+                Some(ms) => writeln!(f, "ping {label}: {rx}/{tx}, avg {ms:.2} ms")?,
+                None => writeln!(f, "ping {label}: {rx}/{tx} (no replies)")?,
+            }
+        }
+        for (label, mbps, dos) in &self.iperfs {
+            if *dos {
+                writeln!(f, "iperf {label}: * (denial of service)")?;
+            } else {
+                writeln!(f, "iperf {label}: {mbps:.1} Mb/s")?;
+            }
+        }
+        if self.frames_dropped > 0 {
+            writeln!(f, "data plane drops: {}", self.frames_dropped)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{attach_attack, build_case_study};
+    use attain_controllers::ControllerKind;
+    use attain_core::scenario;
+    use attain_netsim::{FailMode, HostCommand, SimTime};
+
+    #[test]
+    fn report_collects_all_feeds() {
+        let mut sim = build_case_study(ControllerKind::Pox, FailMode::Secure);
+        let exec = attach_attack(&mut sim, scenario::attacks::FLOW_MOD_SUPPRESSION);
+        let h1 = sim.node_id("h1").expect("case study has h1");
+        sim.schedule_command(
+            SimTime::from_secs(5),
+            HostCommand::Ping {
+                host: h1,
+                dst: "10.0.0.6".parse().expect("valid address"),
+                count: 5,
+                interval: SimTime::from_secs(1),
+                label: "probe".into(),
+            },
+        );
+        sim.run_until(SimTime::from_secs(15));
+        let exec = exec.lock();
+        let report = ExperimentReport::collect(&sim, &exec);
+        assert_eq!(report.connections.len(), 4);
+        assert!(report.control_total() > 0);
+        assert_eq!(report.pings.len(), 1);
+        assert_eq!(report.pings[0].0, "probe");
+        assert!(report
+            .rule_fires
+            .iter()
+            .any(|(name, n)| name == "phi1" && *n > 0));
+        assert_eq!(report.final_state, "sigma1");
+        // The rendering mentions the load-bearing pieces.
+        let text = report.to_string();
+        assert!(text.contains("rule phi1"));
+        assert!(text.contains("ping probe"));
+        assert!(text.contains("c1/s2"));
+    }
+}

@@ -1,0 +1,146 @@
+//! The simulated deployment: an [`AttackExecutor`] as a
+//! [`netsim::Interposer`](attain_netsim::Interposer).
+
+use attain_core::exec::{AttackExecutor, ExecOutput, InjectorInput};
+use attain_core::model::{ConnectionId, SystemModel};
+use attain_netsim::{
+    ConnId, Delivery, Direction, HostCommand, Interposer, InterposerActions, NodeId,
+    ProxiedMessage, SimTime, Simulation,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared handle to the executor, kept by the harness so the injection
+/// log can be inspected after the simulation consumed the interposer.
+pub type SharedExecutor = Arc<Mutex<AttackExecutor>>;
+
+/// The runtime injector, interposed on a simulation's control plane.
+///
+/// Maps between the attack model's [`ConnectionId`]s (named `(c, s)`
+/// pairs of `N_C`) and the simulator's [`ConnId`]s by component name, so
+/// an attack compiled against a [`SystemModel`] drives the corresponding
+/// simulated network.
+pub struct SimInjector {
+    exec: SharedExecutor,
+    /// Core connection index → simulator connection.
+    to_sim: Vec<ConnId>,
+    /// Simulator connection → core connection index.
+    to_core: HashMap<ConnId, ConnectionId>,
+    /// Host name → simulator node (for `SYSCMD` translation).
+    hosts: HashMap<String, NodeId>,
+    /// `SYSCMD` lines that failed to parse, kept for diagnostics.
+    pub rejected_commands: Vec<String>,
+}
+
+impl std::fmt::Debug for SimInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimInjector")
+            .field("connections", &self.to_sim.len())
+            .finish()
+    }
+}
+
+impl SimInjector {
+    /// Builds an injector for `sim`, wiring the attack model's named
+    /// connections to the simulator's, and returns it with a shared
+    /// handle to the executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connection of the executor's system model has no
+    /// simulated counterpart (controller or switch name mismatch) — a
+    /// configuration error a test harness should fail loudly on.
+    pub fn new(exec: AttackExecutor, system: &SystemModel, sim: &Simulation) -> (SimInjector, SharedExecutor) {
+        let infos = sim.conn_infos();
+        let mut to_sim = Vec::with_capacity(system.connection_count());
+        let mut to_core = HashMap::new();
+        for (core_id, c, s) in system.connections() {
+            let c_name = system.name_of(attain_core::model::NodeRef::Controller(c));
+            let s_name = system.name_of(attain_core::model::NodeRef::Switch(s));
+            let info = infos
+                .iter()
+                .find(|i| i.controller == c_name && i.switch == s_name)
+                .unwrap_or_else(|| {
+                    panic!("connection ({c_name}, {s_name}) has no simulated counterpart")
+                });
+            to_sim.push(info.id);
+            to_core.insert(info.id, core_id);
+        }
+        let mut hosts = HashMap::new();
+        for (_, h) in system.hosts() {
+            if let Some(id) = sim.node_id(&h.name) {
+                hosts.insert(h.name.clone(), id);
+            }
+        }
+        let exec = Arc::new(Mutex::new(exec));
+        let injector = SimInjector {
+            exec: Arc::clone(&exec),
+            to_sim,
+            to_core,
+            hosts,
+            rejected_commands: Vec::new(),
+        };
+        (injector, exec)
+    }
+
+    fn convert(&mut self, out: ExecOutput) -> InterposerActions {
+        let mut actions = InterposerActions::default();
+        for d in out.deliveries {
+            let Some(&sim_conn) = self.to_sim.get(d.conn.0) else {
+                continue; // injected onto a connection the sim lacks
+            };
+            actions.deliveries.push(Delivery {
+                conn: sim_conn,
+                direction: if d.to_controller {
+                    Direction::SwitchToController
+                } else {
+                    Direction::ControllerToSwitch
+                },
+                bytes: d.bytes,
+                extra_delay: SimTime::from_nanos(d.extra_delay_ns),
+            });
+        }
+        for (host, cmd) in out.commands {
+            match self.hosts.get(&host) {
+                Some(&node) => match HostCommand::parse(node, &cmd) {
+                    Ok(command) => actions.commands.push(command),
+                    Err(e) => self.rejected_commands.push(e.to_string()),
+                },
+                None => self
+                    .rejected_commands
+                    .push(format!("unknown host {host} in syscmd {cmd:?}")),
+            }
+        }
+        actions.wakeup = out.wakeup_ns.map(SimTime::from_nanos);
+        actions
+    }
+}
+
+impl Interposer for SimInjector {
+    fn on_message(&mut self, msg: ProxiedMessage<'_>) -> InterposerActions {
+        let Some(&core_conn) = self.to_core.get(&msg.conn) else {
+            // A connection outside the attack's system model: the proxy
+            // forwards it untouched.
+            return InterposerActions::pass(&msg);
+        };
+        let out = {
+            let mut exec = self.exec.lock();
+            exec.on_message(InjectorInput {
+                conn: core_conn,
+                to_controller: msg.direction == Direction::SwitchToController,
+                bytes: msg.bytes,
+                now_ns: msg.now.as_nanos(),
+            })
+        };
+        self.convert(out)
+    }
+
+    fn on_wakeup(&mut self, now: SimTime) -> InterposerActions {
+        let out = {
+            let mut exec = self.exec.lock();
+            exec.on_wakeup(now.as_nanos())
+        };
+        self.convert(out)
+    }
+}

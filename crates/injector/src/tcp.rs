@@ -1,0 +1,416 @@
+//! A real TCP deployment of the runtime injector.
+//!
+//! The paper's proxy "operates as a server for switch connections and as
+//! a client for controller connections" (§VI-B2). [`TcpProxy`] does the
+//! same over `std::net` sockets: each [`ProxyRoute`] binds a listening
+//! socket for one expected switch and names the controller address to
+//! dial, plus the attack-model [`ConnectionId`] that pair represents.
+//! Every OpenFlow message crossing either direction is framed, fed to
+//! the shared [`AttackExecutor`], and the executor's verdicts (drop,
+//! delay, modify, inject, …) are applied on the wire.
+
+use attain_core::exec::{AttackExecutor, ExecOutput, InjectorInput};
+use attain_core::model::ConnectionId;
+use attain_openflow::OfMessage;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One proxied control-plane connection: where the switch will connect,
+/// where the controller listens, and which `N_C` element this is.
+#[derive(Debug, Clone)]
+pub struct ProxyRoute {
+    /// Address the proxy listens on for the switch (port 0 = ephemeral).
+    pub listen: SocketAddr,
+    /// The real controller's address.
+    pub controller: SocketAddr,
+    /// The attack model's connection id for this pair.
+    pub conn: ConnectionId,
+}
+
+/// Callback invoked for `SYSCMD` actions: `(host, command)`.
+pub type SysCmdHandler = Box<dyn Fn(&str, &str) + Send + Sync>;
+
+/// Per-connection byte sinks, keyed by `(conn, to_controller)`.
+type SinkMap = HashMap<(usize, bool), Sender<Vec<u8>>>;
+
+struct Shared {
+    exec: Mutex<AttackExecutor>,
+    /// Where each connection's two directions are written.
+    sinks: Mutex<SinkMap>,
+    start: Instant,
+    shutdown: AtomicBool,
+    syscmd: Option<SysCmdHandler>,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn dispatch(self: &Arc<Self>, out: ExecOutput) {
+        for d in out.deliveries {
+            let key = (d.conn.0, d.to_controller);
+            let sink = self.sinks.lock().get(&key).cloned();
+            let Some(sink) = sink else { continue };
+            if d.extra_delay_ns == 0 {
+                let _ = sink.send(d.bytes);
+            } else {
+                // DELAYMESSAGE on real sockets: a short-lived timer
+                // thread; attack delays are seconds-scale and rare.
+                let delay = Duration::from_nanos(d.extra_delay_ns);
+                thread::spawn(move || {
+                    thread::sleep(delay);
+                    let _ = sink.send(d.bytes);
+                });
+            }
+        }
+        for (host, cmd) in out.commands {
+            if let Some(handler) = &self.syscmd {
+                handler(&host, &cmd);
+            }
+        }
+        if let Some(wake_ns) = out.wakeup_ns {
+            let shared = Arc::clone(self);
+            thread::spawn(move || {
+                let now = shared.now_ns();
+                if wake_ns > now {
+                    thread::sleep(Duration::from_nanos(wake_ns - now));
+                }
+                let out = {
+                    let mut exec = shared.exec.lock();
+                    exec.on_wakeup(shared.now_ns())
+                };
+                shared.dispatch(out);
+            });
+        }
+    }
+
+    fn on_message(self: &Arc<Self>, conn: ConnectionId, to_controller: bool, bytes: &[u8]) {
+        let out = {
+            let mut exec = self.exec.lock();
+            exec.on_message(InjectorInput {
+                conn,
+                to_controller,
+                bytes,
+                now_ns: self.now_ns(),
+            })
+        };
+        self.dispatch(out);
+    }
+}
+
+/// The running proxy. Dropping it does not stop the worker threads; call
+/// [`TcpProxy::shutdown`] for a clean stop (threads also exit when their
+/// sockets close).
+pub struct TcpProxy {
+    shared: Arc<Shared>,
+    /// The actually bound listen addresses, in route order (useful when
+    /// routes asked for port 0).
+    pub listen_addrs: Vec<SocketAddr>,
+}
+
+impl std::fmt::Debug for TcpProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpProxy")
+            .field("listen_addrs", &self.listen_addrs)
+            .finish()
+    }
+}
+
+impl TcpProxy {
+    /// Binds every route's listener and starts the proxy threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a listener cannot bind.
+    pub fn spawn(
+        exec: AttackExecutor,
+        routes: Vec<ProxyRoute>,
+        syscmd: Option<SysCmdHandler>,
+    ) -> std::io::Result<TcpProxy> {
+        let shared = Arc::new(Shared {
+            exec: Mutex::new(exec),
+            sinks: Mutex::new(HashMap::new()),
+            start: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            syscmd,
+        });
+        let mut listen_addrs = Vec::with_capacity(routes.len());
+        for route in routes {
+            let listener = TcpListener::bind(route.listen)?;
+            listen_addrs.push(listener.local_addr()?);
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(shared, listener, route));
+        }
+        Ok(TcpProxy {
+            shared,
+            listen_addrs,
+        })
+    }
+
+    /// Signals every thread to stop at its next I/O boundary.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Locks and inspects the executor (e.g. for its injection log).
+    pub fn with_executor<T>(&self, f: impl FnOnce(&AttackExecutor) -> T) -> T {
+        f(&self.shared.exec.lock())
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener, route: ProxyRoute) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((switch_sock, _)) = listener.accept() else {
+            return;
+        };
+        let Ok(controller_sock) = TcpStream::connect(route.controller) else {
+            // Controller unreachable: drop the switch connection; it will
+            // retry, as a real switch does.
+            continue;
+        };
+        let conn = route.conn;
+        // Writers: channel-fed threads own the write halves.
+        let (ctrl_tx, ctrl_rx) = unbounded::<Vec<u8>>();
+        let (sw_tx, sw_rx) = unbounded::<Vec<u8>>();
+        {
+            let mut sinks = shared.sinks.lock();
+            sinks.insert((conn.0, true), ctrl_tx);
+            sinks.insert((conn.0, false), sw_tx);
+        }
+        let ctrl_write = controller_sock.try_clone().expect("clone stream");
+        let sw_write = switch_sock.try_clone().expect("clone stream");
+        thread::spawn(move || write_loop(ctrl_write, ctrl_rx));
+        thread::spawn(move || write_loop(sw_write, sw_rx));
+        // Readers feed the executor.
+        {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || read_loop(shared, switch_sock, conn, true));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || read_loop(shared, controller_sock, conn, false));
+        }
+    }
+}
+
+fn write_loop(mut sock: TcpStream, rx: crossbeam::channel::Receiver<Vec<u8>>) {
+    while let Ok(bytes) = rx.recv() {
+        if sock.write_all(&bytes).is_err() {
+            return;
+        }
+    }
+}
+
+fn read_loop(shared: Arc<Shared>, mut sock: TcpStream, conn: ConnectionId, to_controller: bool) {
+    let mut buf = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let n = match sock.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        loop {
+            match OfMessage::frame_len(&buf) {
+                Ok(Some(len)) => {
+                    let frame: Vec<u8> = buf.drain(..len).collect();
+                    shared.on_message(conn, to_controller, &frame);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Unframeable garbage (bad version byte): a real
+                    // proxy would reset the connection.
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attain_core::{dsl, scenario};
+    use attain_openflow::{FlowMod, Match, OfMessage};
+    use std::sync::mpsc;
+
+    fn executor(source: &str) -> AttackExecutor {
+        let sc = scenario::enterprise_network();
+        let compiled = dsl::compile(source, &sc.system, &sc.attack_model).unwrap();
+        AttackExecutor::new(sc.system, sc.attack_model, compiled.attack).unwrap()
+    }
+
+    /// A minimal fake controller: accepts one connection, records every
+    /// decoded message, answers HELLO with HELLO.
+    fn fake_controller() -> (SocketAddr, mpsc::Receiver<OfMessage>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (tx, rx) = mpsc::channel();
+        thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 1024];
+            loop {
+                let n = match sock.read(&mut chunk) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => n,
+                };
+                buf.extend_from_slice(&chunk[..n]);
+                while let Ok(Some(len)) = OfMessage::frame_len(&buf) {
+                    let frame: Vec<u8> = buf.drain(..len).collect();
+                    let (msg, xid) = OfMessage::decode(&frame).unwrap();
+                    if msg == OfMessage::Hello {
+                        let _ = sock.write_all(&OfMessage::Hello.encode(xid));
+                    }
+                    if tx.send(msg).is_err() {
+                        return;
+                    }
+                }
+            }
+        });
+        (addr, rx)
+    }
+
+    fn read_one(sock: &mut TcpStream) -> OfMessage {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            if let Ok(Some(len)) = OfMessage::frame_len(&buf) {
+                let frame: Vec<u8> = buf.drain(..len).collect();
+                return OfMessage::decode(&frame).unwrap().0;
+            }
+            let n = sock.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed early");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    #[test]
+    fn proxy_forwards_and_suppresses_on_real_sockets() {
+        let (ctrl_addr, ctrl_rx) = fake_controller();
+        let proxy = TcpProxy::spawn(
+            executor(scenario::attacks::FLOW_MOD_SUPPRESSION),
+            vec![ProxyRoute {
+                listen: "127.0.0.1:0".parse().unwrap(),
+                controller: ctrl_addr,
+                conn: ConnectionId(0),
+            }],
+            None,
+        )
+        .unwrap();
+
+        // The "switch" connects through the proxy and says HELLO.
+        let mut switch = TcpStream::connect(proxy.listen_addrs[0]).unwrap();
+        switch.write_all(&OfMessage::Hello.encode(1)).unwrap();
+
+        // The controller sees the HELLO…
+        let got = ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got, OfMessage::Hello);
+        // …and its HELLO reply reaches the switch through the proxy.
+        assert_eq!(read_one(&mut switch), OfMessage::Hello);
+
+        // A controller→switch FLOW_MOD is suppressed. The fake controller
+        // cannot originate one, so send one *from the switch side of the
+        // controller socket*: instead, verify via the executor log after
+        // pushing a FLOW_MOD from the controller direction is not
+        // possible here — so check the switch→controller direction stays
+        // clean and the rule never fired on it.
+        let fm = OfMessage::FlowMod(FlowMod::add(Match::all(), vec![])).encode(7);
+        switch.write_all(&fm).unwrap();
+        // FLOW_MOD *from the switch* does not match φ1 (source must be
+        // c1), so the controller receives it.
+        let got = ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(got, OfMessage::FlowMod(_)));
+        proxy.with_executor(|e| assert_eq!(e.log().rule_fires("phi1"), 0));
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn proxy_drops_controller_flow_mods() {
+        // A fake controller that immediately pushes a FLOW_MOD after the
+        // handshake, then an ECHO_REQUEST.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let ctrl_addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let fm = OfMessage::FlowMod(FlowMod::add(Match::all(), vec![])).encode(2);
+            sock.write_all(&fm).unwrap();
+            sock.write_all(&OfMessage::EchoRequest(vec![9]).encode(3))
+                .unwrap();
+            // Hold the socket open long enough for the test to read.
+            thread::sleep(Duration::from_secs(5));
+        });
+
+        let proxy = TcpProxy::spawn(
+            executor(scenario::attacks::FLOW_MOD_SUPPRESSION),
+            vec![ProxyRoute {
+                listen: "127.0.0.1:0".parse().unwrap(),
+                controller: ctrl_addr,
+                conn: ConnectionId(0),
+            }],
+            None,
+        )
+        .unwrap();
+
+        let mut switch = TcpStream::connect(proxy.listen_addrs[0]).unwrap();
+        switch.write_all(&OfMessage::Hello.encode(1)).unwrap();
+
+        // The FLOW_MOD is suppressed; the echo request survives and is
+        // the first thing the switch sees.
+        let got = read_one(&mut switch);
+        assert_eq!(got, OfMessage::EchoRequest(vec![9]));
+        proxy.with_executor(|e| assert_eq!(e.log().rule_fires("phi1"), 1));
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn trivial_pass_proxy_is_transparent_both_ways() {
+        let (ctrl_addr, ctrl_rx) = fake_controller();
+        let proxy = TcpProxy::spawn(
+            executor(scenario::attacks::TRIVIAL_PASS),
+            vec![ProxyRoute {
+                listen: "127.0.0.1:0".parse().unwrap(),
+                controller: ctrl_addr,
+                conn: ConnectionId(0),
+            }],
+            None,
+        )
+        .unwrap();
+        let mut switch = TcpStream::connect(proxy.listen_addrs[0]).unwrap();
+        // A batch of pipelined messages in one write must all arrive, in
+        // order (framing test).
+        let mut batch = Vec::new();
+        batch.extend(OfMessage::Hello.encode(1));
+        batch.extend(OfMessage::EchoRequest(vec![1, 2, 3]).encode(2));
+        batch.extend(OfMessage::BarrierRequest.encode(3));
+        switch.write_all(&batch).unwrap();
+        assert_eq!(
+            ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            OfMessage::Hello
+        );
+        assert_eq!(
+            ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            OfMessage::EchoRequest(vec![1, 2, 3])
+        );
+        assert_eq!(
+            ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            OfMessage::BarrierRequest
+        );
+        assert_eq!(read_one(&mut switch), OfMessage::Hello);
+        proxy.shutdown();
+    }
+}

@@ -1,0 +1,297 @@
+//! Topology construction.
+
+use crate::controller_host::ControllerHost;
+use crate::engine::NodeId;
+use crate::host::Host;
+use crate::link::{Link, LinkEnd};
+use crate::sim::{Connection, Node, Simulation};
+use crate::switch::{FailMode, Switch};
+use crate::time::SimTime;
+use attain_controllers::Controller;
+use attain_openflow::{DatapathId, MacAddr, PortNo};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Reference to a controller added to a [`NetworkBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControllerRef(pub usize);
+
+/// Physical characteristics of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub delay: SimTime,
+}
+
+impl Default for LinkParams {
+    /// The paper's testbed links: 100 Mb/s, with a quarter-millisecond
+    /// of propagation/stack delay.
+    fn default() -> Self {
+        LinkParams {
+            bandwidth_bps: 100_000_000,
+            delay: SimTime::from_micros(250),
+        }
+    }
+}
+
+enum NodeSpec {
+    Host { name: String, ip: Ipv4Addr },
+    Switch { name: String, fail_mode: FailMode },
+}
+
+/// Builds a [`Simulation`] from hosts, switches, links, controllers, and
+/// control-plane connections — the system model `(C, S, H, N_D, N_C)` of
+/// the paper's §IV-A, in executable form.
+#[derive(Default)]
+pub struct NetworkBuilder {
+    nodes: Vec<NodeSpec>,
+    links: Vec<(NodeId, NodeId, LinkParams)>,
+    controllers: Vec<(String, Box<dyn Controller>)>,
+    controls: Vec<(ControllerRef, NodeId, SimTime)>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    /// Adds an end host with the given IPv4 address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ip` does not parse or `name` is duplicated.
+    pub fn host(&mut self, name: &str, ip: &str) -> NodeId {
+        self.assert_fresh(name);
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeSpec::Host {
+            name: name.to_string(),
+            ip: ip.parse().unwrap_or_else(|_| panic!("invalid ip {ip}")),
+        });
+        id
+    }
+
+    /// Adds a switch with the default fail mode (`secure`, OVS's
+    /// OpenFlow-era default).
+    pub fn switch(&mut self, name: &str) -> NodeId {
+        self.switch_with_mode(name, FailMode::Secure)
+    }
+
+    /// Adds a switch with an explicit fail mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is duplicated.
+    pub fn switch_with_mode(&mut self, name: &str, fail_mode: FailMode) -> NodeId {
+        self.assert_fresh(name);
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeSpec::Switch {
+            name: name.to_string(),
+            fail_mode,
+        });
+        id
+    }
+
+    /// Changes a switch's fail mode (before `build`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a switch.
+    pub fn set_fail_mode(&mut self, id: NodeId, mode: FailMode) {
+        match &mut self.nodes[id.0] {
+            NodeSpec::Switch { fail_mode, .. } => *fail_mode = mode,
+            NodeSpec::Host { name, .. } => panic!("{name} is a host"),
+        }
+    }
+
+    /// Connects two nodes with a default link. Port numbers are assigned
+    /// in link-creation order, matching the paper's `p_{i,j}` figures.
+    pub fn link(&mut self, a: NodeId, b: NodeId) {
+        self.link_with(a, b, LinkParams::default());
+    }
+
+    /// Connects two nodes with explicit link parameters.
+    pub fn link_with(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        self.links.push((a, b, params));
+    }
+
+    /// Adds a controller hosting `app`.
+    pub fn controller(&mut self, name: &str, app: Box<dyn Controller>) -> ControllerRef {
+        let r = ControllerRef(self.controllers.len());
+        self.controllers.push((name.to_string(), app));
+        r
+    }
+
+    /// Adds a control-plane connection `(controller, switch)` to `N_C`
+    /// with 1 ms one-way latency.
+    pub fn control(&mut self, ctrl: ControllerRef, switch: NodeId) {
+        self.control_with_latency(ctrl, switch, SimTime::from_millis(1));
+    }
+
+    /// Adds a control-plane connection with explicit one-way latency.
+    pub fn control_with_latency(&mut self, ctrl: ControllerRef, switch: NodeId, latency: SimTime) {
+        self.controls.push((ctrl, switch, latency));
+    }
+
+    fn assert_fresh(&self, name: &str) {
+        let dup = self.nodes.iter().any(|n| match n {
+            NodeSpec::Host { name: n, .. } | NodeSpec::Switch { name: n, .. } => n == name,
+        });
+        assert!(!dup, "duplicate node name {name}");
+    }
+
+    /// Assembles the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a host is linked more than once, a control connection
+    /// names a host, or a link references an unknown node.
+    pub fn build(self) -> Simulation {
+        let mut names = HashMap::new();
+        let mut nodes: Vec<Node> = Vec::with_capacity(self.nodes.len());
+        let mut dpid = 0u64;
+        for (i, spec) in self.nodes.into_iter().enumerate() {
+            let id = NodeId(i);
+            match spec {
+                NodeSpec::Host { name, ip } => {
+                    names.insert(name.clone(), id);
+                    // Host MACs derive from the node index; switch port
+                    // MACs derive from the dpid, so they cannot collide.
+                    nodes.push(Node::Host(Host::new(
+                        id,
+                        name,
+                        MacAddr::from_low(i as u64 + 1),
+                        ip,
+                    )));
+                }
+                NodeSpec::Switch { name, fail_mode } => {
+                    dpid += 1;
+                    names.insert(name.clone(), id);
+                    nodes.push(Node::Switch(Switch::new(
+                        id,
+                        name,
+                        DatapathId(dpid),
+                        fail_mode,
+                    )));
+                }
+            }
+        }
+
+        let mut next_port: Vec<u16> = vec![0; nodes.len()];
+        let mut links = Vec::new();
+        let mut port_map = HashMap::new();
+        for (a, b, params) in self.links {
+            let mut attach = |nodes: &mut Vec<Node>, id: NodeId| -> PortNo {
+                next_port[id.0] += 1;
+                let port = PortNo(next_port[id.0]);
+                match &mut nodes[id.0] {
+                    Node::Switch(s) => s.add_port(port),
+                    Node::Host(h) => {
+                        assert!(
+                            port == crate::host::HOST_PORT,
+                            "host {} may have only one link",
+                            h.name()
+                        );
+                    }
+                }
+                port
+            };
+            let pa = attach(&mut nodes, a);
+            let pb = attach(&mut nodes, b);
+            let idx = links.len();
+            links.push(Link::new(
+                LinkEnd { node: a, port: pa },
+                LinkEnd { node: b, port: pb },
+                params.bandwidth_bps,
+                params.delay,
+            ));
+            port_map.insert((a, pa), idx);
+            port_map.insert((b, pb), idx);
+        }
+
+        let mut controllers: Vec<ControllerHost> = self
+            .controllers
+            .into_iter()
+            .map(|(name, app)| ControllerHost::new(name, app))
+            .collect();
+        let mut connections = Vec::new();
+        for (i, (ctrl, switch, latency)) in self.controls.into_iter().enumerate() {
+            match &mut nodes[switch.0] {
+                Node::Switch(s) => s.add_conn(crate::engine::ConnId(i)),
+                Node::Host(h) => panic!("{} is a host; control connections attach to switches", h.name()),
+            }
+            controllers[ctrl.0].add_conn(crate::engine::ConnId(i));
+            connections.push(Connection {
+                controller: ctrl.0,
+                switch,
+                latency,
+            });
+        }
+
+        Simulation::assemble(nodes, links, port_map, controllers, connections, names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attain_controllers::Floodlight;
+
+    #[test]
+    fn builds_a_minimal_network() {
+        let mut b = NetworkBuilder::new();
+        let h1 = b.host("h1", "10.0.0.1");
+        let h2 = b.host("h2", "10.0.0.2");
+        let s1 = b.switch("s1");
+        b.link(h1, s1);
+        b.link(h2, s1);
+        let c1 = b.controller("c1", Box::new(Floodlight::new()));
+        b.control(c1, s1);
+        let sim = b.build();
+        assert_eq!(sim.host("h1").ip(), "10.0.0.1".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(sim.switch("s1").dpid(), DatapathId(1));
+        let infos = sim.conn_infos();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].controller, "c1");
+        assert_eq!(infos[0].switch, "s1");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn rejects_duplicate_names() {
+        let mut b = NetworkBuilder::new();
+        b.host("h1", "10.0.0.1");
+        b.host("h1", "10.0.0.2");
+    }
+
+    #[test]
+    #[should_panic(expected = "may have only one link")]
+    fn rejects_multihomed_hosts() {
+        let mut b = NetworkBuilder::new();
+        let h1 = b.host("h1", "10.0.0.1");
+        let s1 = b.switch("s1");
+        let s2 = b.switch("s2");
+        b.link(h1, s1);
+        b.link(h1, s2);
+        b.build();
+    }
+
+    #[test]
+    fn switch_ports_number_in_link_order() {
+        let mut b = NetworkBuilder::new();
+        let h1 = b.host("h1", "10.0.0.1");
+        let h2 = b.host("h2", "10.0.0.2");
+        let s1 = b.switch("s1");
+        let s2 = b.switch("s2");
+        // Figure 3's shape: h1,h2 on s1 (ports 1,2); s1-s2 (s1 port 3).
+        b.link(h1, s1);
+        b.link(h2, s1);
+        b.link(s1, s2);
+        let sim = b.build();
+        assert!(sim.port_map.contains_key(&(s1, PortNo(3))));
+        assert!(sim.port_map.contains_key(&(s2, PortNo(1))));
+        assert!(!sim.port_map.contains_key(&(s2, PortNo(2))));
+    }
+}

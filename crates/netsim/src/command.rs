@@ -1,0 +1,262 @@
+//! Workload commands: the simulator's equivalent of running `ping` or
+//! `iperf` on a testbed host.
+//!
+//! The attack language's `SYSCMD(host, cmd)` action remotely executes a
+//! shell command on a host; here the recognized command lines are parsed
+//! into typed [`HostCommand`]s that drive the built-in workload
+//! applications.
+
+use crate::engine::NodeId;
+use crate::time::SimTime;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The default `iperf` TCP port.
+pub const IPERF_PORT: u16 = 5001;
+
+/// A workload command executed on a simulated host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostCommand {
+    /// Run `ping` trials toward `dst`.
+    Ping {
+        /// The host running ping.
+        host: NodeId,
+        /// Destination address.
+        dst: Ipv4Addr,
+        /// Number of echo trials.
+        count: u32,
+        /// Interval between trials.
+        interval: SimTime,
+        /// Label under which results are reported.
+        label: String,
+    },
+    /// Start an `iperf` server (TCP sink).
+    IperfServer {
+        /// The host running the server.
+        host: NodeId,
+        /// Listening port.
+        port: u16,
+    },
+    /// Run an `iperf` client (TCP bulk sender) for `duration`.
+    IperfClient {
+        /// The host running the client.
+        host: NodeId,
+        /// Server address.
+        dst: Ipv4Addr,
+        /// Server port.
+        port: u16,
+        /// Transfer duration.
+        duration: SimTime,
+        /// Label under which results are reported.
+        label: String,
+    },
+    /// Record a marker in the trace (no behavioural effect).
+    Marker {
+        /// Marker text.
+        label: String,
+    },
+}
+
+/// Error parsing a command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCommandError(String);
+
+impl fmt::Display for ParseCommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized host command: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCommandError {}
+
+impl HostCommand {
+    /// Parses a `ping`/`iperf` command line as the attack language's
+    /// `SYSCMD` would issue it, to run on `host`.
+    ///
+    /// Recognized forms:
+    ///
+    /// * `ping [-c COUNT] [-i SECS] DST`
+    /// * `iperf -s [-p PORT]`
+    /// * `iperf -c DST [-p PORT] [-t SECS]`
+    /// * `echo TEXT` (becomes a trace marker)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCommandError`] for anything else.
+    pub fn parse(host: NodeId, cmd: &str) -> Result<HostCommand, ParseCommandError> {
+        let err = || ParseCommandError(cmd.to_string());
+        let tokens: Vec<&str> = cmd.split_whitespace().collect();
+        match tokens.first().copied() {
+            Some("ping") => {
+                let mut count = 4u32;
+                let mut interval = SimTime::from_secs(1);
+                let mut dst: Option<Ipv4Addr> = None;
+                let mut i = 1;
+                while i < tokens.len() {
+                    match tokens[i] {
+                        "-c" => {
+                            count = tokens.get(i + 1).ok_or_else(err)?.parse().map_err(|_| err())?;
+                            i += 2;
+                        }
+                        "-i" => {
+                            let secs: f64 =
+                                tokens.get(i + 1).ok_or_else(err)?.parse().map_err(|_| err())?;
+                            if !(secs.is_finite() && secs > 0.0) {
+                                return Err(err());
+                            }
+                            interval = SimTime::from_secs_f64(secs);
+                            i += 2;
+                        }
+                        addr => {
+                            dst = Some(addr.parse().map_err(|_| err())?);
+                            i += 1;
+                        }
+                    }
+                }
+                let dst = dst.ok_or_else(err)?;
+                Ok(HostCommand::Ping {
+                    host,
+                    dst,
+                    count,
+                    interval,
+                    label: cmd.to_string(),
+                })
+            }
+            Some("iperf") => {
+                let mut server = false;
+                let mut dst: Option<Ipv4Addr> = None;
+                let mut port = IPERF_PORT;
+                let mut duration = SimTime::from_secs(10);
+                let mut i = 1;
+                while i < tokens.len() {
+                    match tokens[i] {
+                        "-s" => {
+                            server = true;
+                            i += 1;
+                        }
+                        "-c" => {
+                            dst = Some(
+                                tokens.get(i + 1).ok_or_else(err)?.parse().map_err(|_| err())?,
+                            );
+                            i += 2;
+                        }
+                        "-p" => {
+                            port = tokens.get(i + 1).ok_or_else(err)?.parse().map_err(|_| err())?;
+                            i += 2;
+                        }
+                        "-t" => {
+                            let secs: u64 =
+                                tokens.get(i + 1).ok_or_else(err)?.parse().map_err(|_| err())?;
+                            duration = SimTime::from_secs(secs);
+                            i += 2;
+                        }
+                        _ => return Err(err()),
+                    }
+                }
+                if server {
+                    Ok(HostCommand::IperfServer { host, port })
+                } else {
+                    let dst = dst.ok_or_else(err)?;
+                    Ok(HostCommand::IperfClient {
+                        host,
+                        dst,
+                        port,
+                        duration,
+                        label: cmd.to_string(),
+                    })
+                }
+            }
+            Some("echo") => Ok(HostCommand::Marker {
+                label: tokens[1..].join(" "),
+            }),
+            _ => Err(err()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ping() {
+        let c = HostCommand::parse(NodeId(1), "ping -c 60 -i 1 10.0.0.6").unwrap();
+        match c {
+            HostCommand::Ping {
+                host,
+                dst,
+                count,
+                interval,
+                ..
+            } => {
+                assert_eq!(host, NodeId(1));
+                assert_eq!(dst, Ipv4Addr::new(10, 0, 0, 6));
+                assert_eq!(count, 60);
+                assert_eq!(interval, SimTime::from_secs(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_defaults() {
+        let c = HostCommand::parse(NodeId(0), "ping 10.0.0.1").unwrap();
+        assert!(matches!(c, HostCommand::Ping { count: 4, .. }));
+    }
+
+    #[test]
+    fn parses_iperf_server_and_client() {
+        assert_eq!(
+            HostCommand::parse(NodeId(6), "iperf -s").unwrap(),
+            HostCommand::IperfServer {
+                host: NodeId(6),
+                port: IPERF_PORT
+            }
+        );
+        let c = HostCommand::parse(NodeId(1), "iperf -c 10.0.0.6 -t 10").unwrap();
+        match c {
+            HostCommand::IperfClient {
+                dst,
+                port,
+                duration,
+                ..
+            } => {
+                assert_eq!(dst, Ipv4Addr::new(10, 0, 0, 6));
+                assert_eq!(port, IPERF_PORT);
+                assert_eq!(duration, SimTime::from_secs(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fractional_ping_interval() {
+        let c = HostCommand::parse(NodeId(0), "ping -i 0.2 -c 5 10.0.0.9").unwrap();
+        assert!(matches!(
+            c,
+            HostCommand::Ping {
+                interval: SimTime(200_000_000),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn echo_becomes_marker() {
+        assert_eq!(
+            HostCommand::parse(NodeId(0), "echo phase two begins").unwrap(),
+            HostCommand::Marker {
+                label: "phase two begins".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(HostCommand::parse(NodeId(0), "rm -rf /").is_err());
+        assert!(HostCommand::parse(NodeId(0), "ping").is_err());
+        assert!(HostCommand::parse(NodeId(0), "iperf -c notanip").is_err());
+        assert!(HostCommand::parse(NodeId(0), "ping -i -1 10.0.0.1").is_err());
+        assert!(HostCommand::parse(NodeId(0), "").is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! Hosts a [`Controller`] implementation on simulated control-plane
+//! connections: OpenFlow handshake, liveness, and a serial processing
+//! model for the controller's event loop.
+
+use crate::engine::ConnId;
+use crate::time::SimTime;
+use attain_controllers::{Controller, Outbox};
+use attain_openflow::{DatapathId, OfMessage, Xid};
+
+/// Controller-side silence threshold before a switch is declared gone.
+const DEAD_AFTER: SimTime = SimTime::from_secs(15);
+
+/// Handshake state of the controller's side of one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    WaitHello,
+    WaitFeatures,
+    Up,
+}
+
+#[derive(Debug)]
+struct CtrlConn {
+    conn: ConnId,
+    phase: Phase,
+    dpid: Option<DatapathId>,
+    last_rx: SimTime,
+    next_xid: Xid,
+}
+
+/// A message the controller wants delivered, with its departure time
+/// (after queueing behind the controller's serial event loop).
+#[derive(Debug)]
+pub(crate) struct CtrlSend {
+    pub conn: ConnId,
+    pub bytes: Vec<u8>,
+    pub depart: SimTime,
+}
+
+/// A controller process: platform runtime + hosted application.
+pub struct ControllerHost {
+    name: String,
+    app: Box<dyn Controller>,
+    conns: Vec<CtrlConn>,
+    /// The event loop is busy until this time; each message's processing
+    /// starts no earlier (the serial-bottleneck model that makes the
+    /// controller path a measurable data-plane detour under attack).
+    busy_until: SimTime,
+}
+
+impl std::fmt::Debug for ControllerHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControllerHost")
+            .field("name", &self.name)
+            .field("kind", &self.app.kind())
+            .field("conns", &self.conns.len())
+            .finish()
+    }
+}
+
+impl ControllerHost {
+    pub(crate) fn new(name: String, app: Box<dyn Controller>) -> ControllerHost {
+        ControllerHost {
+            name,
+            app,
+            conns: Vec::new(),
+            busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// The controller's name (e.g. `c1`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hosted application's kind.
+    pub fn kind(&self) -> attain_controllers::ControllerKind {
+        self.app.kind()
+    }
+
+    pub(crate) fn add_conn(&mut self, conn: ConnId) {
+        self.conns.push(CtrlConn {
+            conn,
+            phase: Phase::WaitHello,
+            dpid: None,
+            last_rx: SimTime::ZERO,
+            next_xid: 0x1000,
+        });
+    }
+
+    fn conn_index(&self, conn: ConnId) -> Option<usize> {
+        self.conns.iter().position(|c| c.conn == conn)
+    }
+
+    fn conn_for_dpid(&self, dpid: DatapathId) -> Option<ConnId> {
+        self.conns
+            .iter()
+            .find(|c| c.dpid == Some(dpid) && c.phase == Phase::Up)
+            .map(|c| c.conn)
+    }
+
+    /// Computes when processing started `now` departs, advancing the
+    /// serial event loop.
+    fn depart_time(&mut self, now: SimTime) -> SimTime {
+        let start = self.busy_until.max(now);
+        let depart = start + SimTime::from_micros(self.app.processing_delay_us());
+        self.busy_until = depart;
+        depart
+    }
+
+    fn drain_outbox(&mut self, out: &mut Outbox, depart: SimTime, sends: &mut Vec<CtrlSend>) {
+        for (dpid, msg) in out.drain() {
+            if let Some(conn) = self.conn_for_dpid(dpid) {
+                let xid = {
+                    let i = self.conn_index(conn).expect("conn just resolved");
+                    let c = &mut self.conns[i];
+                    let x = c.next_xid;
+                    c.next_xid += 1;
+                    x
+                };
+                sends.push(CtrlSend {
+                    conn,
+                    bytes: msg.encode(xid),
+                    depart,
+                });
+            }
+        }
+    }
+
+    /// An encoded message arrived from a switch on `conn`.
+    pub(crate) fn handle_control(
+        &mut self,
+        conn: ConnId,
+        bytes: &[u8],
+        now: SimTime,
+    ) -> Vec<CtrlSend> {
+        let Some(i) = self.conn_index(conn) else {
+            return Vec::new();
+        };
+        self.conns[i].last_rx = now;
+        let Ok((msg, _xid)) = OfMessage::decode(bytes) else {
+            // Garbled bytes at the controller: platforms log and drop.
+            return Vec::new();
+        };
+        let mut sends = Vec::new();
+        match msg {
+            OfMessage::Hello => {
+                // A HELLO in any phase (re)starts the handshake.
+                if self.conns[i].phase == Phase::Up {
+                    if let Some(dpid) = self.conns[i].dpid {
+                        self.app.on_switch_disconnect(dpid);
+                    }
+                }
+                self.conns[i].phase = Phase::WaitFeatures;
+                let depart = self.depart_time(now);
+                for reply in [OfMessage::Hello, OfMessage::FeaturesRequest] {
+                    let xid = {
+                        let c = &mut self.conns[i];
+                        let x = c.next_xid;
+                        c.next_xid += 1;
+                        x
+                    };
+                    sends.push(CtrlSend {
+                        conn,
+                        bytes: reply.encode(xid),
+                        depart,
+                    });
+                }
+            }
+            OfMessage::FeaturesReply(features) => {
+                if self.conns[i].phase == Phase::WaitFeatures {
+                    self.conns[i].phase = Phase::Up;
+                    self.conns[i].dpid = Some(features.datapath_id);
+                    let depart = self.depart_time(now);
+                    let mut out = Outbox::new();
+                    self.app
+                        .on_switch_connect(features.datapath_id, &features, &mut out);
+                    self.drain_outbox(&mut out, depart, &mut sends);
+                }
+            }
+            OfMessage::EchoRequest(body) => {
+                // Echo handling bypasses the application (platform duty).
+                let depart = self.depart_time(now);
+                let xid = {
+                    let c = &mut self.conns[i];
+                    let x = c.next_xid;
+                    c.next_xid += 1;
+                    x
+                };
+                sends.push(CtrlSend {
+                    conn,
+                    bytes: OfMessage::EchoReply(body).encode(xid),
+                    depart,
+                });
+            }
+            OfMessage::EchoReply(_) => {}
+            OfMessage::PacketIn(pi) => {
+                if self.conns[i].phase == Phase::Up {
+                    if let Some(dpid) = self.conns[i].dpid {
+                        let depart = self.depart_time(now);
+                        let mut out = Outbox::new();
+                        self.app.on_packet_in(dpid, &pi, &mut out);
+                        self.drain_outbox(&mut out, depart, &mut sends);
+                    }
+                }
+            }
+            other => {
+                if self.conns[i].phase == Phase::Up {
+                    if let Some(dpid) = self.conns[i].dpid {
+                        let depart = self.depart_time(now);
+                        let mut out = Outbox::new();
+                        self.app.on_message(dpid, &other, &mut out);
+                        self.drain_outbox(&mut out, depart, &mut sends);
+                    }
+                }
+            }
+        }
+        sends
+    }
+
+    /// Periodic liveness sweep: declares silent switches disconnected.
+    pub(crate) fn tick(&mut self, now: SimTime) {
+        for i in 0..self.conns.len() {
+            if self.conns[i].phase == Phase::Up
+                && now.saturating_sub(self.conns[i].last_rx) >= DEAD_AFTER
+            {
+                self.conns[i].phase = Phase::WaitHello;
+                if let Some(dpid) = self.conns[i].dpid.take() {
+                    self.app.on_switch_disconnect(dpid);
+                }
+            }
+        }
+    }
+
+    /// Whether the connection has completed its handshake.
+    pub fn is_up(&self, conn: ConnId) -> bool {
+        self.conn_index(conn)
+            .map(|i| self.conns[i].phase == Phase::Up)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attain_controllers::Floodlight;
+    use attain_openflow::{MacAddr, PhyPort, PortNo, SwitchFeatures};
+
+    fn features(dpid: u64) -> SwitchFeatures {
+        SwitchFeatures {
+            datapath_id: DatapathId(dpid),
+            n_buffers: 256,
+            n_tables: 1,
+            capabilities: 0,
+            actions: 0xfff,
+            ports: vec![PhyPort::simulated(PortNo(1), MacAddr::from_low(1))],
+        }
+    }
+
+    fn host() -> ControllerHost {
+        let mut h = ControllerHost::new("c1".into(), Box::new(Floodlight::new()));
+        h.add_conn(ConnId(0));
+        h
+    }
+
+    #[test]
+    fn hello_yields_hello_and_features_request() {
+        let mut h = host();
+        let sends = h.handle_control(ConnId(0), &OfMessage::Hello.encode(1), SimTime::ZERO);
+        let types: Vec<_> = sends
+            .iter()
+            .map(|s| OfMessage::decode(&s.bytes).unwrap().0)
+            .collect();
+        assert_eq!(types[0], OfMessage::Hello);
+        assert_eq!(types[1], OfMessage::FeaturesRequest);
+        assert!(!h.is_up(ConnId(0)));
+    }
+
+    #[test]
+    fn features_reply_completes_handshake() {
+        let mut h = host();
+        h.handle_control(ConnId(0), &OfMessage::Hello.encode(1), SimTime::ZERO);
+        h.handle_control(
+            ConnId(0),
+            &OfMessage::FeaturesReply(features(7)).encode(2),
+            SimTime::from_millis(1),
+        );
+        assert!(h.is_up(ConnId(0)));
+    }
+
+    #[test]
+    fn echo_request_is_answered_without_the_app() {
+        let mut h = host();
+        let sends = h.handle_control(
+            ConnId(0),
+            &OfMessage::EchoRequest(vec![9]).encode(3),
+            SimTime::ZERO,
+        );
+        assert_eq!(sends.len(), 1);
+        assert_eq!(
+            OfMessage::decode(&sends[0].bytes).unwrap().0,
+            OfMessage::EchoReply(vec![9])
+        );
+    }
+
+    #[test]
+    fn serial_processing_queues_departures() {
+        let mut h = host();
+        h.handle_control(ConnId(0), &OfMessage::Hello.encode(1), SimTime::ZERO);
+        h.handle_control(
+            ConnId(0),
+            &OfMessage::FeaturesReply(features(7)).encode(2),
+            SimTime::ZERO,
+        );
+        // Two echo requests arriving at the same instant depart one
+        // processing quantum apart.
+        let s1 = h.handle_control(
+            ConnId(0),
+            &OfMessage::EchoRequest(vec![1]).encode(3),
+            SimTime::from_secs(1),
+        );
+        let s2 = h.handle_control(
+            ConnId(0),
+            &OfMessage::EchoRequest(vec![2]).encode(4),
+            SimTime::from_secs(1),
+        );
+        assert!(s2[0].depart > s1[0].depart);
+        let quantum = s2[0].depart - s1[0].depart;
+        assert_eq!(quantum, SimTime::from_micros(300)); // Floodlight's delay
+    }
+
+    #[test]
+    fn silence_disconnects_the_switch() {
+        let mut h = host();
+        h.handle_control(ConnId(0), &OfMessage::Hello.encode(1), SimTime::ZERO);
+        h.handle_control(
+            ConnId(0),
+            &OfMessage::FeaturesReply(features(7)).encode(2),
+            SimTime::ZERO,
+        );
+        assert!(h.is_up(ConnId(0)));
+        h.tick(SimTime::from_secs(20));
+        assert!(!h.is_up(ConnId(0)));
+    }
+
+    #[test]
+    fn packet_in_before_handshake_is_ignored() {
+        let mut h = host();
+        let pi = OfMessage::PacketIn(attain_openflow::PacketIn {
+            buffer_id: None,
+            total_len: 0,
+            in_port: PortNo(1),
+            reason: attain_openflow::PacketInReason::NoMatch,
+            data: vec![],
+        });
+        let sends = h.handle_control(ConnId(0), &pi.encode(9), SimTime::ZERO);
+        assert!(sends.is_empty());
+    }
+
+    #[test]
+    fn garbage_bytes_are_dropped_silently() {
+        let mut h = host();
+        let sends = h.handle_control(ConnId(0), &[0xde, 0xad], SimTime::ZERO);
+        assert!(sends.is_empty());
+    }
+}

@@ -1,0 +1,286 @@
+//! The deterministic event queue at the heart of the simulator.
+
+use crate::command::HostCommand;
+use crate::interpose::Direction;
+use crate::time::SimTime;
+use attain_openflow::PortNo;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Index of a node (host or switch) in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a control-plane connection (one `(controller, switch)` pair
+/// of the paper's relation `N_C`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub usize);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+/// What a [`EventKind::NodeTimer`] means to its owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerToken {
+    /// A switch's 1 Hz housekeeping sweep (flow expiry + liveness).
+    SwitchTick,
+    /// A switch should (re)start its control-plane handshake.
+    Connect {
+        /// Which of the switch's connections.
+        conn: ConnId,
+    },
+    /// A switch's handshake deadline expired.
+    HandshakeDeadline {
+        /// Which of the switch's connections.
+        conn: ConnId,
+        /// The attempt number the deadline belongs to.
+        attempt: u32,
+    },
+    /// A controller's liveness sweep.
+    ControllerTick,
+    /// A host application timer; the payload identifies the app slot.
+    App {
+        /// Index into the host's application table.
+        app: usize,
+    },
+    /// A host's ARP retransmission check.
+    ArpRetry,
+}
+
+/// An event payload.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A data-plane frame arrives at `node` on `port`.
+    Frame {
+        /// Receiving node.
+        node: NodeId,
+        /// Receiving port.
+        port: PortNo,
+        /// Raw Ethernet frame.
+        frame: Vec<u8>,
+    },
+    /// An encoded OpenFlow message enters the proxy point of a control
+    /// connection (where the interposer sits).
+    ProxyIngress {
+        /// The connection.
+        conn: ConnId,
+        /// Which way the message travels.
+        direction: Direction,
+        /// The encoded message.
+        bytes: Vec<u8>,
+    },
+    /// An encoded OpenFlow message is delivered to one end of a control
+    /// connection.
+    ControlDeliver {
+        /// The connection.
+        conn: ConnId,
+        /// Which way the message travels (delivery is at the far end).
+        direction: Direction,
+        /// The encoded message.
+        bytes: Vec<u8>,
+    },
+    /// A timer owned by `node` fires.
+    NodeTimer {
+        /// Owning node.
+        node: NodeId,
+        /// What the timer means.
+        token: TimerToken,
+    },
+    /// A controller-owned timer fires.
+    ControllerTimer {
+        /// Controller index.
+        ctrl: usize,
+        /// What the timer means.
+        token: TimerToken,
+    },
+    /// A scheduled workload command executes.
+    Command(HostCommand),
+    /// The interposer asked to be woken (attack `SLEEP` support).
+    InterposerWake,
+}
+
+/// A side effect produced by a node event handler, applied by the
+/// simulation after the handler returns (keeping node borrows disjoint
+/// from link/queue borrows).
+#[derive(Debug)]
+pub(crate) enum Effect {
+    /// Emit a data-plane frame out of a port of the handling node.
+    Frame {
+        /// Egress port.
+        out_port: PortNo,
+        /// Raw frame.
+        frame: Vec<u8>,
+    },
+    /// Send an OpenFlow message on a control connection (from the
+    /// handling node's side of it).
+    Control {
+        /// The connection.
+        conn: ConnId,
+        /// Encoded message.
+        bytes: Vec<u8>,
+    },
+    /// Arm a timer owned by the handling node.
+    Timer {
+        /// Absolute fire time.
+        at: SimTime,
+        /// Meaning.
+        token: TimerToken,
+    },
+    /// Record a trace event.
+    Trace(crate::trace::TraceKind),
+}
+
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A strictly deterministic future-event list.
+///
+/// Ties at the same virtual time are broken by insertion order, so a
+/// simulation run is a pure function of its inputs — the property the
+/// paper gets from its single-threaded injector's total message order
+/// (§VI-C) and that our tests rely on.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(QueuedEvent {
+            time: at,
+            seq,
+            kind,
+        }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.kind))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_seq", &self.seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), EventKind::InterposerWake);
+        q.schedule(SimTime::from_secs(1), EventKind::InterposerWake);
+        q.schedule(SimTime::from_secs(2), EventKind::InterposerWake);
+        let times: Vec<_> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(
+            times,
+            vec![
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+                SimTime::from_secs(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(
+            t,
+            EventKind::NodeTimer {
+                node: NodeId(0),
+                token: TimerToken::SwitchTick,
+            },
+        );
+        q.schedule(
+            t,
+            EventKind::NodeTimer {
+                node: NodeId(1),
+                token: TimerToken::SwitchTick,
+            },
+        );
+        let (_, first) = q.pop().unwrap();
+        let (_, second) = q.pop().unwrap();
+        match (first, second) {
+            (
+                EventKind::NodeTimer { node: a, .. },
+                EventKind::NodeTimer { node: b, .. },
+            ) => {
+                assert_eq!(a, NodeId(0));
+                assert_eq!(b, NodeId(1));
+            }
+            _ => panic!("unexpected kinds"),
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), EventKind::InterposerWake);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

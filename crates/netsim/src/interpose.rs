@@ -1,0 +1,170 @@
+//! The control-plane interposition hook.
+//!
+//! Every message on every control-plane connection passes through the
+//! simulation's registered [`Interposer`] — exactly where the paper's
+//! runtime injector proxy sits (§VI-B2: "a practitioner need only modify
+//! his or her network's switch configurations to point to the proxy as
+//! the SDN controller"). The default (no interposer) forwards verbatim.
+
+use crate::command::HostCommand;
+use crate::engine::ConnId;
+use crate::time::SimTime;
+use std::fmt;
+
+/// Which way a control-plane message is travelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// From the switch (client) toward the controller (server).
+    SwitchToController,
+    /// From the controller toward the switch.
+    ControllerToSwitch,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(&self) -> Direction {
+        match self {
+            Direction::SwitchToController => Direction::ControllerToSwitch,
+            Direction::ControllerToSwitch => Direction::SwitchToController,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::SwitchToController => write!(f, "switch→controller"),
+            Direction::ControllerToSwitch => write!(f, "controller→switch"),
+        }
+    }
+}
+
+/// A message offered to the interposer.
+#[derive(Debug, Clone, Copy)]
+pub struct ProxiedMessage<'a> {
+    /// The control connection the message traverses.
+    pub conn: ConnId,
+    /// The direction of travel.
+    pub direction: Direction,
+    /// The encoded OpenFlow message (header + body).
+    pub bytes: &'a [u8],
+    /// Current virtual time (the message's arrival at the proxy).
+    pub now: SimTime,
+}
+
+/// One message the interposer wants delivered.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// Target connection (usually the original; `INJECTNEWMESSAGE` may
+    /// name any connection).
+    pub conn: ConnId,
+    /// Delivery direction.
+    pub direction: Direction,
+    /// Encoded message to deliver.
+    pub bytes: Vec<u8>,
+    /// Extra delay beyond the channel latency (`DELAYMESSAGE`).
+    pub extra_delay: SimTime,
+}
+
+/// Everything an interposer callback wants done.
+#[derive(Debug, Default)]
+pub struct InterposerActions {
+    /// Messages to put on the wire.
+    pub deliveries: Vec<Delivery>,
+    /// Workload commands to execute now (`SYSCMD`).
+    pub commands: Vec<HostCommand>,
+    /// Ask to be woken at this absolute time (`SLEEP` support).
+    pub wakeup: Option<SimTime>,
+}
+
+impl InterposerActions {
+    /// No actions at all (drops the triggering message).
+    pub fn drop_message() -> InterposerActions {
+        InterposerActions::default()
+    }
+
+    /// Forward the triggering message unchanged.
+    pub fn pass(msg: &ProxiedMessage<'_>) -> InterposerActions {
+        InterposerActions {
+            deliveries: vec![Delivery {
+                conn: msg.conn,
+                direction: msg.direction,
+                bytes: msg.bytes.to_vec(),
+                extra_delay: SimTime::ZERO,
+            }],
+            commands: Vec::new(),
+            wakeup: None,
+        }
+    }
+}
+
+/// A control-plane interposer (the runtime injector's seat).
+///
+/// Implementations must be deterministic; the simulator calls them in
+/// total message order, which is the property the paper's single,
+/// centralized injector instance provides (§VI-C).
+pub trait Interposer: Send {
+    /// A message arrived at the proxy; decide its fate.
+    fn on_message(&mut self, msg: ProxiedMessage<'_>) -> InterposerActions;
+
+    /// A previously requested wakeup fired.
+    fn on_wakeup(&mut self, now: SimTime) -> InterposerActions {
+        let _ = now;
+        InterposerActions::default()
+    }
+}
+
+/// The trivial pass-everything interposer — the paper's Figure 5
+/// "attack" that models normal control-plane operation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PassThrough;
+
+impl Interposer for PassThrough {
+    fn on_message(&mut self, msg: ProxiedMessage<'_>) -> InterposerActions {
+        InterposerActions::pass(&msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_through_forwards_verbatim() {
+        let mut p = PassThrough;
+        let bytes = [1u8, 2, 3];
+        let msg = ProxiedMessage {
+            conn: ConnId(3),
+            direction: Direction::SwitchToController,
+            bytes: &bytes,
+            now: SimTime::from_secs(1),
+        };
+        let actions = p.on_message(msg);
+        assert_eq!(actions.deliveries.len(), 1);
+        let d = &actions.deliveries[0];
+        assert_eq!(d.conn, ConnId(3));
+        assert_eq!(d.direction, Direction::SwitchToController);
+        assert_eq!(d.bytes, bytes);
+        assert_eq!(d.extra_delay, SimTime::ZERO);
+        assert!(actions.commands.is_empty());
+        assert!(actions.wakeup.is_none());
+    }
+
+    #[test]
+    fn drop_message_produces_nothing() {
+        let a = InterposerActions::drop_message();
+        assert!(a.deliveries.is_empty());
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(
+            Direction::SwitchToController.reverse(),
+            Direction::ControllerToSwitch
+        );
+        assert_eq!(
+            Direction::ControllerToSwitch.reverse(),
+            Direction::SwitchToController
+        );
+    }
+}

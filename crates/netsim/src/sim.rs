@@ -1,0 +1,475 @@
+//! The [`Simulation`]: event dispatch, effect application, and the
+//! control-plane proxy point.
+
+use crate::command::HostCommand;
+use crate::controller_host::ControllerHost;
+use crate::engine::{ConnId, Effect, EventKind, EventQueue, NodeId, TimerToken};
+use crate::host::Host;
+use crate::interpose::{Direction, Interposer, InterposerActions, ProxiedMessage};
+use crate::link::{Link, TxOutcome};
+use crate::switch::Switch;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceKind};
+use crate::{IperfStats, PingStats};
+use attain_openflow::{OfMessage, PortNo};
+use std::collections::HashMap;
+
+/// A node: an end host or a switch.
+#[derive(Debug)]
+pub(crate) enum Node {
+    /// An end host.
+    Host(Host),
+    /// A switch.
+    Switch(Switch),
+}
+
+/// One control-plane connection of the relation `N_C`.
+#[derive(Debug)]
+pub(crate) struct Connection {
+    pub controller: usize,
+    pub switch: NodeId,
+    pub latency: SimTime,
+}
+
+/// Descriptive metadata for one control connection, used by the injector
+/// to map attack-model connection names onto simulator ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnInfo {
+    /// The connection id.
+    pub id: ConnId,
+    /// The controller's name (e.g. `c1`).
+    pub controller: String,
+    /// The switch's name (e.g. `s2`).
+    pub switch: String,
+}
+
+/// The assembled network simulation.
+///
+/// Built with [`NetworkBuilder`](crate::NetworkBuilder); driven with
+/// [`Simulation::run_until`]; interrogated through the stats accessors.
+pub struct Simulation {
+    now: SimTime,
+    queue: EventQueue,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) links: Vec<Link>,
+    pub(crate) port_map: HashMap<(NodeId, PortNo), usize>,
+    pub(crate) controllers: Vec<ControllerHost>,
+    pub(crate) connections: Vec<Connection>,
+    interposer: Option<Box<dyn Interposer>>,
+    trace: Trace,
+    names: HashMap<String, NodeId>,
+    /// Data-plane frames dropped by link queues.
+    pub frames_dropped: u64,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("controllers", &self.controllers.len())
+            .field("connections", &self.connections.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Simulation {
+    pub(crate) fn assemble(
+        nodes: Vec<Node>,
+        links: Vec<Link>,
+        port_map: HashMap<(NodeId, PortNo), usize>,
+        controllers: Vec<ControllerHost>,
+        connections: Vec<Connection>,
+        names: HashMap<String, NodeId>,
+    ) -> Simulation {
+        let mut sim = Simulation {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes,
+            links,
+            port_map,
+            controllers,
+            connections,
+            interposer: None,
+            trace: Trace::new(),
+            names,
+            frames_dropped: 0,
+        };
+        // Stagger the initial handshakes and housekeeping ticks slightly
+        // so same-instant ties don't depend on construction order alone.
+        for (i, conn) in sim.connections.iter().enumerate() {
+            sim.queue.schedule(
+                SimTime::from_millis(100 + 10 * i as u64),
+                EventKind::NodeTimer {
+                    node: conn.switch,
+                    token: TimerToken::Connect { conn: ConnId(i) },
+                },
+            );
+        }
+        for (i, node) in sim.nodes.iter().enumerate() {
+            if matches!(node, Node::Switch(_)) {
+                sim.queue.schedule(
+                    SimTime::from_secs(1) + SimTime::from_millis(i as u64),
+                    EventKind::NodeTimer {
+                        node: NodeId(i),
+                        token: TimerToken::SwitchTick,
+                    },
+                );
+            }
+        }
+        for i in 0..sim.controllers.len() {
+            sim.queue.schedule(
+                SimTime::from_secs(2) + SimTime::from_millis(i as u64),
+                EventKind::ControllerTimer {
+                    ctrl: i,
+                    token: TimerToken::ControllerTick,
+                },
+            );
+        }
+        sim
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Installs the control-plane interposer (the attack injector).
+    pub fn set_interposer(&mut self, interposer: Box<dyn Interposer>) {
+        self.interposer = Some(interposer);
+    }
+
+    /// Schedules a workload command at absolute time `at`.
+    pub fn schedule_command(&mut self, at: SimTime, cmd: HostCommand) {
+        self.queue.schedule(at, EventKind::Command(cmd));
+    }
+
+    /// Runs the simulation until virtual time `t` (inclusive of events at
+    /// `t`).
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            let (time, kind) = self.queue.pop().expect("peeked event");
+            self.now = time;
+            self.dispatch(kind);
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs for `d` more virtual time.
+    pub fn run_for(&mut self, d: SimTime) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    // ---- lookups ------------------------------------------------------
+
+    /// The node id of the named host or switch.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// The named host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a host.
+    pub fn host(&self, name: &str) -> &Host {
+        match &self.nodes[self.names[name].0] {
+            Node::Host(h) => h,
+            Node::Switch(_) => panic!("{name} is a switch, not a host"),
+        }
+    }
+
+    /// The named switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a switch.
+    pub fn switch(&self, name: &str) -> &Switch {
+        match &self.nodes[self.names[name].0] {
+            Node::Switch(s) => s,
+            Node::Host(_) => panic!("{name} is a host, not a switch"),
+        }
+    }
+
+    /// Metadata for every control connection, in id order.
+    pub fn conn_infos(&self) -> Vec<ConnInfo> {
+        self.connections
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ConnInfo {
+                id: ConnId(i),
+                controller: self.controllers[c.controller].name().to_string(),
+                switch: match &self.nodes[c.switch.0] {
+                    Node::Switch(s) => s.name().to_string(),
+                    Node::Host(h) => h.name().to_string(),
+                },
+            })
+            .collect()
+    }
+
+    /// All ping runs across all hosts, in node then start order.
+    pub fn ping_stats(&self) -> Vec<PingStats> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Host(h) => Some(h.ping_stats()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// All iperf client runs across all hosts.
+    pub fn iperf_stats(&self) -> Vec<IperfStats> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Host(h) => Some(h.iperf_stats()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// The simulation trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Disables per-event trace recording (counters stay on), for long
+    /// benchmark runs.
+    pub fn set_trace_events(&mut self, on: bool) {
+        self.trace.record_events = on;
+    }
+
+    // ---- dispatch -----------------------------------------------------
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Frame { node, port, frame } => {
+                let mut fx = Vec::new();
+                match &mut self.nodes[node.0] {
+                    Node::Host(h) => h.handle_frame(&frame, self.now, &mut fx),
+                    Node::Switch(s) => s.handle_frame(port, frame, self.now, &mut fx),
+                }
+                self.apply_effects(node, fx);
+            }
+            EventKind::ProxyIngress {
+                conn,
+                direction,
+                bytes,
+            } => self.proxy_ingress(conn, direction, bytes),
+            EventKind::ControlDeliver {
+                conn,
+                direction,
+                bytes,
+            } => match direction {
+                Direction::SwitchToController => {
+                    let ctrl = self.connections[conn.0].controller;
+                    let sends = self.controllers[ctrl].handle_control(conn, &bytes, self.now);
+                    for s in sends {
+                        self.queue.schedule(
+                            s.depart,
+                            EventKind::ProxyIngress {
+                                conn: s.conn,
+                                direction: Direction::ControllerToSwitch,
+                                bytes: s.bytes,
+                            },
+                        );
+                    }
+                }
+                Direction::ControllerToSwitch => {
+                    let node = self.connections[conn.0].switch;
+                    let mut fx = Vec::new();
+                    if let Node::Switch(s) = &mut self.nodes[node.0] {
+                        s.handle_control(conn, &bytes, self.now, &mut fx);
+                    }
+                    self.apply_effects(node, fx);
+                }
+            },
+            EventKind::NodeTimer { node, token } => {
+                let mut fx = Vec::new();
+                match (&mut self.nodes[node.0], token) {
+                    (Node::Switch(s), TimerToken::SwitchTick) => s.tick(self.now, &mut fx),
+                    (Node::Switch(s), TimerToken::Connect { conn }) => {
+                        s.start_connect(conn, self.now, &mut fx)
+                    }
+                    (Node::Switch(s), TimerToken::HandshakeDeadline { conn, attempt }) => {
+                        s.handshake_deadline(conn, attempt, self.now, &mut fx)
+                    }
+                    (Node::Host(h), token) => h.handle_timer(token, self.now, &mut fx),
+                    _ => {}
+                }
+                self.apply_effects(node, fx);
+            }
+            EventKind::ControllerTimer { ctrl, .. } => {
+                self.controllers[ctrl].tick(self.now);
+                self.queue.schedule(
+                    self.now + SimTime::from_secs(2),
+                    EventKind::ControllerTimer {
+                        ctrl,
+                        token: TimerToken::ControllerTick,
+                    },
+                );
+            }
+            EventKind::Command(cmd) => self.apply_command(cmd),
+            EventKind::InterposerWake => {
+                if let Some(mut ip) = self.interposer.take() {
+                    let actions = ip.on_wakeup(self.now);
+                    self.interposer = Some(ip);
+                    self.apply_interposer_actions(actions);
+                }
+            }
+        }
+    }
+
+    /// The proxy point: every control-plane message lands here before
+    /// delivery, and the interposer (if any) decides its fate.
+    fn proxy_ingress(&mut self, conn: ConnId, direction: Direction, bytes: Vec<u8>) {
+        let of_type = OfMessage::decode(&bytes).ok().map(|(m, _)| m.of_type());
+        self.trace.push(
+            self.now,
+            TraceKind::ControlMessage {
+                conn,
+                direction,
+                of_type,
+                len: bytes.len(),
+            },
+        );
+        match self.interposer.take() {
+            Some(mut ip) => {
+                let actions = ip.on_message(ProxiedMessage {
+                    conn,
+                    direction,
+                    bytes: &bytes,
+                    now: self.now,
+                });
+                self.interposer = Some(ip);
+                self.apply_interposer_actions(actions);
+            }
+            None => {
+                let latency = self.connections[conn.0].latency;
+                self.queue.schedule(
+                    self.now + latency,
+                    EventKind::ControlDeliver {
+                        conn,
+                        direction,
+                        bytes,
+                    },
+                );
+            }
+        }
+    }
+
+    fn apply_interposer_actions(&mut self, actions: InterposerActions) {
+        for d in actions.deliveries {
+            if d.conn.0 >= self.connections.len() {
+                continue; // injected onto a nonexistent connection
+            }
+            let latency = self.connections[d.conn.0].latency;
+            self.queue.schedule(
+                self.now + latency + d.extra_delay,
+                EventKind::ControlDeliver {
+                    conn: d.conn,
+                    direction: d.direction,
+                    bytes: d.bytes,
+                },
+            );
+        }
+        for cmd in actions.commands {
+            self.apply_command(cmd);
+        }
+        if let Some(at) = actions.wakeup {
+            self.queue
+                .schedule(at.max(self.now), EventKind::InterposerWake);
+        }
+    }
+
+    fn apply_command(&mut self, cmd: HostCommand) {
+        match cmd {
+            HostCommand::Ping {
+                host,
+                dst,
+                count,
+                interval,
+                label,
+            } => {
+                let mut fx = Vec::new();
+                if let Node::Host(h) = &mut self.nodes[host.0] {
+                    h.start_ping(dst, count, interval, label, self.now, &mut fx);
+                }
+                self.apply_effects(host, fx);
+            }
+            HostCommand::IperfServer { host, port } => {
+                if let Node::Host(h) = &mut self.nodes[host.0] {
+                    h.start_iperf_server(port);
+                }
+            }
+            HostCommand::IperfClient {
+                host,
+                dst,
+                port,
+                duration,
+                label,
+            } => {
+                let mut fx = Vec::new();
+                if let Node::Host(h) = &mut self.nodes[host.0] {
+                    h.start_iperf_client(dst, port, duration, label, self.now, &mut fx);
+                }
+                self.apply_effects(host, fx);
+            }
+            HostCommand::Marker { label } => {
+                self.trace.push(self.now, TraceKind::Marker(label));
+            }
+        }
+    }
+
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Frame { out_port, frame } => {
+                    let Some(&link_idx) = self.port_map.get(&(node, out_port)) else {
+                        continue; // unconnected port
+                    };
+                    let link = &mut self.links[link_idx];
+                    match link.transmit(node, frame.len(), self.now) {
+                        TxOutcome::Arrives(at) => {
+                            let far = link.opposite(node).expect("node attached");
+                            self.queue.schedule(
+                                at,
+                                EventKind::Frame {
+                                    node: far.node,
+                                    port: far.port,
+                                    frame,
+                                },
+                            );
+                        }
+                        TxOutcome::Dropped => self.frames_dropped += 1,
+                    }
+                }
+                Effect::Control { conn, bytes } => {
+                    // Only switches emit Control effects: direction fixed.
+                    self.queue.schedule(
+                        self.now,
+                        EventKind::ProxyIngress {
+                            conn,
+                            direction: Direction::SwitchToController,
+                            bytes,
+                        },
+                    );
+                }
+                Effect::Timer { at, token } => {
+                    self.queue
+                        .schedule(at.max(self.now), EventKind::NodeTimer { node, token });
+                }
+                Effect::Trace(kind) => self.trace.push(self.now, kind),
+            }
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! The OpenFlow 1.0 flow table with OVS-compatible semantics.
+
+use crate::time::SimTime;
+use attain_openflow::{
+    Action, FlowKey, FlowMod, FlowModCommand, FlowModFlags, FlowRemovedReason, Match, PortNo,
+    Wildcards,
+};
+
+/// One installed flow entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEntry {
+    /// Fields matched.
+    pub r#match: Match,
+    /// Priority (only meaningful between wildcarded entries; exact-match
+    /// entries always outrank wildcarded ones, per OpenFlow 1.0 §3.4).
+    pub priority: u16,
+    /// Action list (empty = drop).
+    pub actions: Vec<Action>,
+    /// Controller cookie.
+    pub cookie: u64,
+    /// Idle timeout in seconds (0 = none).
+    pub idle_timeout: u16,
+    /// Hard timeout in seconds (0 = none).
+    pub hard_timeout: u16,
+    /// Whether to emit `FLOW_REMOVED` on expiry.
+    pub send_flow_rem: bool,
+    /// Installation time.
+    pub installed_at: SimTime,
+    /// Last packet match time.
+    pub last_matched: SimTime,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+}
+
+impl FlowEntry {
+    /// Whether the entry's match has no wildcards at all.
+    pub fn is_exact(&self) -> bool {
+        self.r#match.wildcards.0 & 0xff == 0
+            && !self.r#match.wildcards.has(Wildcards::DL_VLAN_PCP)
+            && !self.r#match.wildcards.has(Wildcards::NW_TOS)
+            && self.r#match.wildcards.nw_src_ignored_bits() == 0
+            && self.r#match.wildcards.nw_dst_ignored_bits() == 0
+    }
+
+    /// Whether the entry outputs to `port` (for delete `out_port`
+    /// filtering).
+    fn outputs_to(&self, port: PortNo) -> bool {
+        self.actions
+            .iter()
+            .any(|a| matches!(a, Action::Output { port: p, .. } if *p == port))
+    }
+}
+
+/// Why a flow mod could not be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowModError {
+    /// `CHECK_OVERLAP` was set and an overlapping same-priority entry
+    /// exists.
+    Overlap,
+    /// The table is full.
+    TableFull,
+}
+
+/// The result of applying a flow mod.
+#[derive(Debug, Default)]
+pub struct ApplyOutcome {
+    /// Whether a new entry was inserted (add, or modify acting as add).
+    pub added: bool,
+    /// Entries removed by a delete command, for `FLOW_REMOVED`
+    /// notification (only those with `send_flow_rem`).
+    pub removed: Vec<FlowEntry>,
+}
+
+/// The flow table of one simulated switch.
+#[derive(Debug)]
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    capacity: usize,
+    /// Packets looked up (table stats).
+    pub lookup_count: u64,
+    /// Packets that matched (table stats).
+    pub matched_count: u64,
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        FlowTable::new(1024)
+    }
+}
+
+impl FlowTable {
+    /// Creates an empty table holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> FlowTable {
+        FlowTable {
+            entries: Vec::new(),
+            capacity,
+            lookup_count: 0,
+            matched_count: 0,
+        }
+    }
+
+    /// Active entries, in no particular order.
+    pub fn entries(&self) -> &[FlowEntry] {
+        &self.entries
+    }
+
+    /// Number of active entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the best entry for `key`, updating counters.
+    ///
+    /// Returns a clone of the winning entry's actions (cloning decouples
+    /// the caller from the table borrow; action lists are short).
+    pub fn lookup(&mut self, key: &FlowKey, frame_len: usize, now: SimTime) -> Option<Vec<Action>> {
+        self.lookup_count += 1;
+        let mut best: Option<usize> = None;
+        let mut best_rank = (false, 0u16); // (is_exact, priority)
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.r#match.matches(key) {
+                continue;
+            }
+            let rank = (e.is_exact(), e.priority);
+            if best.is_none() || rank > best_rank {
+                best = Some(i);
+                best_rank = rank;
+            }
+        }
+        let i = best?;
+        self.matched_count += 1;
+        let e = &mut self.entries[i];
+        e.packet_count += 1;
+        e.byte_count += frame_len as u64;
+        e.last_matched = now;
+        Some(e.actions.clone())
+    }
+
+    /// Applies a `FLOW_MOD`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowModError`] on overlap rejection or a full table.
+    pub fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<ApplyOutcome, FlowModError> {
+        match fm.command {
+            FlowModCommand::Add => self.add(fm, now).map(|_| ApplyOutcome {
+                added: true,
+                removed: Vec::new(),
+            }),
+            FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
+                let strict = fm.command == FlowModCommand::ModifyStrict;
+                let mut touched = false;
+                for e in &mut self.entries {
+                    let hit = if strict {
+                        e.r#match == fm.r#match && e.priority == fm.priority
+                    } else {
+                        fm.r#match.subsumes(&e.r#match)
+                    };
+                    if hit {
+                        e.actions = fm.actions.clone();
+                        e.cookie = fm.cookie;
+                        touched = true;
+                    }
+                }
+                if touched {
+                    Ok(ApplyOutcome::default())
+                } else {
+                    // Per spec: a modify with no target behaves like an add.
+                    self.add(fm, now).map(|_| ApplyOutcome {
+                        added: true,
+                        removed: Vec::new(),
+                    })
+                }
+            }
+            FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
+                let strict = fm.command == FlowModCommand::DeleteStrict;
+                let mut removed = Vec::new();
+                self.entries.retain(|e| {
+                    let hit = if strict {
+                        e.r#match == fm.r#match && e.priority == fm.priority
+                    } else {
+                        fm.r#match.subsumes(&e.r#match)
+                    };
+                    let hit = hit && (fm.out_port == PortNo::NONE || e.outputs_to(fm.out_port));
+                    if hit && e.send_flow_rem {
+                        removed.push(e.clone());
+                    }
+                    !hit
+                });
+                Ok(ApplyOutcome {
+                    added: false,
+                    removed,
+                })
+            }
+        }
+    }
+
+    fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<(), FlowModError> {
+        if fm.flags.has(FlowModFlags::CHECK_OVERLAP) {
+            let overlapping = self
+                .entries
+                .iter()
+                .any(|e| e.priority == fm.priority && e.r#match.overlaps(&fm.r#match));
+            if overlapping {
+                return Err(FlowModError::Overlap);
+            }
+        }
+        // Identical match+priority: replace, clearing counters (spec §4.6).
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.r#match == fm.r#match && e.priority == fm.priority)
+        {
+            *e = FlowEntry {
+                r#match: fm.r#match,
+                priority: fm.priority,
+                actions: fm.actions.clone(),
+                cookie: fm.cookie,
+                idle_timeout: fm.idle_timeout,
+                hard_timeout: fm.hard_timeout,
+                send_flow_rem: fm.flags.has(FlowModFlags::SEND_FLOW_REM),
+                installed_at: now,
+                last_matched: now,
+                packet_count: 0,
+                byte_count: 0,
+            };
+            return Ok(());
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(FlowModError::TableFull);
+        }
+        self.entries.push(FlowEntry {
+            r#match: fm.r#match,
+            priority: fm.priority,
+            actions: fm.actions.clone(),
+            cookie: fm.cookie,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            send_flow_rem: fm.flags.has(FlowModFlags::SEND_FLOW_REM),
+            installed_at: now,
+            last_matched: now,
+            packet_count: 0,
+            byte_count: 0,
+        });
+        Ok(())
+    }
+
+    /// Removes timed-out entries, returning them with their expiry
+    /// reasons (all of them, so the switch can count expiries; only those
+    /// with `send_flow_rem` warrant a `FLOW_REMOVED`).
+    pub fn expire(&mut self, now: SimTime) -> Vec<(FlowEntry, FlowRemovedReason)> {
+        let mut out = Vec::new();
+        self.entries.retain(|e| {
+            if e.hard_timeout > 0
+                && now.saturating_sub(e.installed_at) >= SimTime::from_secs(e.hard_timeout as u64)
+            {
+                out.push((e.clone(), FlowRemovedReason::HardTimeout));
+                return false;
+            }
+            if e.idle_timeout > 0
+                && now.saturating_sub(e.last_matched) >= SimTime::from_secs(e.idle_timeout as u64)
+            {
+                out.push((e.clone(), FlowRemovedReason::IdleTimeout));
+                return false;
+            }
+            true
+        });
+        out
+    }
+
+    /// Removes every entry (used when a switch resets).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attain_openflow::{FlowModFlags, Match};
+
+    fn fm(m: Match, priority: u16, port: u16) -> FlowMod {
+        FlowMod {
+            priority,
+            actions: vec![Action::Output {
+                port: PortNo(port),
+                max_len: 0,
+            }],
+            ..FlowMod::add(m, vec![])
+        }
+    }
+
+    fn key_port(p: u16) -> FlowKey {
+        FlowKey {
+            in_port: PortNo(p),
+            ..FlowKey::default()
+        }
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut t = FlowTable::default();
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 10, 2), SimTime::ZERO)
+            .unwrap();
+        let actions = t.lookup(&key_port(1), 100, SimTime::from_secs(1)).unwrap();
+        assert_eq!(
+            actions,
+            vec![Action::Output {
+                port: PortNo(2),
+                max_len: 0
+            }]
+        );
+        assert!(t.lookup(&key_port(3), 100, SimTime::ZERO).is_none());
+        assert_eq!(t.lookup_count, 2);
+        assert_eq!(t.matched_count, 1);
+        assert_eq!(t.entries()[0].packet_count, 1);
+        assert_eq!(t.entries()[0].byte_count, 100);
+    }
+
+    #[test]
+    fn higher_priority_wins_among_wildcarded() {
+        let mut t = FlowTable::default();
+        t.apply(&fm(Match::all(), 1, 7), SimTime::ZERO).unwrap();
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 100, 8), SimTime::ZERO)
+            .unwrap();
+        let actions = t.lookup(&key_port(1), 10, SimTime::ZERO).unwrap();
+        assert_eq!(
+            actions,
+            vec![Action::Output {
+                port: PortNo(8),
+                max_len: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn exact_match_outranks_higher_priority_wildcard() {
+        let mut t = FlowTable::default();
+        let key = key_port(1);
+        let exact = Match::from_flow_key(&key);
+        t.apply(&fm(exact, 1, 9), SimTime::ZERO).unwrap();
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 0xffff, 2), SimTime::ZERO)
+            .unwrap();
+        let actions = t.lookup(&key, 10, SimTime::ZERO).unwrap();
+        assert_eq!(
+            actions,
+            vec![Action::Output {
+                port: PortNo(9),
+                max_len: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn replace_identical_match_resets_counters() {
+        let mut t = FlowTable::default();
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        t.lookup(&key_port(1), 50, SimTime::ZERO);
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 3), SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries()[0].packet_count, 0);
+        assert_eq!(
+            t.entries()[0].actions,
+            vec![Action::Output {
+                port: PortNo(3),
+                max_len: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn check_overlap_rejects_conflicts_at_same_priority() {
+        let mut t = FlowTable::default();
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        let mut conflicting = fm(Match::all(), 5, 3);
+        conflicting.flags = FlowModFlags(FlowModFlags::CHECK_OVERLAP);
+        assert_eq!(
+            t.apply(&conflicting, SimTime::ZERO).unwrap_err(),
+            FlowModError::Overlap
+        );
+        // Same flows at a different priority are fine.
+        conflicting.priority = 6;
+        t.apply(&conflicting, SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn modify_rewrites_actions_of_subsumed_entries() {
+        let mut t = FlowTable::default();
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        t.apply(&fm(Match::exact_in_port(PortNo(2)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        let mut m = fm(Match::all(), 0, 9);
+        m.command = FlowModCommand::Modify;
+        t.apply(&m, SimTime::ZERO).unwrap();
+        for e in t.entries() {
+            assert_eq!(
+                e.actions,
+                vec![Action::Output {
+                    port: PortNo(9),
+                    max_len: 0
+                }]
+            );
+        }
+    }
+
+    #[test]
+    fn modify_with_no_target_adds() {
+        let mut t = FlowTable::default();
+        let mut m = fm(Match::exact_in_port(PortNo(4)), 5, 2);
+        m.command = FlowModCommand::Modify;
+        let outcome = t.apply(&m, SimTime::ZERO).unwrap();
+        assert!(outcome.added);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_non_strict_uses_subsumption_and_out_port_filter() {
+        let mut t = FlowTable::default();
+        let mut a = fm(Match::exact_in_port(PortNo(1)), 5, 2);
+        a.flags = FlowModFlags(FlowModFlags::SEND_FLOW_REM);
+        t.apply(&a, SimTime::ZERO).unwrap();
+        t.apply(&fm(Match::exact_in_port(PortNo(2)), 5, 3), SimTime::ZERO)
+            .unwrap();
+        // Delete everything that outputs to port 2.
+        let mut del = fm(Match::all(), 0, 0);
+        del.command = FlowModCommand::Delete;
+        del.out_port = PortNo(2);
+        del.actions.clear();
+        let outcome = t.apply(&del, SimTime::ZERO).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(outcome.removed.len(), 1); // only the SEND_FLOW_REM entry
+        assert_eq!(t.entries()[0].actions[0], Action::Output { port: PortNo(3), max_len: 0 });
+    }
+
+    #[test]
+    fn delete_strict_requires_exact_match_and_priority() {
+        let mut t = FlowTable::default();
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        let mut del = fm(Match::exact_in_port(PortNo(1)), 6, 0);
+        del.command = FlowModCommand::DeleteStrict;
+        t.apply(&del, SimTime::ZERO).unwrap();
+        assert_eq!(t.len(), 1); // wrong priority: no effect
+        del.priority = 5;
+        t.apply(&del, SimTime::ZERO).unwrap();
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn idle_and_hard_timeouts_expire() {
+        let mut t = FlowTable::default();
+        let mut idle = fm(Match::exact_in_port(PortNo(1)), 5, 2);
+        idle.idle_timeout = 5;
+        t.apply(&idle, SimTime::ZERO).unwrap();
+        let mut hard = fm(Match::exact_in_port(PortNo(2)), 5, 2);
+        hard.hard_timeout = 30;
+        t.apply(&hard, SimTime::ZERO).unwrap();
+
+        // Traffic keeps the idle entry alive at t=4.
+        t.lookup(&key_port(1), 10, SimTime::from_secs(4));
+        assert!(t.expire(SimTime::from_secs(5)).is_empty());
+        // No traffic until t=9: idle entry dies (4+5).
+        let gone = t.expire(SimTime::from_secs(9));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].1, FlowRemovedReason::IdleTimeout);
+        // Hard timeout fires at t=30 regardless of traffic.
+        t.lookup(&key_port(2), 10, SimTime::from_secs(29));
+        let gone = t.expire(SimTime::from_secs(30));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].1, FlowRemovedReason::HardTimeout);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn table_full_is_reported() {
+        let mut t = FlowTable::new(2);
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        t.apply(&fm(Match::exact_in_port(PortNo(2)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            t.apply(&fm(Match::exact_in_port(PortNo(3)), 5, 2), SimTime::ZERO)
+                .unwrap_err(),
+            FlowModError::TableFull
+        );
+    }
+}

@@ -1,0 +1,1135 @@
+//! The Open vSwitch model: flow tables, packet buffering, `PACKET_IN`,
+//! liveness probing, and the fail-safe / fail-secure behaviours.
+
+mod flow_table;
+
+pub use flow_table::{ApplyOutcome, FlowEntry, FlowModError, FlowTable};
+
+use crate::engine::{ConnId, Effect, NodeId, TimerToken};
+use crate::time::SimTime;
+use crate::trace::TraceKind;
+use attain_openflow::packet::{self, Ethernet, IpPayload, Payload};
+use attain_openflow::{
+    bad_request, flow_mod_failed, Action, CodecError, DatapathId, ErrorMsg, ErrorType, FlowKey,
+    FlowRemoved, MacAddr, OfMessage, PacketIn, PacketInReason, PhyPort, PortNo, StatsBody,
+    StatsReplyBody, SwitchConfig, SwitchDesc, SwitchFeatures, Xid,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// OVS `fail-mode`: what a switch does for new flows while it has no
+/// controller connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailMode {
+    /// `standalone` — take over as a legacy MAC-learning switch (the
+    /// paper's "fail safe"). Increases availability but also lets
+    /// unauthorized traffic through: Table II's trade-off.
+    Safe,
+    /// `secure` — keep existing flows, drop everything that misses (the
+    /// paper's "fail secure"). Preserves policy but denies legitimate
+    /// traffic.
+    Secure,
+}
+
+/// How many packets a switch can buffer awaiting controller decisions,
+/// mirroring `FEATURES_REPLY.n_buffers`.
+const BUFFER_CAPACITY: usize = 256;
+/// Send an echo probe after this much control-plane rx silence.
+const PROBE_AFTER: SimTime = SimTime::from_secs(5);
+/// Declare the connection dead after this much rx silence.
+const DEAD_AFTER: SimTime = SimTime::from_secs(15);
+/// Handshake timeout (HELLO sent, nothing back).
+const HANDSHAKE_TIMEOUT: SimTime = SimTime::from_secs(5);
+/// Pause between reconnect attempts.
+const RECONNECT_AFTER: SimTime = SimTime::from_secs(5);
+
+/// A packet parked in the switch awaiting a controller verdict.
+#[derive(Debug, Clone)]
+struct BufferedPacket {
+    id: u32,
+    frame: Vec<u8>,
+    in_port: PortNo,
+}
+
+/// Handshake/liveness state of the switch's side of one control
+/// connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnPhase {
+    /// Not yet attempted.
+    Idle,
+    /// HELLO sent, awaiting the controller.
+    HelloSent,
+    /// Handshake complete.
+    Up,
+    /// Declared dead; reconnect pending.
+    Dead,
+}
+
+#[derive(Debug)]
+struct SwitchConn {
+    conn: ConnId,
+    phase: ConnPhase,
+    last_rx: SimTime,
+    attempt: u32,
+    next_xid: Xid,
+}
+
+/// A simulated OpenFlow 1.0 switch (the OVS v1.9.3 model).
+#[derive(Debug)]
+pub struct Switch {
+    id: NodeId,
+    name: String,
+    dpid: DatapathId,
+    ports: Vec<PortNo>,
+    fail_mode: FailMode,
+    table: FlowTable,
+    buffers: VecDeque<BufferedPacket>,
+    next_buffer_id: u32,
+    mac_table: HashMap<MacAddr, PortNo>,
+    config: SwitchConfig,
+    conns: Vec<SwitchConn>,
+    /// Packets dropped because no rule matched and the switch was in
+    /// fail-secure lockdown.
+    pub secure_drops: u64,
+    /// Packets forwarded by standalone learning while disconnected.
+    pub standalone_forwards: u64,
+}
+
+impl Switch {
+    /// Creates a switch; `ports` are assigned by the topology builder.
+    pub(crate) fn new(id: NodeId, name: String, dpid: DatapathId, fail_mode: FailMode) -> Switch {
+        Switch {
+            id,
+            name,
+            dpid,
+            ports: Vec::new(),
+            fail_mode,
+            table: FlowTable::default(),
+            buffers: VecDeque::new(),
+            next_buffer_id: 1,
+            mac_table: HashMap::new(),
+            config: SwitchConfig::default(),
+            conns: Vec::new(),
+            secure_drops: 0,
+            standalone_forwards: 0,
+        }
+    }
+
+    /// The switch's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The switch's name (e.g. `s2`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The switch's datapath id.
+    pub fn dpid(&self) -> DatapathId {
+        self.dpid
+    }
+
+    /// The switch's fail mode.
+    pub fn fail_mode(&self) -> FailMode {
+        self.fail_mode
+    }
+
+    /// The flow table (for assertions and stats).
+    pub fn flow_table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Whether any control connection is fully up.
+    pub fn is_connected(&self) -> bool {
+        self.conns.iter().any(|c| c.phase == ConnPhase::Up)
+    }
+
+    pub(crate) fn add_port(&mut self, port: PortNo) {
+        self.ports.push(port);
+    }
+
+    pub(crate) fn add_conn(&mut self, conn: ConnId) {
+        self.conns.push(SwitchConn {
+            conn,
+            phase: ConnPhase::Idle,
+            last_rx: SimTime::ZERO,
+            attempt: 0,
+            next_xid: 1,
+        });
+    }
+
+    fn conn_mut(&mut self, conn: ConnId) -> Option<&mut SwitchConn> {
+        self.conns.iter_mut().find(|c| c.conn == conn)
+    }
+
+    fn send(&mut self, conn: ConnId, msg: OfMessage, fx: &mut Vec<Effect>) {
+        let xid = {
+            let c = match self.conn_mut(conn) {
+                Some(c) => c,
+                None => return,
+            };
+            let x = c.next_xid;
+            c.next_xid += 1;
+            x
+        };
+        fx.push(Effect::Control {
+            conn,
+            bytes: msg.encode(xid),
+        });
+    }
+
+    /// Begins (or retries) the OpenFlow handshake on `conn`.
+    pub(crate) fn start_connect(&mut self, conn: ConnId, now: SimTime, fx: &mut Vec<Effect>) {
+        let attempt = {
+            let c = match self.conn_mut(conn) {
+                Some(c) => c,
+                None => return,
+            };
+            if c.phase == ConnPhase::Up {
+                return;
+            }
+            c.phase = ConnPhase::HelloSent;
+            c.attempt += 1;
+            c.last_rx = now;
+            c.attempt
+        };
+        self.send(conn, OfMessage::Hello, fx);
+        fx.push(Effect::Timer {
+            at: now + HANDSHAKE_TIMEOUT,
+            token: TimerToken::HandshakeDeadline { conn, attempt },
+        });
+    }
+
+    /// The handshake deadline for `attempt` fired.
+    pub(crate) fn handshake_deadline(
+        &mut self,
+        conn: ConnId,
+        attempt: u32,
+        now: SimTime,
+        fx: &mut Vec<Effect>,
+    ) {
+        let c = match self.conn_mut(conn) {
+            Some(c) => c,
+            None => return,
+        };
+        if c.phase == ConnPhase::HelloSent && c.attempt == attempt {
+            c.phase = ConnPhase::Dead;
+            fx.push(Effect::Timer {
+                at: now + RECONNECT_AFTER,
+                token: TimerToken::Connect { conn },
+            });
+        }
+    }
+
+    /// A data-plane frame arrived on `port`.
+    pub(crate) fn handle_frame(
+        &mut self,
+        port: PortNo,
+        frame: Vec<u8>,
+        now: SimTime,
+        fx: &mut Vec<Effect>,
+    ) {
+        let key = packet::flow_key(&frame, port);
+        if let Some(actions) = self.table.lookup(&key, frame.len(), now) {
+            self.execute_actions(&actions, frame, port, now, fx);
+            return;
+        }
+        if self.is_connected() {
+            self.packet_in_miss(port, frame, fx);
+        } else {
+            match self.fail_mode {
+                FailMode::Safe => self.standalone_forward(&key, frame, port, fx),
+                FailMode::Secure => {
+                    self.secure_drops += 1;
+                    fx.push(Effect::Trace(TraceKind::PacketDropped {
+                        switch: self.name.clone(),
+                        reason: "fail-secure table miss",
+                    }));
+                }
+            }
+        }
+    }
+
+    fn packet_in_miss(&mut self, port: PortNo, frame: Vec<u8>, fx: &mut Vec<Effect>) {
+        let total_len = frame.len() as u16;
+        // Buffer the packet if space allows; otherwise send it whole,
+        // unbuffered, as OVS does when its buffer pool is exhausted.
+        let (buffer_id, data) = if self.buffers.len() < BUFFER_CAPACITY {
+            let id = self.next_buffer_id;
+            self.next_buffer_id = self.next_buffer_id.wrapping_add(1) & 0x7fff_ffff;
+            let truncated =
+                frame[..frame.len().min(self.config.miss_send_len as usize)].to_vec();
+            self.buffers.push_back(BufferedPacket {
+                id,
+                frame,
+                in_port: port,
+            });
+            (Some(id), truncated)
+        } else {
+            (None, frame)
+        };
+        let msg = OfMessage::PacketIn(PacketIn {
+            buffer_id,
+            total_len,
+            in_port: port,
+            reason: PacketInReason::NoMatch,
+            data,
+        });
+        let up: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|c| c.phase == ConnPhase::Up)
+            .map(|c| c.conn)
+            .collect();
+        for conn in up {
+            self.send(conn, msg.clone(), fx);
+        }
+    }
+
+    fn standalone_forward(
+        &mut self,
+        key: &FlowKey,
+        frame: Vec<u8>,
+        in_port: PortNo,
+        fx: &mut Vec<Effect>,
+    ) {
+        self.standalone_forwards += 1;
+        self.mac_table.insert(key.dl_src, in_port);
+        let out = if key.dl_dst.is_multicast() {
+            None
+        } else {
+            self.mac_table.get(&key.dl_dst).copied()
+        };
+        match out {
+            Some(p) if p == in_port => {} // hairpin: drop
+            Some(p) => fx.push(Effect::Frame {
+                out_port: p,
+                frame,
+            }),
+            None => self.flood(in_port, &frame, fx),
+        }
+    }
+
+    fn flood(&self, except: PortNo, frame: &[u8], fx: &mut Vec<Effect>) {
+        for &p in &self.ports {
+            if p != except {
+                fx.push(Effect::Frame {
+                    out_port: p,
+                    frame: frame.to_vec(),
+                });
+            }
+        }
+    }
+
+    fn execute_actions(
+        &mut self,
+        actions: &[Action],
+        mut frame: Vec<u8>,
+        in_port: PortNo,
+        _now: SimTime,
+        fx: &mut Vec<Effect>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Output { port, max_len } => match *port {
+                    PortNo::FLOOD | PortNo::ALL => self.flood(in_port, &frame, fx),
+                    PortNo::IN_PORT => fx.push(Effect::Frame {
+                        out_port: in_port,
+                        frame: frame.clone(),
+                    }),
+                    PortNo::CONTROLLER => {
+                        let data = if *max_len == 0 {
+                            frame.clone()
+                        } else {
+                            frame[..frame.len().min(*max_len as usize)].to_vec()
+                        };
+                        let msg = OfMessage::PacketIn(PacketIn {
+                            buffer_id: None,
+                            total_len: frame.len() as u16,
+                            in_port,
+                            reason: PacketInReason::Action,
+                            data,
+                        });
+                        let up: Vec<ConnId> = self
+                            .conns
+                            .iter()
+                            .filter(|c| c.phase == ConnPhase::Up)
+                            .map(|c| c.conn)
+                            .collect();
+                        for conn in up {
+                            self.send(conn, msg.clone(), fx);
+                        }
+                    }
+                    PortNo::NORMAL => {
+                        let key = packet::flow_key(&frame, in_port);
+                        self.standalone_forward(&key, frame.clone(), in_port, fx);
+                    }
+                    PortNo::TABLE | PortNo::LOCAL | PortNo::NONE => {}
+                    p if p.is_physical() => fx.push(Effect::Frame {
+                        out_port: p,
+                        frame: frame.clone(),
+                    }),
+                    _ => {}
+                },
+                rewrite => frame = apply_rewrite(rewrite, frame),
+            }
+        }
+    }
+
+    /// An encoded control-plane message arrived from a controller.
+    pub(crate) fn handle_control(
+        &mut self,
+        conn: ConnId,
+        bytes: &[u8],
+        now: SimTime,
+        fx: &mut Vec<Effect>,
+    ) {
+        if let Some(c) = self.conn_mut(conn) {
+            c.last_rx = now;
+        }
+        let (msg, xid) = match OfMessage::decode(bytes) {
+            Ok(ok) => ok,
+            Err(e) => {
+                // Fuzzed/garbled message: answer with an ERROR, as a real
+                // switch would, and carry on.
+                self.send(
+                    conn,
+                    OfMessage::Error(ErrorMsg {
+                        error_type: ErrorType::BadRequest,
+                        code: match e {
+                            CodecError::BadVersion(_) => bad_request::BAD_VERSION,
+                            _ => bad_request::BAD_TYPE,
+                        },
+                        data: bytes[..bytes.len().min(64)].to_vec(),
+                    }),
+                    fx,
+                );
+                return;
+            }
+        };
+        match msg {
+            OfMessage::Hello => {}
+            OfMessage::EchoRequest(body) => self.send(conn, OfMessage::EchoReply(body), fx),
+            OfMessage::EchoReply(_) => {}
+            OfMessage::FeaturesRequest => {
+                let features = self.features();
+                // Reply first, then flip the phase, so the xid counter
+                // lines up with a real handshake trace.
+                let reply = OfMessage::FeaturesReply(features);
+                fx.push(Effect::Control {
+                    conn,
+                    bytes: reply.encode(xid),
+                });
+                if let Some(c) = self.conn_mut(conn) {
+                    if c.phase != ConnPhase::Up {
+                        c.phase = ConnPhase::Up;
+                        fx.push(Effect::Trace(TraceKind::ConnectionUp { conn }));
+                        self.mac_table.clear();
+                    }
+                }
+            }
+            OfMessage::GetConfigRequest => {
+                let reply = OfMessage::GetConfigReply(self.config);
+                fx.push(Effect::Control {
+                    conn,
+                    bytes: reply.encode(xid),
+                });
+            }
+            OfMessage::SetConfig(cfg) => self.config = cfg,
+            OfMessage::BarrierRequest => {
+                fx.push(Effect::Control {
+                    conn,
+                    bytes: OfMessage::BarrierReply.encode(xid),
+                });
+            }
+            OfMessage::PacketOut(po) => {
+                let (frame, in_port) = match po.buffer_id {
+                    Some(id) => match self.take_buffer(id) {
+                        Some(b) => (b.frame, b.in_port),
+                        None => {
+                            self.send(
+                                conn,
+                                OfMessage::Error(ErrorMsg {
+                                    error_type: ErrorType::BadRequest,
+                                    code: bad_request::BUFFER_UNKNOWN,
+                                    data: bytes[..bytes.len().min(64)].to_vec(),
+                                }),
+                                fx,
+                            );
+                            return;
+                        }
+                    },
+                    None => (po.data.clone(), po.in_port),
+                };
+                if !frame.is_empty() {
+                    // For buffered releases the stored ingress port governs
+                    // FLOOD/IN_PORT semantics; otherwise the message's.
+                    let effective_in_port = if po.buffer_id.is_some() {
+                        in_port
+                    } else {
+                        po.in_port
+                    };
+                    self.execute_actions(&po.actions, frame, effective_in_port, now, fx);
+                }
+            }
+            OfMessage::FlowMod(fm) => {
+                match self.table.apply(&fm, now) {
+                    Ok(outcome) => {
+                        if outcome.added {
+                            fx.push(Effect::Trace(TraceKind::FlowInstalled {
+                                switch: self.name.clone(),
+                                description: fm.r#match.to_string(),
+                            }));
+                        }
+                        for removed in outcome.removed {
+                            self.notify_flow_removed(
+                                removed,
+                                attain_openflow::FlowRemovedReason::Delete,
+                                now,
+                                fx,
+                            );
+                        }
+                        // Spec §4.6: if a buffer is named, apply the new
+                        // flow's actions to the buffered packet. This is
+                        // the step that silently never happens when the
+                        // flow mod is suppressed — POX's deadlock.
+                        if let Some(id) = fm.buffer_id {
+                            if !fm.command.is_delete() {
+                                if let Some(b) = self.take_buffer(id) {
+                                    self.execute_actions(&fm.actions, b.frame, b.in_port, now, fx);
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        let code = match e {
+                            FlowModError::Overlap => flow_mod_failed::OVERLAP,
+                            FlowModError::TableFull => flow_mod_failed::ALL_TABLES_FULL,
+                        };
+                        self.send(
+                            conn,
+                            OfMessage::Error(ErrorMsg {
+                                error_type: ErrorType::FlowModFailed,
+                                code,
+                                data: bytes[..bytes.len().min(64)].to_vec(),
+                            }),
+                            fx,
+                        );
+                    }
+                }
+            }
+            OfMessage::StatsRequest(body) => {
+                let reply = self.stats_reply(&body, now);
+                fx.push(Effect::Control {
+                    conn,
+                    bytes: OfMessage::StatsReply(reply).encode(xid),
+                });
+            }
+            OfMessage::QueueGetConfigRequest { port } => {
+                fx.push(Effect::Control {
+                    conn,
+                    bytes: OfMessage::QueueGetConfigReply {
+                        port,
+                        queues: vec![],
+                    }
+                    .encode(xid),
+                });
+            }
+            OfMessage::PortMod(_) | OfMessage::Vendor { .. } => {}
+            // Symmetric/controller-bound types arriving here are protocol
+            // violations; a real switch errors out.
+            _ => self.send(
+                conn,
+                OfMessage::Error(ErrorMsg {
+                    error_type: ErrorType::BadRequest,
+                    code: bad_request::BAD_TYPE,
+                    data: bytes[..bytes.len().min(64)].to_vec(),
+                }),
+                fx,
+            ),
+        }
+    }
+
+    fn take_buffer(&mut self, id: u32) -> Option<BufferedPacket> {
+        let idx = self.buffers.iter().position(|b| b.id == id)?;
+        self.buffers.remove(idx)
+    }
+
+    fn notify_flow_removed(
+        &mut self,
+        e: FlowEntry,
+        reason: attain_openflow::FlowRemovedReason,
+        now: SimTime,
+        fx: &mut Vec<Effect>,
+    ) {
+        let duration = now.saturating_sub(e.installed_at);
+        let msg = OfMessage::FlowRemoved(FlowRemoved {
+            r#match: e.r#match,
+            cookie: e.cookie,
+            priority: e.priority,
+            reason,
+            duration_sec: (duration.as_nanos() / 1_000_000_000) as u32,
+            duration_nsec: (duration.as_nanos() % 1_000_000_000) as u32,
+            idle_timeout: e.idle_timeout,
+            packet_count: e.packet_count,
+            byte_count: e.byte_count,
+        });
+        let up: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|c| c.phase == ConnPhase::Up)
+            .map(|c| c.conn)
+            .collect();
+        for conn in up {
+            self.send(conn, msg.clone(), fx);
+        }
+    }
+
+    /// The 1 Hz housekeeping sweep: flow expiry and liveness probing.
+    pub(crate) fn tick(&mut self, now: SimTime, fx: &mut Vec<Effect>) {
+        for (entry, reason) in self.table.expire(now) {
+            if entry.send_flow_rem {
+                self.notify_flow_removed(entry, reason, now, fx);
+            }
+        }
+        let mut probes = Vec::new();
+        let mut deaths = Vec::new();
+        for c in &mut self.conns {
+            if c.phase != ConnPhase::Up {
+                continue;
+            }
+            let silence = now.saturating_sub(c.last_rx);
+            if silence >= DEAD_AFTER {
+                c.phase = ConnPhase::Dead;
+                deaths.push(c.conn);
+            } else if silence >= PROBE_AFTER {
+                probes.push(c.conn);
+            }
+        }
+        for conn in probes {
+            self.send(conn, OfMessage::EchoRequest(b"attain-probe".to_vec()), fx);
+        }
+        let any_death = !deaths.is_empty();
+        for conn in deaths {
+            fx.push(Effect::Trace(TraceKind::ConnectionDead { conn }));
+            fx.push(Effect::Timer {
+                at: now + RECONNECT_AFTER,
+                token: TimerToken::Connect { conn },
+            });
+        }
+        if any_death && !self.is_connected() {
+            self.mac_table.clear();
+            fx.push(Effect::Trace(TraceKind::FailModeEntered {
+                switch: self.name.clone(),
+                standalone: self.fail_mode == FailMode::Safe,
+            }));
+        }
+        fx.push(Effect::Timer {
+            at: now + SimTime::from_secs(1),
+            token: TimerToken::SwitchTick,
+        });
+    }
+
+    fn features(&self) -> SwitchFeatures {
+        SwitchFeatures {
+            datapath_id: self.dpid,
+            n_buffers: BUFFER_CAPACITY as u32,
+            n_tables: 1,
+            capabilities: 0x87, // flow stats | table stats | port stats | arp match ip
+            actions: 0xfff,
+            ports: self
+                .ports
+                .iter()
+                .map(|&p| {
+                    PhyPort::simulated(p, MacAddr::from_low((self.dpid.0 << 8) | p.0 as u64))
+                })
+                .collect(),
+        }
+    }
+
+    fn stats_reply(&self, body: &StatsBody, now: SimTime) -> StatsReplyBody {
+        match body {
+            StatsBody::Desc => StatsReplyBody::Desc(SwitchDesc {
+                mfr_desc: "ATTAIN reproduction".into(),
+                hw_desc: "simulated datapath".into(),
+                sw_desc: "attain-netsim (OVS v1.9.3 model)".into(),
+                serial_num: format!("{:08x}", self.dpid.0),
+                dp_desc: self.name.clone(),
+            }),
+            StatsBody::Flow {
+                r#match, out_port, ..
+            } => StatsReplyBody::Flow(
+                self.table
+                    .entries()
+                    .iter()
+                    .filter(|e| r#match.subsumes(&e.r#match))
+                    .filter(|e| {
+                        *out_port == PortNo::NONE
+                            || e.actions.iter().any(
+                                |a| matches!(a, Action::Output { port, .. } if port == out_port),
+                            )
+                    })
+                    .map(|e| {
+                        let dur = now.saturating_sub(e.installed_at);
+                        attain_openflow::FlowStatsEntry {
+                            table_id: 0,
+                            r#match: e.r#match,
+                            duration_sec: (dur.as_nanos() / 1_000_000_000) as u32,
+                            duration_nsec: (dur.as_nanos() % 1_000_000_000) as u32,
+                            priority: e.priority,
+                            idle_timeout: e.idle_timeout,
+                            hard_timeout: e.hard_timeout,
+                            cookie: e.cookie,
+                            packet_count: e.packet_count,
+                            byte_count: e.byte_count,
+                            actions: e.actions.clone(),
+                        }
+                    })
+                    .collect(),
+            ),
+            StatsBody::Aggregate { r#match, .. } => {
+                let selected: Vec<_> = self
+                    .table
+                    .entries()
+                    .iter()
+                    .filter(|e| r#match.subsumes(&e.r#match))
+                    .collect();
+                StatsReplyBody::Aggregate(attain_openflow::AggregateStats {
+                    packet_count: selected.iter().map(|e| e.packet_count).sum(),
+                    byte_count: selected.iter().map(|e| e.byte_count).sum(),
+                    flow_count: selected.len() as u32,
+                })
+            }
+            StatsBody::Table => StatsReplyBody::Table(vec![attain_openflow::TableStatsEntry {
+                table_id: 0,
+                name: "classifier".into(),
+                wildcards: 0x003f_ffff,
+                max_entries: 1024,
+                active_count: self.table.len() as u32,
+                lookup_count: self.table.lookup_count,
+                matched_count: self.table.matched_count,
+            }]),
+            StatsBody::Port { .. } => StatsReplyBody::Port(
+                self.ports
+                    .iter()
+                    .map(|&p| attain_openflow::PortStatsEntry {
+                        port_no: p,
+                        ..Default::default()
+                    })
+                    .collect(),
+            ),
+            StatsBody::Queue { .. } => StatsReplyBody::Queue(vec![]),
+        }
+    }
+}
+
+/// Applies a header-rewrite action to a raw frame, returning the frame
+/// unchanged if it cannot be parsed.
+fn apply_rewrite(action: &Action, frame: Vec<u8>) -> Vec<u8> {
+    let mut eth = match Ethernet::decode(&frame) {
+        Ok(e) => e,
+        Err(_) => return frame,
+    };
+    match action {
+        Action::SetDlSrc(mac) => eth.src = *mac,
+        Action::SetDlDst(mac) => eth.dst = *mac,
+        Action::SetVlanVid(vid) => {
+            let pcp = eth.vlan.map(|t| t & 0xe000).unwrap_or(0);
+            eth.vlan = Some(pcp | (vid & 0x0fff));
+        }
+        Action::SetVlanPcp(pcp) => {
+            let vid = eth.vlan.map(|t| t & 0x0fff).unwrap_or(0);
+            eth.vlan = Some(((*pcp as u16) << 13) | vid);
+        }
+        Action::StripVlan => eth.vlan = None,
+        Action::SetNwSrc(ip) => {
+            if let Payload::Ipv4(ipv4) = &mut eth.payload {
+                ipv4.src = (*ip).into();
+            }
+        }
+        Action::SetNwDst(ip) => {
+            if let Payload::Ipv4(ipv4) = &mut eth.payload {
+                ipv4.dst = (*ip).into();
+            }
+        }
+        Action::SetNwTos(tos) => {
+            if let Payload::Ipv4(ipv4) = &mut eth.payload {
+                ipv4.tos = *tos;
+            }
+        }
+        Action::SetTpSrc(p) => {
+            if let Payload::Ipv4(ipv4) = &mut eth.payload {
+                match &mut ipv4.payload {
+                    IpPayload::Tcp(t) => t.src_port = *p,
+                    IpPayload::Udp(u) => u.src_port = *p,
+                    _ => {}
+                }
+            }
+        }
+        Action::SetTpDst(p) => {
+            if let Payload::Ipv4(ipv4) = &mut eth.payload {
+                match &mut ipv4.payload {
+                    IpPayload::Tcp(t) => t.dst_port = *p,
+                    IpPayload::Udp(u) => u.dst_port = *p,
+                    _ => {}
+                }
+            }
+        }
+        _ => {}
+    }
+    eth.encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attain_openflow::FlowMod;
+    use attain_openflow::Match;
+
+    fn switch() -> Switch {
+        let mut s = Switch::new(NodeId(0), "s1".into(), DatapathId(1), FailMode::Secure);
+        s.add_port(PortNo(1));
+        s.add_port(PortNo(2));
+        s.add_port(PortNo(3));
+        s.add_conn(ConnId(0));
+        s
+    }
+
+    fn frame(src: u64, dst: u64) -> Vec<u8> {
+        packet::icmp_echo_request(
+            MacAddr::from_low(src),
+            MacAddr::from_low(dst),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            1,
+            1,
+            vec![0; 8],
+        )
+        .encode()
+    }
+
+    fn connect(s: &mut Switch) {
+        let mut fx = Vec::new();
+        s.start_connect(ConnId(0), SimTime::ZERO, &mut fx);
+        s.handle_control(
+            ConnId(0),
+            &OfMessage::Hello.encode(1),
+            SimTime::ZERO,
+            &mut fx,
+        );
+        s.handle_control(
+            ConnId(0),
+            &OfMessage::FeaturesRequest.encode(2),
+            SimTime::ZERO,
+            &mut fx,
+        );
+        assert!(s.is_connected());
+    }
+
+    #[test]
+    fn handshake_brings_connection_up() {
+        let mut s = switch();
+        assert!(!s.is_connected());
+        connect(&mut s);
+    }
+
+    #[test]
+    fn miss_while_connected_buffers_and_sends_packet_in() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        let controls: Vec<_> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Control { bytes, .. } => Some(OfMessage::decode(bytes).unwrap().0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(controls.len(), 1);
+        let OfMessage::PacketIn(pi) = &controls[0] else {
+            panic!("expected packet in");
+        };
+        assert_eq!(pi.in_port, PortNo(1));
+        assert!(pi.buffer_id.is_some());
+        assert_eq!(pi.reason, PacketInReason::NoMatch);
+        // Truncated to miss_send_len (default 128).
+        assert!(pi.data.len() <= 128);
+        assert_eq!(s.buffers.len(), 1);
+    }
+
+    #[test]
+    fn packet_out_releases_buffer() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        let id = s.buffers[0].id;
+        fx.clear();
+        let po = OfMessage::PacketOut(attain_openflow::PacketOut {
+            buffer_id: Some(id),
+            in_port: PortNo(1),
+            actions: vec![Action::Output {
+                port: PortNo(2),
+                max_len: 0,
+            }],
+            data: vec![],
+        });
+        s.handle_control(ConnId(0), &po.encode(5), SimTime::ZERO, &mut fx);
+        assert!(s.buffers.is_empty());
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Frame { out_port, .. } if *out_port == PortNo(2))));
+    }
+
+    #[test]
+    fn packet_out_with_unknown_buffer_errors() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        let po = OfMessage::PacketOut(attain_openflow::PacketOut {
+            buffer_id: Some(999),
+            in_port: PortNo(1),
+            actions: vec![],
+            data: vec![],
+        });
+        s.handle_control(ConnId(0), &po.encode(5), SimTime::ZERO, &mut fx);
+        let has_error = fx.iter().any(|e| match e {
+            Effect::Control { bytes, .. } => matches!(
+                OfMessage::decode(bytes).unwrap().0,
+                OfMessage::Error(ref em) if em.code == bad_request::BUFFER_UNKNOWN
+            ),
+            _ => false,
+        });
+        assert!(has_error);
+    }
+
+    #[test]
+    fn flow_mod_with_buffer_forwards_the_parked_packet() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        let id = s.buffers[0].id;
+        fx.clear();
+        let fm = OfMessage::FlowMod(FlowMod {
+            buffer_id: Some(id),
+            ..FlowMod::add(
+                Match::exact_in_port(PortNo(1)),
+                vec![Action::Output {
+                    port: PortNo(3),
+                    max_len: 0,
+                }],
+            )
+        });
+        s.handle_control(ConnId(0), &fm.encode(6), SimTime::ZERO, &mut fx);
+        assert!(s.buffers.is_empty());
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Frame { out_port, .. } if *out_port == PortNo(3))));
+        assert_eq!(s.flow_table().len(), 1);
+        // Subsequent frames hit the table directly.
+        fx.clear();
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::from_millis(1), &mut fx);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Frame { out_port, .. } if *out_port == PortNo(3))));
+        assert!(s.buffers.is_empty());
+    }
+
+    #[test]
+    fn suppressed_flow_mod_leaves_buffer_parked_forever() {
+        // The POX deadlock mechanism: buffer waits for a flow mod that the
+        // attack dropped. Nothing else releases it.
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        assert_eq!(s.buffers.len(), 1);
+        // Time passes; the frame never egresses.
+        fx.clear();
+        s.tick(SimTime::from_secs(30), &mut fx);
+        assert_eq!(s.buffers.len(), 1);
+        assert!(!fx.iter().any(|e| matches!(e, Effect::Frame { .. })));
+    }
+
+    #[test]
+    fn fail_secure_drops_misses_when_disconnected() {
+        let mut s = switch();
+        // never connected
+        let mut fx = Vec::new();
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        assert!(!fx.iter().any(|e| matches!(e, Effect::Frame { .. })));
+        assert_eq!(s.secure_drops, 1);
+    }
+
+    #[test]
+    fn fail_safe_learns_and_floods_when_disconnected() {
+        let mut s = Switch::new(NodeId(0), "s1".into(), DatapathId(1), FailMode::Safe);
+        s.add_port(PortNo(1));
+        s.add_port(PortNo(2));
+        s.add_port(PortNo(3));
+        let mut fx = Vec::new();
+        // Unknown dst: floods to 2 and 3.
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        let floods: Vec<_> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Frame { out_port, .. } => Some(*out_port),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floods, vec![PortNo(2), PortNo(3)]);
+        // Reply from port 2 teaches the MAC; now unicast.
+        fx.clear();
+        s.handle_frame(PortNo(2), frame(2, 1), SimTime::ZERO, &mut fx);
+        let outs: Vec<_> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Frame { out_port, .. } => Some(*out_port),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outs, vec![PortNo(1)]);
+    }
+
+    #[test]
+    fn silence_triggers_probe_then_death_then_reconnect_timer() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        // 6 s of silence: probe.
+        s.tick(SimTime::from_secs(6), &mut fx);
+        let probed = fx.iter().any(|e| match e {
+            Effect::Control { bytes, .. } => matches!(
+                OfMessage::decode(bytes).unwrap().0,
+                OfMessage::EchoRequest(_)
+            ),
+            _ => false,
+        });
+        assert!(probed);
+        assert!(s.is_connected());
+        // 16 s of silence: dead + fail mode + reconnect timer.
+        fx.clear();
+        s.tick(SimTime::from_secs(16), &mut fx);
+        assert!(!s.is_connected());
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Trace(TraceKind::ConnectionDead { .. }))));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Trace(TraceKind::FailModeEntered { standalone: false, .. }))));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Timer { token: TimerToken::Connect { .. }, .. })));
+    }
+
+    #[test]
+    fn echo_request_is_answered() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        s.handle_control(
+            ConnId(0),
+            &OfMessage::EchoRequest(vec![1, 2]).encode(9),
+            SimTime::ZERO,
+            &mut fx,
+        );
+        let echoed = fx.iter().any(|e| match e {
+            Effect::Control { bytes, .. } => {
+                OfMessage::decode(bytes).unwrap().0 == OfMessage::EchoReply(vec![1, 2])
+            }
+            _ => false,
+        });
+        assert!(echoed);
+    }
+
+    #[test]
+    fn garbage_control_bytes_yield_error_not_panic() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        s.handle_control(ConnId(0), &[0xff; 16], SimTime::ZERO, &mut fx);
+        let has_error = fx.iter().any(|e| match e {
+            Effect::Control { bytes, .. } => {
+                matches!(OfMessage::decode(bytes).unwrap().0, OfMessage::Error(_))
+            }
+            _ => false,
+        });
+        assert!(has_error);
+    }
+
+    #[test]
+    fn stats_request_flow_reports_installed_entries() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        let fm = OfMessage::FlowMod(FlowMod::add(
+            Match::exact_in_port(PortNo(1)),
+            vec![Action::Output {
+                port: PortNo(2),
+                max_len: 0,
+            }],
+        ));
+        s.handle_control(ConnId(0), &fm.encode(3), SimTime::ZERO, &mut fx);
+        fx.clear();
+        let req = OfMessage::StatsRequest(StatsBody::Flow {
+            r#match: Match::all(),
+            table_id: 0xff,
+            out_port: PortNo::NONE,
+        });
+        s.handle_control(ConnId(0), &req.encode(4), SimTime::from_secs(2), &mut fx);
+        let reply = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Control { bytes, .. } => match OfMessage::decode(bytes).unwrap().0 {
+                    OfMessage::StatsReply(StatsReplyBody::Flow(entries)) => Some(entries),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .expect("flow stats reply");
+        assert_eq!(reply.len(), 1);
+        assert_eq!(reply[0].duration_sec, 2);
+    }
+
+    #[test]
+    fn rewrite_actions_change_the_frame() {
+        let f = frame(1, 2);
+        let rewritten = apply_rewrite(&Action::SetDlDst(MacAddr::from_low(0x99)), f);
+        let eth = Ethernet::decode(&rewritten).unwrap();
+        assert_eq!(eth.dst, MacAddr::from_low(0x99));
+        // IP rewrite recomputes the checksum (decode would fail otherwise).
+        let rewritten = apply_rewrite(&Action::SetNwSrc(0x01020304), rewritten);
+        let eth = Ethernet::decode(&rewritten).unwrap();
+        let Payload::Ipv4(ip) = eth.payload else {
+            panic!("not ipv4")
+        };
+        assert_eq!(ip.src, std::net::Ipv4Addr::new(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn table_full_reports_error() {
+        let mut s = switch();
+        s.table = FlowTable::new(1);
+        connect(&mut s);
+        let mut fx = Vec::new();
+        for port in [1u16, 2] {
+            let fm = OfMessage::FlowMod(FlowMod::add(
+                Match::exact_in_port(PortNo(port)),
+                vec![],
+            ));
+            s.handle_control(ConnId(0), &fm.encode(port as u32), SimTime::ZERO, &mut fx);
+        }
+        let has_full = fx.iter().any(|e| match e {
+            Effect::Control { bytes, .. } => matches!(
+                OfMessage::decode(bytes).unwrap().0,
+                OfMessage::Error(ref em)
+                    if em.error_type == ErrorType::FlowModFailed
+                        && em.code == flow_mod_failed::ALL_TABLES_FULL
+            ),
+            _ => false,
+        });
+        assert!(has_full);
+    }
+}

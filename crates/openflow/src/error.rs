@@ -1,0 +1,106 @@
+//! Codec error type.
+
+use std::fmt;
+
+/// Error produced when decoding (or, rarely, encoding) wire data fails.
+///
+/// The variants carry enough context to point at the offending field, which
+/// the attack injector surfaces when a fuzzed message can no longer be
+/// re-parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The input ended before a fixed-size field could be read.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+        /// Bytes needed to finish the read.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A length field disagrees with the available data or spec minimums.
+    BadLength {
+        /// What was being decoded.
+        context: &'static str,
+        /// The length value found on the wire.
+        found: usize,
+    },
+    /// An enumeration field held a value the spec does not define.
+    BadValue {
+        /// The field holding the unexpected value.
+        field: &'static str,
+        /// The value found on the wire.
+        value: u64,
+    },
+    /// The OpenFlow version byte was not 0x01.
+    BadVersion(u8),
+    /// Trailing bytes remained after a complete structure was decoded.
+    TrailingBytes {
+        /// What was being decoded.
+        context: &'static str,
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated input while decoding {context}: needed {needed} bytes, had {available}"
+            ),
+            CodecError::BadLength { context, found } => {
+                write!(f, "invalid length {found} while decoding {context}")
+            }
+            CodecError::BadValue { field, value } => {
+                write!(f, "invalid value {value} for field {field}")
+            }
+            CodecError::BadVersion(v) => {
+                write!(f, "unsupported OpenFlow version 0x{v:02x} (expected 0x01)")
+            }
+            CodecError::TrailingBytes { context, remaining } => {
+                write!(f, "{remaining} trailing bytes after decoding {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = CodecError::Truncated {
+            context: "ofp_match",
+            needed: 40,
+            available: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("ofp_match"));
+        assert!(s.contains("40"));
+        assert!(s.contains("12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodecError>();
+    }
+
+    #[test]
+    fn bad_version_display() {
+        assert_eq!(
+            CodecError::BadVersion(4).to_string(),
+            "unsupported OpenFlow version 0x04 (expected 0x01)"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! OpenFlow 1.0 message body structures.
+//!
+//! Each submodule implements one spec structure family with symmetric
+//! `encode`/`decode` body codecs (the 8-byte header is handled by
+//! [`crate::OfMessage`]).
+
+mod config;
+mod error_msg;
+mod features;
+mod flow_mod;
+mod flow_removed;
+mod packet_in;
+mod packet_out;
+mod port;
+pub(crate) mod queue;
+mod stats;
+
+pub use config::SwitchConfig;
+pub use error_msg::{bad_request, flow_mod_failed, ErrorCode, ErrorMsg, ErrorType};
+pub use features::{PhyPort, SwitchFeatures};
+pub use flow_mod::{FlowMod, FlowModCommand, FlowModFlags};
+pub use flow_removed::{FlowRemoved, FlowRemovedReason};
+pub use packet_in::{PacketIn, PacketInReason};
+pub use packet_out::PacketOut;
+pub use port::{PortMod, PortStatus, PortStatusReason};
+pub use queue::QueueConfig;
+pub use stats::{
+    AggregateStats, FlowStatsEntry, PortStatsEntry, QueueStatsEntry, StatsBody, StatsReplyBody,
+    SwitchDesc, TableStatsEntry,
+};

@@ -1,0 +1,245 @@
+//! Convenience constructors for the frames the simulated hosts emit.
+
+use super::arp::{Arp, ArpOperation};
+use super::ethernet::{EtherType, Ethernet, Payload};
+use super::icmp::Icmp;
+use super::ipv4::{IpPayload, Ipv4};
+use super::tcp::{Tcp, TcpFlags};
+use super::udp::Udp;
+use super::ip_proto;
+use crate::types::MacAddr;
+use std::net::Ipv4Addr;
+
+/// Builds a broadcast ARP who-has request.
+pub fn arp_request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Ethernet {
+    Ethernet {
+        dst: MacAddr::BROADCAST,
+        src: sender_mac,
+        vlan: None,
+        ethertype: EtherType::ARP,
+        payload: Payload::Arp(Arp {
+            operation: ArpOperation::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }),
+    }
+}
+
+/// Builds a unicast ARP is-at reply.
+pub fn arp_reply(
+    sender_mac: MacAddr,
+    sender_ip: Ipv4Addr,
+    target_mac: MacAddr,
+    target_ip: Ipv4Addr,
+) -> Ethernet {
+    Ethernet {
+        dst: target_mac,
+        src: sender_mac,
+        vlan: None,
+        ethertype: EtherType::ARP,
+        payload: Payload::Arp(Arp {
+            operation: ArpOperation::Reply,
+            sender_mac,
+            sender_ip,
+            target_mac,
+            target_ip,
+        }),
+    }
+}
+
+fn ipv4_frame(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    protocol: u8,
+    payload: IpPayload,
+) -> Ethernet {
+    Ethernet {
+        dst: dst_mac,
+        src: src_mac,
+        vlan: None,
+        ethertype: EtherType::IPV4,
+        payload: Payload::Ipv4(Ipv4 {
+            tos: 0,
+            identification: 0,
+            ttl: 64,
+            protocol,
+            src: src_ip,
+            dst: dst_ip,
+            payload,
+        }),
+    }
+}
+
+/// Builds an ICMP echo request, as `ping` sends each second.
+#[allow(clippy::too_many_arguments)]
+pub fn icmp_echo_request(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    identifier: u16,
+    sequence: u16,
+    payload: Vec<u8>,
+) -> Ethernet {
+    ipv4_frame(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        ip_proto::ICMP,
+        IpPayload::Icmp(Icmp {
+            icmp_type: 8,
+            code: 0,
+            identifier,
+            sequence,
+            payload,
+        }),
+    )
+}
+
+/// Builds an ICMP echo reply mirroring a request.
+#[allow(clippy::too_many_arguments)]
+pub fn icmp_echo_reply(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    identifier: u16,
+    sequence: u16,
+    payload: Vec<u8>,
+) -> Ethernet {
+    ipv4_frame(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        ip_proto::ICMP,
+        IpPayload::Icmp(Icmp {
+            icmp_type: 0,
+            code: 0,
+            identifier,
+            sequence,
+            payload,
+        }),
+    )
+}
+
+/// Builds a TCP segment, as the `iperf` model exchanges.
+#[allow(clippy::too_many_arguments)]
+pub fn tcp_segment(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    ack: u32,
+    flags: TcpFlags,
+    payload: Vec<u8>,
+) -> Ethernet {
+    ipv4_frame(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        ip_proto::TCP,
+        IpPayload::Tcp(Tcp {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 65535,
+            payload,
+        }),
+    )
+}
+
+/// Builds a UDP datagram.
+#[allow(clippy::too_many_arguments)]
+pub fn udp_datagram(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: Vec<u8>,
+) -> Ethernet {
+    ipv4_frame(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        ip_proto::UDP,
+        IpPayload::Udp(Udp {
+            src_port,
+            dst_port,
+            payload,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_pair_roundtrips_through_bytes() {
+        let req = icmp_echo_request(
+            MacAddr::from_low(1),
+            MacAddr::from_low(2),
+            Ipv4Addr::new(10, 0, 1, 1),
+            Ipv4Addr::new(10, 0, 2, 2),
+            7,
+            3,
+            vec![0x61; 56],
+        );
+        let bytes = req.encode();
+        let back = Ethernet::decode(&bytes).unwrap();
+        assert_eq!(back, req);
+        let Payload::Ipv4(ip) = &back.payload else {
+            panic!("not ipv4");
+        };
+        let IpPayload::Icmp(icmp) = &ip.payload else {
+            panic!("not icmp");
+        };
+        assert_eq!(icmp.sequence, 3);
+    }
+
+    #[test]
+    fn arp_pair_addresses() {
+        let req = arp_request(
+            MacAddr::from_low(5),
+            Ipv4Addr::new(10, 0, 0, 5),
+            Ipv4Addr::new(10, 0, 0, 6),
+        );
+        assert_eq!(req.dst, MacAddr::BROADCAST);
+        let rep = arp_reply(
+            MacAddr::from_low(6),
+            Ipv4Addr::new(10, 0, 0, 6),
+            MacAddr::from_low(5),
+            Ipv4Addr::new(10, 0, 0, 5),
+        );
+        assert_eq!(rep.dst, MacAddr::from_low(5));
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let d = udp_datagram(
+            MacAddr::from_low(1),
+            MacAddr::from_low(2),
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1000,
+            2000,
+            vec![1, 2, 3],
+        );
+        assert_eq!(Ethernet::decode(&d.encode()).unwrap(), d);
+    }
+}

@@ -1,0 +1,154 @@
+//! ICMP (echo request/reply and opaque others).
+
+use super::internet_checksum;
+use crate::error::CodecError;
+use crate::wire::{Reader, Writer};
+
+/// Well-known ICMP message kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcmpKind {
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Destination unreachable (type 3).
+    DestinationUnreachable,
+    /// Anything else.
+    Other(u8),
+}
+
+impl IcmpKind {
+    /// The wire type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            IcmpKind::EchoReply => 0,
+            IcmpKind::EchoRequest => 8,
+            IcmpKind::DestinationUnreachable => 3,
+            IcmpKind::Other(t) => *t,
+        }
+    }
+
+    /// Classifies a wire type byte.
+    pub fn from_type_byte(t: u8) -> IcmpKind {
+        match t {
+            0 => IcmpKind::EchoReply,
+            8 => IcmpKind::EchoRequest,
+            3 => IcmpKind::DestinationUnreachable,
+            other => IcmpKind::Other(other),
+        }
+    }
+}
+
+/// An ICMP message. For echo messages, `identifier`/`sequence` carry the
+/// ping id and trial number; for others they carry the "rest of header"
+/// word verbatim.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Icmp {
+    /// Type byte.
+    pub icmp_type: u8,
+    /// Code byte.
+    pub code: u8,
+    /// Echo identifier (or high half of the rest-of-header word).
+    pub identifier: u16,
+    /// Echo sequence number (or low half of the rest-of-header word).
+    pub sequence: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Icmp {
+    /// The message kind.
+    pub fn kind(&self) -> IcmpKind {
+        IcmpKind::from_type_byte(self.icmp_type)
+    }
+
+    /// Decodes an ICMP message, verifying the checksum.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or a bad checksum.
+    pub fn decode(buf: &[u8]) -> Result<Icmp, CodecError> {
+        if internet_checksum(buf) != 0 {
+            return Err(CodecError::BadValue {
+                field: "icmp.checksum",
+                value: 0,
+            });
+        }
+        let mut r = Reader::new(buf, "icmp");
+        let icmp_type = r.u8()?;
+        let code = r.u8()?;
+        let _checksum = r.u16()?;
+        let identifier = r.u16()?;
+        let sequence = r.u16()?;
+        let payload = r.rest().to_vec();
+        Ok(Icmp {
+            icmp_type,
+            code,
+            identifier,
+            sequence,
+            payload,
+        })
+    }
+
+    /// Encodes the message into `w`, computing the checksum.
+    pub fn encode(&self, w: &mut Writer) {
+        let mut m = Writer::new();
+        m.u8(self.icmp_type);
+        m.u8(self.code);
+        m.u16(0);
+        m.u16(self.identifier);
+        m.u16(self.sequence);
+        m.bytes(&self.payload);
+        let mut v = m.into_vec();
+        let csum = internet_checksum(&v);
+        v[2..4].copy_from_slice(&csum.to_be_bytes());
+        w.bytes(&v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = Icmp {
+            icmp_type: 8,
+            code: 0,
+            identifier: 42,
+            sequence: 7,
+            payload: vec![0xab; 48],
+        };
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let v = w.into_vec();
+        let d = Icmp::decode(&v).unwrap();
+        assert_eq!(d, m);
+        assert_eq!(d.kind(), IcmpKind::EchoRequest);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let m = Icmp {
+            icmp_type: 0,
+            code: 0,
+            identifier: 1,
+            sequence: 2,
+            payload: vec![1, 2, 3],
+        };
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let mut v = w.into_vec();
+        *v.last_mut().unwrap() ^= 0x01;
+        assert!(Icmp::decode(&v).is_err());
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(IcmpKind::from_type_byte(0), IcmpKind::EchoReply);
+        assert_eq!(IcmpKind::from_type_byte(8), IcmpKind::EchoRequest);
+        assert_eq!(IcmpKind::from_type_byte(3), IcmpKind::DestinationUnreachable);
+        assert_eq!(IcmpKind::from_type_byte(11), IcmpKind::Other(11));
+        assert_eq!(IcmpKind::Other(11).type_byte(), 11);
+    }
+}

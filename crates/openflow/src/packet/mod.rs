@@ -1,0 +1,306 @@
+//! Data-plane packet codec: Ethernet, ARP, IPv4, ICMP, TCP, UDP.
+//!
+//! These are the frames that traverse the simulated data plane and ride
+//! inside `PACKET_IN` / `PACKET_OUT` payloads. The module also extracts
+//! the OpenFlow 1.0 [`FlowKey`] from a raw frame
+//! ([`flow_key`]) — the operation every switch performs on every packet.
+//!
+//! # Examples
+//!
+//! ```
+//! use attain_openflow::packet::{self, EtherType, Ethernet, Payload};
+//! use attain_openflow::MacAddr;
+//!
+//! # fn main() -> Result<(), attain_openflow::CodecError> {
+//! let frame = packet::arp_request(
+//!     MacAddr::from_low(1),
+//!     "10.0.1.1".parse().unwrap(),
+//!     "10.0.1.2".parse().unwrap(),
+//! );
+//! let bytes = frame.encode();
+//! let decoded = Ethernet::decode(&bytes)?;
+//! assert_eq!(decoded.ethertype, EtherType::ARP);
+//! assert!(matches!(decoded.payload, Payload::Arp(_)));
+//! # Ok(())
+//! # }
+//! ```
+
+mod arp;
+mod builder;
+mod ethernet;
+mod icmp;
+mod ipv4;
+mod tcp;
+mod udp;
+
+pub use arp::{Arp, ArpOperation};
+pub use builder::{
+    arp_reply, arp_request, icmp_echo_reply, icmp_echo_request, tcp_segment, udp_datagram,
+};
+pub use ethernet::{EtherType, Ethernet, Payload};
+pub use icmp::{Icmp, IcmpKind};
+pub use ipv4::Ipv4;
+pub use tcp::{Tcp, TcpFlags};
+pub use udp::Udp;
+
+use crate::r#match::{FlowKey, OFP_VLAN_NONE};
+use crate::types::{MacAddr, PortNo};
+
+/// IP protocol numbers used by the codec.
+pub mod ip_proto {
+    /// ICMP.
+    pub const ICMP: u8 = 1;
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+}
+
+/// Extracts the OpenFlow 1.0 flow key from a raw Ethernet frame arriving
+/// on `in_port`, per the spec's "packet parsing" flow diagram: ARP fills
+/// the network fields from its SPA/TPA/opcode; ICMP fills the transport
+/// fields from its type/code.
+///
+/// Parsing is deliberately *lenient*: fields are extracted as far as the
+/// available bytes allow, header by header, without validating lengths
+/// or checksums. This matters because controllers routinely classify
+/// **truncated** frames — a buffered `PACKET_IN` carries only
+/// `miss_send_len` (default 128) bytes of a full-MTU packet, and a real
+/// switch ASIC or controller still reads the complete 12-tuple from
+/// those header bytes.
+pub fn flow_key(frame: &[u8], in_port: PortNo) -> FlowKey {
+    fn be16(b: &[u8], at: usize) -> Option<u16> {
+        Some(u16::from_be_bytes([*b.get(at)?, *b.get(at + 1)?]))
+    }
+    fn be32(b: &[u8], at: usize) -> Option<u32> {
+        Some(u32::from_be_bytes([
+            *b.get(at)?,
+            *b.get(at + 1)?,
+            *b.get(at + 2)?,
+            *b.get(at + 3)?,
+        ]))
+    }
+    fn mac(b: &[u8], at: usize) -> Option<MacAddr> {
+        let s = b.get(at..at + 6)?;
+        let mut a = [0u8; 6];
+        a.copy_from_slice(s);
+        Some(MacAddr(a))
+    }
+
+    let mut key = FlowKey {
+        in_port,
+        dl_vlan: OFP_VLAN_NONE,
+        ..FlowKey::default()
+    };
+    let (Some(dst), Some(src), Some(mut ethertype)) =
+        (mac(frame, 0), mac(frame, 6), be16(frame, 12))
+    else {
+        return key;
+    };
+    key.dl_dst = dst;
+    key.dl_src = src;
+    let mut l3 = 14;
+    if ethertype == EtherType::VLAN.0 {
+        let (Some(tci), Some(inner)) = (be16(frame, 14), be16(frame, 16)) else {
+            return key;
+        };
+        key.dl_vlan = tci & 0x0fff;
+        key.dl_vlan_pcp = (tci >> 13) as u8;
+        ethertype = inner;
+        l3 = 18;
+    }
+    key.dl_type = ethertype;
+    match ethertype {
+        t if t == EtherType::ARP.0 => {
+            // ARP: opcode at +6, SPA at +14, TPA at +24.
+            if let Some(op) = be16(frame, l3 + 6) {
+                key.nw_proto = op as u8;
+            }
+            if let Some(spa) = be32(frame, l3 + 14) {
+                key.nw_src = spa;
+            }
+            if let Some(tpa) = be32(frame, l3 + 24) {
+                key.nw_dst = tpa;
+            }
+        }
+        t if t == EtherType::IPV4.0 => {
+            let Some(ver_ihl) = frame.get(l3).copied() else {
+                return key;
+            };
+            if ver_ihl >> 4 != 4 {
+                return key;
+            }
+            let ihl = (ver_ihl & 0x0f) as usize * 4;
+            if let Some(tos) = frame.get(l3 + 1) {
+                key.nw_tos = *tos;
+            }
+            if let Some(proto) = frame.get(l3 + 9) {
+                key.nw_proto = *proto;
+            }
+            if let Some(src) = be32(frame, l3 + 12) {
+                key.nw_src = src;
+            }
+            if let Some(dst) = be32(frame, l3 + 16) {
+                key.nw_dst = dst;
+            }
+            let l4 = l3 + ihl.max(20);
+            match key.nw_proto {
+                ip_proto::ICMP => {
+                    if let Some(t) = frame.get(l4) {
+                        key.tp_src = *t as u16;
+                    }
+                    if let Some(c) = frame.get(l4 + 1) {
+                        key.tp_dst = *c as u16;
+                    }
+                }
+                ip_proto::TCP | ip_proto::UDP => {
+                    if let Some(sp) = be16(frame, l4) {
+                        key.tp_src = sp;
+                    }
+                    if let Some(dp) = be16(frame, l4 + 2) {
+                        key.tp_dst = dp;
+                    }
+                }
+                _ => {}
+            }
+        }
+        _ => {}
+    }
+    key
+}
+
+pub use ipv4::IpPayload;
+
+/// Computes the ones-complement Internet checksum over `data`.
+pub(crate) fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::MacAddr;
+
+    #[test]
+    fn checksum_of_zeroes_is_ffff() {
+        assert_eq!(internet_checksum(&[0, 0, 0, 0]), 0xffff);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let data = [0x45u8, 0x00, 0x00, 0x28, 0x12, 0x34];
+        let ok = internet_checksum(&data);
+        let mut bad = data;
+        bad[1] ^= 0xff;
+        assert_ne!(ok, internet_checksum(&bad));
+    }
+
+    #[test]
+    fn checksum_handles_odd_length() {
+        // Must not panic and must include the final byte.
+        let a = internet_checksum(&[1, 2, 3]);
+        let b = internet_checksum(&[1, 2]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn flow_key_from_arp() {
+        let frame = arp_request(
+            MacAddr::from_low(0x11),
+            "10.0.1.1".parse().unwrap(),
+            "10.0.1.2".parse().unwrap(),
+        );
+        let key = flow_key(&frame.encode(), PortNo(4));
+        assert_eq!(key.in_port, PortNo(4));
+        assert_eq!(key.dl_type, 0x0806);
+        assert_eq!(key.dl_dst, MacAddr::BROADCAST);
+        assert_eq!(key.nw_proto, 1); // ARP request opcode
+        assert_eq!(key.nw_src, u32::from_be_bytes([10, 0, 1, 1]));
+        assert_eq!(key.nw_dst, u32::from_be_bytes([10, 0, 1, 2]));
+        assert_eq!(key.dl_vlan, OFP_VLAN_NONE);
+    }
+
+    #[test]
+    fn flow_key_from_tcp() {
+        let frame = tcp_segment(
+            MacAddr::from_low(1),
+            MacAddr::from_low(2),
+            "10.0.1.1".parse().unwrap(),
+            "10.0.2.2".parse().unwrap(),
+            5001,
+            80,
+            7,
+            9,
+            TcpFlags::SYN,
+            vec![],
+        );
+        let key = flow_key(&frame.encode(), PortNo(1));
+        assert_eq!(key.dl_type, 0x0800);
+        assert_eq!(key.nw_proto, ip_proto::TCP);
+        assert_eq!(key.tp_src, 5001);
+        assert_eq!(key.tp_dst, 80);
+    }
+
+    #[test]
+    fn flow_key_from_icmp_uses_type_and_code() {
+        let frame = icmp_echo_request(
+            MacAddr::from_low(1),
+            MacAddr::from_low(2),
+            "10.0.1.1".parse().unwrap(),
+            "10.0.2.2".parse().unwrap(),
+            42,
+            1,
+            vec![0; 48],
+        );
+        let key = flow_key(&frame.encode(), PortNo(2));
+        assert_eq!(key.nw_proto, ip_proto::ICMP);
+        assert_eq!(key.tp_src, 8); // echo request type
+        assert_eq!(key.tp_dst, 0);
+    }
+
+    #[test]
+    fn flow_key_of_garbage_frame_has_l1_fields_only() {
+        let key = flow_key(&[1, 2, 3], PortNo(9));
+        assert_eq!(key.in_port, PortNo(9));
+        assert_eq!(key.dl_type, 0);
+    }
+
+    #[test]
+    fn flow_key_survives_miss_send_len_truncation() {
+        // A full-MTU TCP frame truncated to the spec's default 128-byte
+        // miss_send_len must still yield the complete 12-tuple — this is
+        // what every controller sees in buffered PACKET_INs.
+        let frame = tcp_segment(
+            MacAddr::from_low(1),
+            MacAddr::from_low(2),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.6".parse().unwrap(),
+            30000,
+            5001,
+            77,
+            1,
+            TcpFlags::ACK,
+            vec![0x49; 1460],
+        )
+        .encode();
+        let full = flow_key(&frame, PortNo(3));
+        let truncated = flow_key(&frame[..128], PortNo(3));
+        assert_eq!(truncated, full);
+        assert_eq!(truncated.dl_src, MacAddr::from_low(1));
+        assert_eq!(truncated.tp_dst, 5001);
+        // Even a headers-only 54-byte prefix still carries the key.
+        let minimal = flow_key(&frame[..54], PortNo(3));
+        assert_eq!(minimal, full);
+    }
+}

@@ -1,0 +1,279 @@
+//! Property-based tests: every generated message survives an
+//! encode→decode roundtrip, and the decoder never panics on arbitrary
+//! bytes (the safety property the injector's FUZZMESSAGE action depends
+//! on).
+
+use attain_openflow::packet::{self, Ethernet, TcpFlags};
+use attain_openflow::{
+    Action, ErrorMsg, ErrorType, FlowMod, FlowModCommand, FlowModFlags, FlowRemoved,
+    FlowRemovedReason, MacAddr, Match, OfMessage, PacketIn, PacketInReason, PacketOut, PortNo,
+    StatsBody, SwitchConfig, Wildcards,
+};
+use proptest::prelude::*;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_port() -> impl Strategy<Value = PortNo> {
+    prop_oneof![
+        (1u16..=0xff00).prop_map(PortNo),
+        Just(PortNo::FLOOD),
+        Just(PortNo::CONTROLLER),
+        Just(PortNo::NONE),
+    ]
+}
+
+fn arb_wildcards() -> impl Strategy<Value = Wildcards> {
+    (0u32..=0x003f_ffff).prop_map(Wildcards)
+}
+
+fn arb_match() -> impl Strategy<Value = Match> {
+    (
+        arb_wildcards(),
+        arb_port(),
+        arb_mac(),
+        arb_mac(),
+        any::<u16>(),
+        0u8..8,
+        any::<u16>(),
+        (any::<u8>(), any::<u8>(), any::<u32>(), any::<u32>()),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(
+            |(wildcards, in_port, dl_src, dl_dst, dl_vlan, dl_vlan_pcp, dl_type, l3, tp_src, tp_dst)| {
+                let (nw_tos, nw_proto, nw_src, nw_dst) = l3;
+                Match {
+                    wildcards,
+                    in_port,
+                    dl_src,
+                    dl_dst,
+                    dl_vlan,
+                    dl_vlan_pcp,
+                    dl_type,
+                    nw_tos,
+                    nw_proto,
+                    nw_src,
+                    nw_dst,
+                    tp_src,
+                    tp_dst,
+                }
+            },
+        )
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (arb_port(), any::<u16>()).prop_map(|(port, max_len)| Action::Output { port, max_len }),
+        any::<u16>().prop_map(Action::SetVlanVid),
+        (0u8..8).prop_map(Action::SetVlanPcp),
+        Just(Action::StripVlan),
+        arb_mac().prop_map(Action::SetDlSrc),
+        arb_mac().prop_map(Action::SetDlDst),
+        any::<u32>().prop_map(Action::SetNwSrc),
+        any::<u32>().prop_map(Action::SetNwDst),
+        any::<u8>().prop_map(Action::SetNwTos),
+        any::<u16>().prop_map(Action::SetTpSrc),
+        any::<u16>().prop_map(Action::SetTpDst),
+        (arb_port(), any::<u32>()).prop_map(|(port, queue_id)| Action::Enqueue { port, queue_id }),
+    ]
+}
+
+fn arb_flow_mod() -> impl Strategy<Value = FlowMod> {
+    (
+        arb_match(),
+        any::<u64>(),
+        0u16..5,
+        any::<u16>(),
+        any::<u16>(),
+        any::<u16>(),
+        proptest::option::of(any::<u32>().prop_map(|v| v & 0x7fff_ffff)),
+        arb_port(),
+        0u16..8,
+        proptest::collection::vec(arb_action(), 0..4),
+    )
+        .prop_map(
+            |(m, cookie, cmd, idle, hard, priority, buffer_id, out_port, flags, actions)| FlowMod {
+                r#match: m,
+                cookie,
+                command: FlowModCommand::from_wire(cmd).unwrap(),
+                idle_timeout: idle,
+                hard_timeout: hard,
+                priority,
+                buffer_id,
+                out_port,
+                flags: FlowModFlags(flags),
+                actions,
+            },
+        )
+}
+
+fn arb_message() -> impl Strategy<Value = OfMessage> {
+    prop_oneof![
+        Just(OfMessage::Hello),
+        Just(OfMessage::FeaturesRequest),
+        Just(OfMessage::BarrierRequest),
+        Just(OfMessage::BarrierReply),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(OfMessage::EchoRequest),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(OfMessage::EchoReply),
+        (0u16..6, any::<u16>(), proptest::collection::vec(any::<u8>(), 0..32)).prop_map(
+            |(t, code, data)| OfMessage::Error(ErrorMsg {
+                error_type: ErrorType::from_wire(t).unwrap(),
+                code,
+                data,
+            })
+        ),
+        (any::<u16>(), any::<u16>()).prop_map(|(flags, miss_send_len)| OfMessage::SetConfig(
+            SwitchConfig {
+                flags,
+                miss_send_len
+            }
+        )),
+        (
+            proptest::option::of(any::<u32>().prop_map(|v| v & 0x7fff_ffff)),
+            any::<u16>(),
+            arb_port(),
+            0u8..2,
+            proptest::collection::vec(any::<u8>(), 0..128),
+        )
+            .prop_map(|(buffer_id, total_len, in_port, reason, data)| {
+                OfMessage::PacketIn(PacketIn {
+                    buffer_id,
+                    total_len,
+                    in_port,
+                    reason: PacketInReason::from_wire(reason).unwrap(),
+                    data,
+                })
+            }),
+        (
+            proptest::option::of(any::<u32>().prop_map(|v| v & 0x7fff_ffff)),
+            arb_port(),
+            proptest::collection::vec(arb_action(), 0..4),
+            proptest::collection::vec(any::<u8>(), 0..128),
+        )
+            .prop_map(|(buffer_id, in_port, actions, data)| {
+                OfMessage::PacketOut(PacketOut {
+                    buffer_id,
+                    in_port,
+                    actions,
+                    data,
+                })
+            }),
+        arb_flow_mod().prop_map(OfMessage::FlowMod),
+        (arb_match(), any::<u64>(), any::<u16>(), 0u8..3, any::<u32>(), any::<u64>()).prop_map(
+            |(m, cookie, priority, reason, dur, count)| OfMessage::FlowRemoved(FlowRemoved {
+                r#match: m,
+                cookie,
+                priority,
+                reason: FlowRemovedReason::from_wire(reason).unwrap(),
+                duration_sec: dur,
+                duration_nsec: dur.wrapping_mul(7) % 1_000_000_000,
+                idle_timeout: priority,
+                packet_count: count,
+                byte_count: count.wrapping_mul(64),
+            })
+        ),
+        arb_match().prop_map(|m| OfMessage::StatsRequest(StatsBody::Flow {
+            r#match: m,
+            table_id: 0xff,
+            out_port: PortNo::NONE,
+        })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn message_roundtrip(msg in arb_message(), xid in any::<u32>()) {
+        let bytes = msg.encode(xid);
+        let (decoded, got_xid) = OfMessage::decode(&bytes).unwrap();
+        prop_assert_eq!(got_xid, xid);
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any result is fine; panicking is not.
+        let _ = OfMessage::decode(&bytes);
+        let _ = OfMessage::frame_len(&bytes);
+        let _ = Ethernet::decode(&bytes);
+        let _ = packet::flow_key(&bytes, PortNo(1));
+    }
+
+    #[test]
+    fn match_roundtrip_and_reflexive_semantics(m in arb_match()) {
+        let mut w = attain_openflow::Writer::new();
+        m.encode(&mut w);
+        let v = w.into_vec();
+        let mut r = attain_openflow::Reader::new(&v, "ofp_match");
+        let decoded = Match::decode(&mut r).unwrap();
+        prop_assert_eq!(decoded, m);
+        // Subsumption is reflexive and ALL subsumes everything.
+        prop_assert!(m.subsumes(&m));
+        prop_assert!(Match::all().subsumes(&m));
+        prop_assert!(m.overlaps(&m));
+    }
+
+    #[test]
+    fn exact_match_agrees_with_flow_key(
+        src in arb_mac(),
+        dst in arb_mac(),
+        sport in 1024u16..65535,
+        dport in 1u16..1024,
+        seq in any::<u32>(),
+    ) {
+        let frame = packet::tcp_segment(
+            src, dst,
+            "10.0.1.1".parse().unwrap(),
+            "10.0.2.2".parse().unwrap(),
+            sport, dport, seq, 0, TcpFlags::SYN, vec![],
+        );
+        let key = packet::flow_key(&frame.encode(), PortNo(1));
+        let m = Match::from_flow_key(&key);
+        prop_assert!(m.matches(&key));
+    }
+
+    #[test]
+    fn frames_roundtrip(
+        src in arb_mac(),
+        dst in arb_mac(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+    ) {
+        let frame = packet::udp_datagram(
+            src, dst,
+            "192.168.0.1".parse().unwrap(),
+            "192.168.0.2".parse().unwrap(),
+            sport, dport, payload,
+        );
+        let bytes = frame.encode();
+        prop_assert_eq!(Ethernet::decode(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn subsumption_implies_match_containment(a in arb_match(), key_seed in any::<u64>()) {
+        // If `a` subsumes an exact match built from a key, then `a` matches
+        // that key.
+        let key = attain_openflow::FlowKey {
+            in_port: PortNo((key_seed % 48 + 1) as u16),
+            dl_src: MacAddr::from_low(key_seed & 0xffff),
+            dl_dst: MacAddr::from_low((key_seed >> 16) & 0xffff),
+            dl_vlan: (key_seed >> 32) as u16,
+            dl_vlan_pcp: ((key_seed >> 48) & 0x7) as u8,
+            dl_type: 0x0800,
+            nw_tos: 0,
+            nw_proto: 6,
+            nw_src: key_seed as u32,
+            nw_dst: (key_seed >> 8) as u32,
+            tp_src: (key_seed >> 3) as u16,
+            tp_dst: (key_seed >> 5) as u16,
+        };
+        let exact = Match::from_flow_key(&key);
+        if a.subsumes(&exact) {
+            prop_assert!(a.matches(&key));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The attacker capabilities model in action (paper §IV-C): the same
+//! attack is accepted against a plain-TCP control channel and rejected
+//! at compile time against a TLS one, because `Γ_TLS` withholds
+//! `READMESSAGE`.
+//!
+//! ```sh
+//! cargo run --example tls_capabilities
+//! ```
+
+use attain::core::model::{AttackModel, Capability, CapabilitySet, SystemModel};
+use attain::core::dsl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut system = SystemModel::new();
+    let c1 = system.add_controller("c1")?;
+    let s1 = system.add_switch("s1")?;
+    let s2 = system.add_switch("s2")?;
+    system.add_host("h1", Some("10.0.0.1".parse()?), None)?;
+    system.add_host("h2", Some("10.0.0.2".parse()?), None)?;
+    let n0 = system.add_connection(c1, s1)?;
+    let n1 = system.add_connection(c1, s2)?;
+    system.validate()?;
+
+    println!("Γ (Table I), as capability sets:");
+    println!("  Γ_NoTLS = {}", CapabilitySet::no_tls());
+    println!("  Γ_TLS   = {}", CapabilitySet::tls());
+    println!();
+
+    // (c1, s1) is plain TCP; (c1, s2) runs TLS with an uncompromised PKI.
+    let mut model = AttackModel::uniform(&system, CapabilitySet::no_tls());
+    model.set(n1, CapabilitySet::tls());
+    assert!(model.get(n0).contains(Capability::ReadMessage));
+    assert!(!model.get(n1).contains(Capability::ReadMessage));
+
+    let payload_reading_attack = |conn: &str| {
+        format!(
+            r#"
+            attack drop_flow_mods {{
+                start state s {{
+                    rule phi on (c1, {conn}) {{
+                        when msg.type == FLOW_MOD
+                        do {{ drop(msg); }}
+                    }}
+                }}
+            }}
+            "#
+        )
+    };
+
+    // Against the plain-TCP connection: compiles.
+    let ok = dsl::compile(&payload_reading_attack("s1"), &system, &model);
+    println!("against plain-TCP (c1, s1): {}", if ok.is_ok() { "compiles" } else { "rejected" });
+    assert!(ok.is_ok());
+
+    // Against the TLS connection: rejected — msg.type needs READMESSAGE.
+    let err = dsl::compile(&payload_reading_attack("s2"), &system, &model)
+        .expect_err("TLS must reject payload reads");
+    println!("against TLS (c1, s2): rejected — {err}");
+
+    // Metadata-only attacks still work under TLS: delay everything.
+    let metadata_attack = r#"
+        attack slow_everything {
+            start state s {
+                rule phi on (c1, s2) {
+                    when msg.length > 0
+                    do { delay(msg, 0.25); }
+                }
+            }
+        }
+    "#;
+    let ok = dsl::compile(metadata_attack, &system, &model);
+    println!(
+        "metadata-only delay attack against TLS: {}",
+        if ok.is_ok() { "compiles" } else { "rejected" }
+    );
+    assert!(ok.is_ok());
+    Ok(())
+}

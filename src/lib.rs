@@ -1,0 +1,52 @@
+//! # ATTAIN — ATTAck Injection for software-defined networks
+//!
+//! Facade crate re-exporting the full ATTAIN workspace, a reproduction of
+//! *“ATTAIN: An Attack Injection Framework for Software-Defined Networking”*
+//! (Ujcich, Thakore, Sanders — DSN 2017).
+//!
+//! The framework has three parts, mirroring the paper:
+//!
+//! * an **attack model** ([`core::model`]) relating system components
+//!   (controllers, switches, hosts, the data-plane graph `N_D`, and the
+//!   control-plane relation `N_C`) to an attacker's presumed capabilities
+//!   (Table I of the paper);
+//! * an **attack language** ([`core::lang`] and the textual DSL in
+//!   [`core::dsl`]) for writing staged control-plane attacks out of
+//!   conditionals, deque storage, actions, rules, and attack states; and
+//! * an **attack injector** ([`injector`]) that interposes OpenFlow 1.0
+//!   control-plane messages — either inside the bundled deterministic
+//!   network simulator ([`netsim`]) or on real TCP sockets — executing
+//!   attacks with the paper's Algorithm 1 ([`core::exec`]).
+//!
+//! Everything the paper's evaluation depends on is included: an OpenFlow 1.0
+//! wire codec ([`openflow`]), an Open vSwitch–style switch model with
+//! fail-safe/fail-secure modes, `ping`/`iperf`-style workload applications,
+//! and models of the Floodlight, POX, and Ryu learning-switch controllers
+//! ([`controllers`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use attain::core::scenario;
+//! use attain::core::dsl;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Figure 8/9 enterprise case-study topology.
+//! let scenario = scenario::enterprise_network();
+//! assert_eq!(scenario.system.switches().count(), 4);
+//!
+//! // Compile the Figure 10 flow-modification suppression attack.
+//! let source = scenario::attacks::FLOW_MOD_SUPPRESSION;
+//! let attack = dsl::compile(source, &scenario.system, &scenario.attack_model)?;
+//! assert_eq!(attack.states().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end runs of both case-study attacks.
+
+pub use attain_controllers as controllers;
+pub use attain_core as core;
+pub use attain_injector as injector;
+pub use attain_netsim as netsim;
+pub use attain_openflow as openflow;

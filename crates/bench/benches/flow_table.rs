@@ -1,29 +1,50 @@
-//! Flow-table lookup scaling in the OVS model: linear-scan classifier
-//! cost against table occupancy (an ablation for the simulator
-//! substrate's fidelity/performance trade-off).
+//! Flow-table lookup scaling in the OVS model: classifier cost against
+//! table occupancy (an ablation for the simulator substrate's
+//! fidelity/performance trade-off).
+//!
+//! Two sweeps:
+//!
+//! * `lookup_miss` — a packet matching nothing. Under the old linear
+//!   scan this cost grew with occupancy; the two-tier classifier
+//!   resolves it with one hash probe plus the (empty) wildcard tier.
+//! * `lookup_hit_exact` — a packet hitting an installed exact-match
+//!   entry, the table-occupancy sweep (64 → 10k) that demonstrates the
+//!   exact tier's O(1) behaviour.
+//!
+//! Besides the interactive criterion output, a full run (not under
+//! `cargo test`) writes `BENCH_flow_table.json` at the workspace root
+//! with ns/iter for every point, for offline comparison across
+//! revisions.
 
+use attain_bench::{timing, BenchReport};
 use attain_netsim::{FlowTable, SimTime};
 use attain_openflow::{packet, Action, FlowKey, FlowMod, MacAddr, Match, PortNo};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+const MISS_SIZES: [usize; 4] = [16, 128, 1024, 10_240];
+const HIT_SIZES: [usize; 4] = [64, 1024, 4096, 10_240];
+
+fn nth_key(i: usize) -> FlowKey {
+    FlowKey {
+        in_port: PortNo((i % 48 + 1) as u16),
+        dl_src: MacAddr::from_low(i as u64),
+        dl_dst: MacAddr::from_low((i * 7) as u64),
+        dl_type: 0x0800,
+        nw_proto: 6,
+        nw_src: i as u32,
+        nw_dst: (i * 13) as u32,
+        tp_src: (i % 65_535) as u16,
+        tp_dst: 80,
+        ..FlowKey::default()
+    }
+}
 
 fn filled_table(entries: usize) -> FlowTable {
     let mut t = FlowTable::new(entries.max(1024));
     for i in 0..entries {
-        let key = FlowKey {
-            in_port: PortNo((i % 48 + 1) as u16),
-            dl_src: MacAddr::from_low(i as u64),
-            dl_dst: MacAddr::from_low((i * 7) as u64),
-            dl_type: 0x0800,
-            nw_proto: 6,
-            nw_src: i as u32,
-            nw_dst: (i * 13) as u32,
-            tp_src: (i % 65_535) as u16,
-            tp_dst: 80,
-            ..FlowKey::default()
-        };
         let fm = FlowMod::add(
-            Match::from_flow_key(&key),
+            Match::from_flow_key(&nth_key(i)),
             vec![Action::Output {
                 port: PortNo(2),
                 max_len: 0,
@@ -34,10 +55,9 @@ fn filled_table(entries: usize) -> FlowTable {
     t
 }
 
-fn bench_flow_table(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flow_table");
-    // A miss scans the whole table: the worst case every packet of a new
-    // flow pays.
+fn miss_key() -> FlowKey {
+    // A flow no installed entry admits: the worst case every packet of a
+    // new flow pays.
     let miss_frame = packet::tcp_segment(
         MacAddr::from_low(0xdead),
         MacAddr::from_low(0xbeef),
@@ -51,15 +71,62 @@ fn bench_flow_table(c: &mut Criterion) {
         vec![],
     )
     .encode();
-    let miss_key = packet::flow_key(&miss_frame, PortNo(47));
-    for &n in &[16usize, 128, 1024] {
+    packet::flow_key(&miss_frame, PortNo(47))
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_table");
+    let miss = miss_key();
+    for &n in &MISS_SIZES {
         group.bench_with_input(BenchmarkId::new("lookup_miss", n), &n, |b, &n| {
             let mut t = filled_table(n);
-            b.iter(|| t.lookup(black_box(&miss_key), 64, SimTime::ZERO));
+            b.iter(|| t.lookup(black_box(&miss), 64, SimTime::ZERO));
+        });
+    }
+    for &n in &HIT_SIZES {
+        group.bench_with_input(BenchmarkId::new("lookup_hit_exact", n), &n, |b, &n| {
+            let mut t = filled_table(n);
+            let key = nth_key(n / 2);
+            b.iter(|| t.lookup(black_box(&key), 64, SimTime::ZERO));
         });
     }
     group.finish();
 }
 
+/// Re-measures every point with the plain wall-clock timer and writes
+/// the machine-readable report next to the workspace manifest.
+fn emit_report() {
+    let mut report = BenchReport::new("flow_table");
+    let miss = miss_key();
+    for &n in &MISS_SIZES {
+        let mut t = filled_table(n);
+        let ns = timing::measure_ns(|| {
+            black_box(t.lookup(black_box(&miss), 64, SimTime::ZERO));
+        });
+        report.record(format!("lookup_miss/{n}"), ns);
+    }
+    for &n in &HIT_SIZES {
+        let mut t = filled_table(n);
+        let key = nth_key(n / 2);
+        let ns = timing::measure_ns(|| {
+            black_box(t.lookup(black_box(&key), 64, SimTime::ZERO));
+        });
+        report.record(format!("lookup_hit_exact/{n}"), ns);
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_flow_table.json");
+    match report.write(path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(benches, bench_flow_table);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // Keep `cargo test` runs (which pass --test to harness-less bench
+    // binaries) fast: the report is a full-measurement artifact.
+    if !std::env::args().any(|a| a == "--test") {
+        emit_report();
+    }
+}

@@ -21,9 +21,18 @@ fn bench_injector_overhead(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     let cases = [
         ("trivial_pass", scenario::attacks::TRIVIAL_PASS),
-        ("flow_mod_suppression", scenario::attacks::FLOW_MOD_SUPPRESSION),
-        ("connection_interruption", scenario::attacks::CONNECTION_INTERRUPTION),
-        ("counted_suppression", scenario::attacks::COUNTED_SUPPRESSION),
+        (
+            "flow_mod_suppression",
+            scenario::attacks::FLOW_MOD_SUPPRESSION,
+        ),
+        (
+            "connection_interruption",
+            scenario::attacks::CONNECTION_INTERRUPTION,
+        ),
+        (
+            "counted_suppression",
+            scenario::attacks::COUNTED_SUPPRESSION,
+        ),
     ];
     for (name, source) in cases {
         group.bench_function(name, |b| {

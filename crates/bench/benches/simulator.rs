@@ -37,7 +37,10 @@ fn bench_simulator(c: &mut Criterion) {
             sim.set_trace_events(false);
             sim.schedule_command(
                 SimTime::from_secs(5),
-                HostCommand::IperfServer { host: h6, port: 5001 },
+                HostCommand::IperfServer {
+                    host: h6,
+                    port: 5001,
+                },
             );
             sim.schedule_command(
                 SimTime::from_secs(6),

@@ -60,7 +60,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["controller", "baseline", "attack"], &rows));
+    println!(
+        "{}",
+        render_table(&["controller", "baseline", "attack"], &rows)
+    );
 
     // (b) Latency.
     println!("(b) ping latency h1→h6 [ms, mean over trials]");
@@ -79,7 +82,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["controller", "baseline", "attack", "loss (base)", "loss (attack)"],
+            &[
+                "controller",
+                "baseline",
+                "attack",
+                "loss (base)",
+                "loss (attack)"
+            ],
             &rows
         )
     );
@@ -130,6 +139,11 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(" ")
         };
-        println!("  {:<11} {} | {}", b.controller.to_string(), series(b), series(a));
+        println!(
+            "  {:<11} {} | {}",
+            b.controller.to_string(),
+            series(b),
+            series(a)
+        );
     }
 }

@@ -63,7 +63,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["structure", "paper bound", "worst case", "case study actual"],
+            &[
+                "structure",
+                "paper bound",
+                "worst case",
+                "case study actual"
+            ],
             &rows
         )
     );

@@ -9,7 +9,11 @@ use attain_injector::harness::{run_connection_interruption, InterruptionOutcome}
 use attain_netsim::FailMode;
 
 fn mark(ok: bool) -> String {
-    if ok { "yes".into() } else { "NO".into() }
+    if ok {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }
 
 fn main() {
@@ -44,18 +48,22 @@ fn main() {
             .collect()
     };
     let rows = vec![
-        row("External user can access an external network host? (t=30s)", &|o| {
-            o.ext_to_ext.accessible()
-        }),
-        row("Internal user can access an external network host? (t=30s)", &|o| {
-            o.int_to_ext_before.accessible()
-        }),
-        row("External user can access an internal network host? (t=50s)", &|o| {
-            o.ext_to_int.accessible()
-        }),
-        row("Internal user can access an external network host? (t=95s)", &|o| {
-            o.int_to_ext_after.accessible()
-        }),
+        row(
+            "External user can access an external network host? (t=30s)",
+            &|o| o.ext_to_ext.accessible(),
+        ),
+        row(
+            "Internal user can access an external network host? (t=30s)",
+            &|o| o.int_to_ext_before.accessible(),
+        ),
+        row(
+            "External user can access an internal network host? (t=50s)",
+            &|o| o.ext_to_int.accessible(),
+        ),
+        row(
+            "Internal user can access an external network host? (t=95s)",
+            &|o| o.int_to_ext_after.accessible(),
+        ),
     ];
     println!("{}", render_table(&header_refs, &rows));
 

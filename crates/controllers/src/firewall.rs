@@ -249,7 +249,11 @@ mod tests {
     fn floodlight_deny_flow_mod_names_nw_src() {
         let mut fw = DmzFirewall::new(Box::new(Floodlight::new()), policy());
         let mut out = Outbox::new();
-        fw.on_packet_in(DatapathId(2), &icmp_packet_in("10.0.0.5", 1, Some(3)), &mut out);
+        fw.on_packet_in(
+            DatapathId(2),
+            &icmp_packet_in("10.0.0.5", 1, Some(3)),
+            &mut out,
+        );
         let msgs = out.drain();
         let OfMessage::FlowMod(fm) = &msgs[0].1 else {
             panic!("expected deny flow mod");
@@ -268,7 +272,11 @@ mod tests {
     fn pox_deny_flow_mod_names_nw_src_and_carries_buffer() {
         let mut fw = DmzFirewall::new(Box::new(Pox::new()), policy());
         let mut out = Outbox::new();
-        fw.on_packet_in(DatapathId(2), &icmp_packet_in("10.0.0.5", 1, Some(3)), &mut out);
+        fw.on_packet_in(
+            DatapathId(2),
+            &icmp_packet_in("10.0.0.5", 1, Some(3)),
+            &mut out,
+        );
         let msgs = out.drain();
         assert_eq!(msgs.len(), 1);
         let OfMessage::FlowMod(fm) = &msgs[0].1 else {
@@ -282,7 +290,11 @@ mod tests {
     fn ryu_deny_flow_mod_wildcards_nw_src() {
         let mut fw = DmzFirewall::new(Box::new(Ryu::new()), policy());
         let mut out = Outbox::new();
-        fw.on_packet_in(DatapathId(2), &icmp_packet_in("10.0.0.5", 1, Some(3)), &mut out);
+        fw.on_packet_in(
+            DatapathId(2),
+            &icmp_packet_in("10.0.0.5", 1, Some(3)),
+            &mut out,
+        );
         let msgs = out.drain();
         let OfMessage::FlowMod(fm) = &msgs[0].1 else {
             panic!("expected deny flow mod");
@@ -298,7 +310,11 @@ mod tests {
     fn allowed_traffic_reaches_the_inner_learning_switch() {
         let mut fw = DmzFirewall::new(Box::new(Floodlight::new()), policy());
         let mut out = Outbox::new();
-        fw.on_packet_in(DatapathId(2), &icmp_packet_in("10.0.0.1", 1, Some(3)), &mut out);
+        fw.on_packet_in(
+            DatapathId(2),
+            &icmp_packet_in("10.0.0.1", 1, Some(3)),
+            &mut out,
+        );
         let msgs = out.drain();
         // Inner Floodlight floods (unknown dst): no deny rule installed.
         assert_eq!(msgs.len(), 1);
@@ -310,7 +326,11 @@ mod tests {
         let mut fw = DmzFirewall::new(Box::new(Floodlight::new()), policy());
         let mut out = Outbox::new();
         // Arrives on the internal port 2.
-        fw.on_packet_in(DatapathId(2), &icmp_packet_in("10.0.0.99", 2, Some(3)), &mut out);
+        fw.on_packet_in(
+            DatapathId(2),
+            &icmp_packet_in("10.0.0.99", 2, Some(3)),
+            &mut out,
+        );
         let msgs = out.drain();
         assert!(matches!(&msgs[0].1, OfMessage::PacketOut(_)));
     }

@@ -3,8 +3,8 @@
 use crate::learning::{L2Table, MatchStyle};
 use crate::traits::{Controller, ControllerKind, Outbox};
 use attain_openflow::{
-    packet, Action, DatapathId, FlowMod, FlowModCommand, FlowModFlags, Match, OfMessage,
-    PacketIn, PacketOut, PortNo, SwitchFeatures,
+    packet, Action, DatapathId, FlowMod, FlowModCommand, FlowModFlags, Match, OfMessage, PacketIn,
+    PacketOut, PortNo, SwitchFeatures,
 };
 
 /// Floodlight v1.2 `Forwarding` learning switch.
@@ -37,7 +37,13 @@ impl Controller for Floodlight {
         ControllerKind::Floodlight
     }
 
-    fn on_switch_connect(&mut self, _dpid: DatapathId, _features: &SwitchFeatures, _out: &mut Outbox) {}
+    fn on_switch_connect(
+        &mut self,
+        _dpid: DatapathId,
+        _features: &SwitchFeatures,
+        _out: &mut Outbox,
+    ) {
+    }
 
     fn on_packet_in(&mut self, dpid: DatapathId, pi: &PacketIn, out: &mut Outbox) {
         let key = packet::flow_key(&pi.data, pi.in_port);

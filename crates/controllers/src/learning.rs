@@ -127,8 +127,14 @@ mod tests {
         let mut t = L2Table::new();
         t.learn(DatapathId(1), MacAddr::from_low(5), PortNo(3));
         t.learn(DatapathId(2), MacAddr::from_low(5), PortNo(7));
-        assert_eq!(t.lookup(DatapathId(1), MacAddr::from_low(5)), Some(PortNo(3)));
-        assert_eq!(t.lookup(DatapathId(2), MacAddr::from_low(5)), Some(PortNo(7)));
+        assert_eq!(
+            t.lookup(DatapathId(1), MacAddr::from_low(5)),
+            Some(PortNo(3))
+        );
+        assert_eq!(
+            t.lookup(DatapathId(2), MacAddr::from_low(5)),
+            Some(PortNo(7))
+        );
         assert_eq!(t.lookup(DatapathId(3), MacAddr::from_low(5)), None);
         t.forget_switch(DatapathId(1));
         assert_eq!(t.lookup(DatapathId(1), MacAddr::from_low(5)), None);
@@ -140,7 +146,10 @@ mod tests {
         let mut t = L2Table::new();
         t.learn(DatapathId(1), MacAddr::from_low(5), PortNo(3));
         t.learn(DatapathId(1), MacAddr::from_low(5), PortNo(4));
-        assert_eq!(t.lookup(DatapathId(1), MacAddr::from_low(5)), Some(PortNo(4)));
+        assert_eq!(
+            t.lookup(DatapathId(1), MacAddr::from_low(5)),
+            Some(PortNo(4))
+        );
         assert_eq!(t.len(), 1);
     }
 
@@ -177,7 +186,11 @@ mod tests {
 
     #[test]
     fn all_styles_match_their_own_key() {
-        for style in [MatchStyle::L3Aware, MatchStyle::FullExact, MatchStyle::L2Only] {
+        for style in [
+            MatchStyle::L3Aware,
+            MatchStyle::FullExact,
+            MatchStyle::L2Only,
+        ] {
             assert!(style.build(&key()).matches(&key()), "{style:?}");
         }
     }

@@ -40,7 +40,13 @@ impl Controller for Pox {
         ControllerKind::Pox
     }
 
-    fn on_switch_connect(&mut self, _dpid: DatapathId, _features: &SwitchFeatures, _out: &mut Outbox) {}
+    fn on_switch_connect(
+        &mut self,
+        _dpid: DatapathId,
+        _features: &SwitchFeatures,
+        _out: &mut Outbox,
+    ) {
+    }
 
     fn on_packet_in(&mut self, dpid: DatapathId, pi: &PacketIn, out: &mut Outbox) {
         let key = packet::flow_key(&pi.data, pi.in_port);

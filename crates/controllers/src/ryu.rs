@@ -35,7 +35,13 @@ impl Controller for Ryu {
         ControllerKind::Ryu
     }
 
-    fn on_switch_connect(&mut self, _dpid: DatapathId, _features: &SwitchFeatures, _out: &mut Outbox) {}
+    fn on_switch_connect(
+        &mut self,
+        _dpid: DatapathId,
+        _features: &SwitchFeatures,
+        _out: &mut Outbox,
+    ) {
+    }
 
     fn on_packet_in(&mut self, dpid: DatapathId, pi: &PacketIn, out: &mut Outbox) {
         let key = packet::flow_key(&pi.data, pi.in_port);

@@ -36,9 +36,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--dot" => dot = true,
             "-h" | "--help" => {
-                return Err(
-                    "usage: attackc [--scenario enterprise] [--dot] FILE.atk".to_string()
-                )
+                return Err("usage: attackc [--scenario enterprise] [--dot] FILE.atk".to_string())
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other} (try --help)"))

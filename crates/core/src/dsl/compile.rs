@@ -242,9 +242,8 @@ fn cap_class_to_set(class: &CapClass, line: u32) -> Result<CapabilitySet, DslErr
         CapClass::Explicit(names) => {
             let mut set = CapabilitySet::new();
             for name in names {
-                let cap = Capability::parse(name).ok_or_else(|| {
-                    DslError::new(line, format!("unknown capability `{name}`"))
-                })?;
+                let cap = Capability::parse(name)
+                    .ok_or_else(|| DslError::new(line, format!("unknown capability `{name}`")))?;
                 set.insert(cap);
             }
             set
@@ -263,7 +262,10 @@ fn compile_capabilities(
     let mut model = AttackModel::uniform(system, default);
     for (c, s, class, line) in &block.overrides {
         let conn = system.connection_by_names(c, s).ok_or_else(|| {
-            DslError::new(*line, format!("({c}, {s}) is not a control plane connection"))
+            DslError::new(
+                *line,
+                format!("({c}, {s}) is not a control plane connection"),
+            )
         })?;
         model.set(conn, cap_class_to_set(class, *line)?);
     }
@@ -383,9 +385,11 @@ fn compile_expr(ast: &ExprAst, system: &SystemModel, line: u32) -> Result<Expr, 
         ExprAst::Ip(ip) => Expr::Lit(Value::Ip(*ip)),
         ExprAst::Bool(b) => Expr::Lit(Value::Bool(*b)),
         ExprAst::NoneLit => Expr::Lit(Value::None),
-        ExprAst::MacLit(text, line) => Expr::Lit(Value::Mac(text.parse().map_err(|_| {
-            DslError::new(*line, format!("invalid MAC address {text:?}"))
-        })?)),
+        ExprAst::MacLit(text, line) => {
+            Expr::Lit(Value::Mac(text.parse().map_err(|_| {
+                DslError::new(*line, format!("invalid MAC address {text:?}"))
+            })?))
+        }
         ExprAst::Name(name, line) => {
             if let Some(t) = OfType::from_spec_name(name) {
                 Expr::Lit(Value::MsgType(t))
@@ -409,7 +413,9 @@ fn compile_expr(ast: &ExprAst, system: &SystemModel, line: u32) -> Result<Expr, 
             other => {
                 return Err(DslError::new(
                     *line,
-                    format!("unknown message property `{other}` (use msg[\"path\"] for type options)"),
+                    format!(
+                        "unknown message property `{other}` (use msg[\"path\"] for type options)"
+                    ),
                 ))
             }
         }),
@@ -497,7 +503,10 @@ fn compile_action(
             line,
         } => {
             let conn = system.connection_by_names(c, s).ok_or_else(|| {
-                DslError::new(*line, format!("({c}, {s}) is not a control plane connection"))
+                DslError::new(
+                    *line,
+                    format!("({c}, {s}) is not a control plane connection"),
+                )
             })?;
             AttackAction::Inject {
                 conn,
@@ -608,10 +617,7 @@ mod tests {
     fn tls_connection_rejects_payload_reading_rules() {
         // Same attack, but watching the TLS connection (c1, s2): the
         // compiler must refuse, since msg.type needs READMESSAGE.
-        let source = SELF_CONTAINED.replace(
-            "rule phi1 on (c1, s1)",
-            "rule phi1 on (c1, s2)",
-        );
+        let source = SELF_CONTAINED.replace("rule phi1 on (c1, s1)", "rule phi1 on (c1, s2)");
         let err = compile_document(&source).unwrap_err();
         assert!(
             err.message.contains("does not grant"),

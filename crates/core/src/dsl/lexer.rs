@@ -167,61 +167,103 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
                 }
             }
             '{' => {
-                out.push(Token { tok: Tok::LBrace, line });
+                out.push(Token {
+                    tok: Tok::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Token { tok: Tok::RBrace, line });
+                out.push(Token {
+                    tok: Tok::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { tok: Tok::LParen, line });
+                out.push(Token {
+                    tok: Tok::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { tok: Tok::RParen, line });
+                out.push(Token {
+                    tok: Tok::RParen,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Token { tok: Tok::LBracket, line });
+                out.push(Token {
+                    tok: Tok::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { tok: Tok::RBracket, line });
+                out.push(Token {
+                    tok: Tok::RBracket,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { tok: Tok::Comma, line });
+                out.push(Token {
+                    tok: Tok::Comma,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { tok: Tok::Semi, line });
+                out.push(Token {
+                    tok: Tok::Semi,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Token { tok: Tok::Colon, line });
+                out.push(Token {
+                    tok: Tok::Colon,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { tok: Tok::Dot, line });
+                out.push(Token {
+                    tok: Tok::Dot,
+                    line,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { tok: Tok::Plus, line });
+                out.push(Token {
+                    tok: Tok::Plus,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    out.push(Token { tok: Tok::Arrow, line });
+                    out.push(Token {
+                        tok: Tok::Arrow,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Minus, line });
+                    out.push(Token {
+                        tok: Tok::Minus,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Token { tok: Tok::EqEq, line });
+                    out.push(Token {
+                        tok: Tok::EqEq,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(DslError::new(line, "single `=` (use `==` for equality)"));
@@ -229,10 +271,16 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
             }
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Token { tok: Tok::NotEq, line });
+                    out.push(Token {
+                        tok: Tok::NotEq,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { tok: Tok::Bang, line });
+                    out.push(Token {
+                        tok: Tok::Bang,
+                        line,
+                    });
                     i += 1;
                 }
             }
@@ -256,7 +304,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
             }
             '&' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
-                    out.push(Token { tok: Tok::AndAnd, line });
+                    out.push(Token {
+                        tok: Tok::AndAnd,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(DslError::new(line, "single `&` (use `&&`)"));
@@ -264,7 +315,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
             }
             '|' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'|' {
-                    out.push(Token { tok: Tok::OrOr, line });
+                    out.push(Token {
+                        tok: Tok::OrOr,
+                        line,
+                    });
                     i += 2;
                 } else {
                     return Err(DslError::new(line, "single `|` (use `||`)"));
@@ -347,8 +401,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
                     4 => {
                         let octets: Result<Vec<u8>, _> =
                             groups.iter().map(|g| g.parse::<u8>()).collect();
-                        let octets = octets
-                            .map_err(|_| DslError::new(line, "IPv4 octet out of range"))?;
+                        let octets =
+                            octets.map_err(|_| DslError::new(line, "IPv4 octet out of range"))?;
                         Tok::Ip(Ipv4Addr::new(octets[0], octets[1], octets[2], octets[3]))
                     }
                     n => {
@@ -362,9 +416,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token {
@@ -373,7 +425,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
                 });
             }
             other => {
-                return Err(DslError::new(line, format!("unexpected character {other:?}")))
+                return Err(DslError::new(
+                    line,
+                    format!("unexpected character {other:?}"),
+                ))
             }
         }
     }

@@ -153,8 +153,7 @@ impl Parser {
                             },
                             "mac" => mac = Some(self.string()?),
                             other => {
-                                return Err(self
-                                    .err(format!("unknown host attribute `{other}`")))
+                                return Err(self.err(format!("unknown host attribute `{other}`")))
                             }
                         }
                     }
@@ -755,10 +754,7 @@ mod tests {
         let rule = &atk.states[0].rules[0];
         assert_eq!(rule.connections, ConnSpec::All);
         assert!(matches!(rule.actions[0], ActionAst::Drop));
-        assert!(matches!(
-            &rule.condition,
-            ExprAst::Bin { op: "&&", .. }
-        ));
+        assert!(matches!(&rule.condition, ExprAst::Bin { op: "&&", .. }));
     }
 
     #[test]
@@ -879,7 +875,10 @@ mod tests {
         assert!(matches!(&actions[1], ActionAst::SysCmd { host, .. } if host == "h1"));
         assert!(matches!(
             &actions[2],
-            ActionAst::Inject { to_controller: false, .. }
+            ActionAst::Inject {
+                to_controller: false,
+                ..
+            }
         ));
     }
 
@@ -893,7 +892,10 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_blocks() {
-        assert!(parse("system {} system {}").unwrap_err().message.contains("duplicate"));
+        assert!(parse("system {} system {}")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
         assert!(parse("capabilities {} capabilities {}")
             .unwrap_err()
             .message

@@ -104,7 +104,10 @@ fn render_expr(e: &Expr, system: &SystemModel) -> Result<String, RenderError> {
     })
 }
 
-fn conn_name(system: &SystemModel, conn: crate::model::ConnectionId) -> Result<String, RenderError> {
+fn conn_name(
+    system: &SystemModel,
+    conn: crate::model::ConnectionId,
+) -> Result<String, RenderError> {
     if conn.0 >= system.connection_count() {
         return Err(RenderError::UnknownComponent(format!("connection {conn}")));
     }
@@ -259,8 +262,8 @@ mod tests {
             let original = dsl::compile(source, &sc.system, &sc.attack_model)
                 .unwrap_or_else(|e| panic!("{name}: {e}"))
                 .attack;
-            let rendered = render(&original, &sc.system)
-                .unwrap_or_else(|e| panic!("{name} renders: {e}"));
+            let rendered =
+                render(&original, &sc.system).unwrap_or_else(|e| panic!("{name} renders: {e}"));
             let reparsed = dsl::compile(&rendered, &sc.system, &sc.attack_model)
                 .unwrap_or_else(|e| panic!("{name} rerendered source compiles: {e}\n{rendered}"))
                 .attack;

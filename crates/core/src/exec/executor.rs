@@ -3,13 +3,11 @@
 
 use crate::exec::log::{InjectionLog, LogKind};
 use crate::exec::modifier;
-use crate::lang::{
-    AttackAction, DequeEnd, DequeStore, MessageView, StoredMessage, Value,
-};
 use crate::lang::Attack;
+use crate::lang::{AttackAction, DequeEnd, DequeStore, MessageView, StoredMessage, Value};
+use crate::model::AttackModel;
 use crate::model::Capability;
 use crate::model::{ConnectionId, NodeRef, SystemModel};
-use crate::model::AttackModel;
 use attain_openflow::OfMessage;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -294,7 +292,13 @@ impl AttackExecutor {
             }
             self.sleep_until_ns = None;
         }
-        self.process(input.conn, input.to_controller, input.bytes, input.now_ns, id)
+        self.process(
+            input.conn,
+            input.to_controller,
+            input.bytes,
+            input.now_ns,
+            id,
+        )
     }
 
     /// A requested wakeup fired: drains held messages (unless a new
@@ -482,18 +486,18 @@ impl AttackExecutor {
                 Err(e) => log_err(&mut self.log, e.to_string()),
             },
             AttackAction::Duplicate => {
-                let template = out
-                    .iter()
-                    .rev()
-                    .find(|m| m.derived)
-                    .cloned()
-                    .unwrap_or(OutMessage {
-                        conn: view.conn,
-                        to_controller: matches!(view.source, NodeRef::Switch(_)),
-                        bytes: view.bytes.to_vec(),
-                        extra_delay_ns: 0,
-                        derived: true,
-                    });
+                let template =
+                    out.iter()
+                        .rev()
+                        .find(|m| m.derived)
+                        .cloned()
+                        .unwrap_or(OutMessage {
+                            conn: view.conn,
+                            to_controller: matches!(view.source, NodeRef::Switch(_)),
+                            bytes: view.bytes.to_vec(),
+                            extra_delay_ns: 0,
+                            derived: true,
+                        });
                 out.push(template);
             }
             AttackAction::ReadMetadata => {
@@ -539,15 +543,21 @@ impl AttackExecutor {
                     Err(e) => return log_err(&mut self.log, e.to_string()),
                 };
                 let Value::Addr(target) = v else {
-                    return log_err(&mut self.log, format!("destination must be a component, got {v}"));
+                    return log_err(
+                        &mut self.log,
+                        format!("destination must be a component, got {v}"),
+                    );
                 };
                 // Redirect derived copies onto a connection whose far end
                 // is the named component.
-                let redirect = self.system.connections().find_map(|(id, c, s)| match target {
-                    NodeRef::Controller(tc) if tc == c => Some((id, true)),
-                    NodeRef::Switch(ts) if ts == s => Some((id, false)),
-                    _ => None,
-                });
+                let redirect = self
+                    .system
+                    .connections()
+                    .find_map(|(id, c, s)| match target {
+                        NodeRef::Controller(tc) if tc == c => Some((id, true)),
+                        NodeRef::Switch(ts) if ts == s => Some((id, false)),
+                        _ => None,
+                    });
                 match redirect {
                     Some((conn, to_controller)) => {
                         for m in out.iter_mut().filter(|m| m.derived) {
@@ -557,7 +567,10 @@ impl AttackExecutor {
                     }
                     None => log_err(
                         &mut self.log,
-                        format!("no control connection reaches {}", self.system.name_of(target)),
+                        format!(
+                            "no control connection reaches {}",
+                            self.system.name_of(target)
+                        ),
                     ),
                 }
             }
@@ -640,7 +653,10 @@ impl AttackExecutor {
                     Value::None => {}
                     other => log_err(
                         &mut self.log,
-                        format!("deque {deque} held a {} where a message was expected", other.kind()),
+                        format!(
+                            "deque {deque} held a {} where a message was expected",
+                            other.kind()
+                        ),
                     ),
                 }
             }
@@ -650,7 +666,8 @@ impl AttackExecutor {
                         let until = now_ns + (secs * 1e9) as u64;
                         self.sleep_until_ns = Some(until);
                         *wakeup = Some(until);
-                        self.log.push(now_ns, LogKind::SleepStart { until_ns: until });
+                        self.log
+                            .push(now_ns, LogKind::SleepStart { until_ns: until });
                     }
                     _ => log_err(&mut self.log, format!("sleep of non-time value {v}")),
                 },

@@ -197,7 +197,9 @@ mod tests {
         let out = set_field(&bytes, "idle_timeout", &Value::Int(0)).unwrap();
         let (msg, xid) = OfMessage::decode(&out).unwrap();
         assert_eq!(xid, 0x77);
-        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        let OfMessage::FlowMod(fm) = msg else {
+            panic!()
+        };
         assert_eq!(fm.idle_timeout, 0);
     }
 
@@ -211,7 +213,9 @@ mod tests {
         )
         .unwrap();
         let (msg, _) = OfMessage::decode(&out).unwrap();
-        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        let OfMessage::FlowMod(fm) = msg else {
+            panic!()
+        };
         assert_eq!(fm.r#match.nw_dst_addr(), Some("10.0.0.9".parse().unwrap()));
     }
 
@@ -220,7 +224,9 @@ mod tests {
         let bytes = flow_mod_bytes();
         let out = set_field(&bytes, "actions.clear", &Value::Bool(true)).unwrap();
         let (msg, _) = OfMessage::decode(&out).unwrap();
-        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        let OfMessage::FlowMod(fm) = msg else {
+            panic!()
+        };
         assert!(fm.actions.is_empty());
     }
 
@@ -231,7 +237,9 @@ mod tests {
         let bytes = OfMessage::FlowMod(fm).encode(1);
         let out = set_field(&bytes, "buffer_id", &Value::None).unwrap();
         let (msg, _) = OfMessage::decode(&out).unwrap();
-        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        let OfMessage::FlowMod(fm) = msg else {
+            panic!()
+        };
         assert_eq!(fm.buffer_id, None);
     }
 

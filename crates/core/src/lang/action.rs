@@ -3,8 +3,8 @@
 //! `SYSCMD`).
 
 use crate::lang::conditional::{DequeEnd, Expr};
-use crate::model::{Capability, CapabilitySet};
 use crate::model::ConnectionId;
+use crate::model::{Capability, CapabilitySet};
 use std::fmt;
 
 /// One attack action.

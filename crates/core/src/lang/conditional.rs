@@ -429,9 +429,6 @@ mod tests {
             Expr::or(f.clone(), t.clone()).eval(&v, &d).unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(
-            Expr::and(t, f).eval(&v, &d).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(Expr::and(t, f).eval(&v, &d).unwrap(), Value::Bool(false));
     }
 }

@@ -21,12 +21,18 @@ impl DequeStore {
 
     /// `PREPEND(δ, value)`: adds to the front, creating δ if needed.
     pub fn prepend(&mut self, name: &str, value: Value) {
-        self.deques.entry(name.to_string()).or_default().push_front(value);
+        self.deques
+            .entry(name.to_string())
+            .or_default()
+            .push_front(value);
     }
 
     /// `APPEND(δ, value)`: adds to the end, creating δ if needed.
     pub fn append(&mut self, name: &str, value: Value) {
-        self.deques.entry(name.to_string()).or_default().push_back(value);
+        self.deques
+            .entry(name.to_string())
+            .or_default()
+            .push_back(value);
     }
 
     /// `EXAMINEFRONT(δ)`: reads the front element without removing it.

@@ -41,8 +41,7 @@ impl AttackStateGraph {
             for rule in &state.rules {
                 let targets: BTreeSet<usize> = rule.goto_targets().collect();
                 for t in targets {
-                    let label: Vec<String> =
-                        rule.actions.iter().map(|a| a.to_string()).collect();
+                    let label: Vec<String> = rule.actions.iter().map(|a| a.to_string()).collect();
                     if let Some(e) = edges.iter_mut().find(|e| e.from == i && e.to == t) {
                         e.label.extend(label);
                     } else {
@@ -138,11 +137,17 @@ mod tests {
             states: vec![
                 AttackState {
                     name: "sigma1".into(),
-                    rules: vec![rule("r1", vec![AttackAction::Pass, AttackAction::GoToState(1)])],
+                    rules: vec![rule(
+                        "r1",
+                        vec![AttackAction::Pass, AttackAction::GoToState(1)],
+                    )],
                 },
                 AttackState {
                     name: "sigma2".into(),
-                    rules: vec![rule("r2", vec![AttackAction::Pass, AttackAction::GoToState(2)])],
+                    rules: vec![rule(
+                        "r2",
+                        vec![AttackAction::Pass, AttackAction::GoToState(2)],
+                    )],
                 },
                 AttackState {
                     name: "sigma3".into(),
@@ -168,10 +173,7 @@ mod tests {
     #[test]
     fn edge_labels_carry_the_rule_actions() {
         let g = AttackStateGraph::from_attack(&chain_attack());
-        assert!(g.edges[0]
-            .label
-            .iter()
-            .any(|l| l.contains("PASSMESSAGE")));
+        assert!(g.edges[0].label.iter().any(|l| l.contains("PASSMESSAGE")));
         assert!(g.edges[0].label.iter().any(|l| l.contains("GOTOSTATE")));
     }
 

@@ -152,8 +152,7 @@ impl MessageView<'_> {
             }
             Property::TypeOption(path) => {
                 let msg = self.decoded.ok_or(PropertyError::Unparseable)?;
-                type_option(msg, path)
-                    .ok_or_else(|| PropertyError::NoSuchField(path.clone()))
+                type_option(msg, path).ok_or_else(|| PropertyError::NoSuchField(path.clone()))
             }
         }
     }
@@ -353,7 +352,10 @@ mod tests {
             v.read(&Property::Source).unwrap(),
             Value::Addr(NodeRef::Controller(ControllerId(0)))
         );
-        assert_eq!(v.read(&Property::Length).unwrap(), Value::Int(bytes.len() as i64));
+        assert_eq!(
+            v.read(&Property::Length).unwrap(),
+            Value::Int(bytes.len() as i64)
+        );
         assert_eq!(v.read(&Property::Id).unwrap(), Value::Int(42));
         assert_eq!(v.read(&Property::Timestamp).unwrap(), Value::Float(1.5));
     }

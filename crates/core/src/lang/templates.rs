@@ -6,9 +6,7 @@
 //! attack model granting `Γ_NoTLS` on the named connections, and can be
 //! rendered, inspected, or executed like a hand-written one.
 
-use crate::lang::{
-    Attack, AttackAction, AttackState, DequeEnd, Expr, Property, Rule, Value,
-};
+use crate::lang::{Attack, AttackAction, AttackState, DequeEnd, Expr, Property, Rule, Value};
 use crate::model::{CapabilitySet, ConnectionId};
 use attain_openflow::OfType;
 
@@ -118,10 +116,7 @@ pub fn after_count(
                 actions: vec![
                     AttackAction::Prepend {
                         deque: counter.clone(),
-                        value: Expr::Add(
-                            Box::new(front()),
-                            Box::new(Expr::Lit(Value::Int(1))),
-                        ),
+                        value: Expr::Add(Box::new(front()), Box::new(Expr::Lit(Value::Int(1)))),
                     },
                     AttackAction::Pop(counter.clone()),
                     AttackAction::Pass,
@@ -161,14 +156,14 @@ pub fn after_count(
 /// # Panics
 ///
 /// Panics unless `0.0 <= p <= 1.0`.
-pub fn suppress_type_with_probability(
-    t: OfType,
-    p: f64,
-    connections: Vec<ConnectionId>,
-) -> Attack {
+pub fn suppress_type_with_probability(t: OfType, p: f64, connections: Vec<ConnectionId>) -> Attack {
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     Attack {
-        name: format!("suppress_{}_p{:.0}", t.spec_name().to_lowercase(), p * 100.0),
+        name: format!(
+            "suppress_{}_p{:.0}",
+            t.spec_name().to_lowercase(),
+            p * 100.0
+        ),
         states: vec![AttackState {
             name: "lossy".into(),
             rules: vec![Rule {
@@ -231,7 +226,12 @@ mod tests {
     fn after_count_uses_constant_storage() {
         // Same structure no matter how large n grows: the §VIII-B claim.
         let small = after_count(OfType::FlowMod, 3, vec![AttackAction::Drop], conns());
-        let large = after_count(OfType::FlowMod, 1_000_000, vec![AttackAction::Drop], conns());
+        let large = after_count(
+            OfType::FlowMod,
+            1_000_000,
+            vec![AttackAction::Drop],
+            conns(),
+        );
         small.validate().expect("validates");
         large.validate().expect("validates");
         assert_eq!(small.states.len(), large.states.len());

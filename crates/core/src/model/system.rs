@@ -391,10 +391,7 @@ impl SystemModel {
 
     /// The host with the given IPv4 address.
     pub fn host_by_ip(&self, ip: Ipv4Addr) -> Option<HostId> {
-        self.hosts
-            .iter()
-            .position(|h| h.ip == Some(ip))
-            .map(HostId)
+        self.hosts.iter().position(|h| h.ip == Some(ip)).map(HostId)
     }
 
     /// Worst-case memory footprint terms from the paper's §VI-D1:
@@ -453,10 +450,7 @@ mod tests {
         m.add_connection(c2, switches[2]).unwrap();
         m.add_connection(c2, switches[3]).unwrap();
         assert_eq!(m.connection_count(), 6);
-        assert_eq!(
-            m.connection_by_names("c2", "s3"),
-            Some(ConnectionId(4))
-        );
+        assert_eq!(m.connection_by_names("c2", "s3"), Some(ConnectionId(4)));
         assert_eq!(m.connection_by_names("c2", "s1"), None);
         // N_C is a relation: duplicates rejected.
         assert!(m.add_connection(c1, switches[0]).is_err());
@@ -500,10 +494,7 @@ mod tests {
         m.add_host("h1", Some("10.0.0.1".parse().unwrap()), None)
             .unwrap();
         m.add_host("h2", None, None).unwrap();
-        assert_eq!(
-            m.host_by_ip("10.0.0.1".parse().unwrap()),
-            Some(HostId(0))
-        );
+        assert_eq!(m.host_by_ip("10.0.0.1".parse().unwrap()), Some(HostId(0)));
         assert_eq!(m.host_by_ip("10.0.0.9".parse().unwrap()), None);
     }
 

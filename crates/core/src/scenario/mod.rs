@@ -31,9 +31,15 @@ pub fn figure3_network() -> Scenario {
     let c1 = m.add_controller("c1").expect("fresh model");
     let s1 = m.add_switch("s1").expect("fresh model");
     let s2 = m.add_switch("s2").expect("fresh model");
-    let h1 = m.add_host("h1", Some(ip(1)), Some(MacAddr::from_low(1))).expect("fresh model");
-    let h2 = m.add_host("h2", Some(ip(2)), Some(MacAddr::from_low(2))).expect("fresh model");
-    let h3 = m.add_host("h3", Some(ip(3)), Some(MacAddr::from_low(3))).expect("fresh model");
+    let h1 = m
+        .add_host("h1", Some(ip(1)), Some(MacAddr::from_low(1)))
+        .expect("fresh model");
+    let h2 = m
+        .add_host("h2", Some(ip(2)), Some(MacAddr::from_low(2)))
+        .expect("fresh model");
+    let h3 = m
+        .add_host("h3", Some(ip(3)), Some(MacAddr::from_low(3)))
+        .expect("fresh model");
     m.add_host_link(h1, s1, 1).expect("valid link");
     m.add_host_link(h2, s1, 2).expect("valid link");
     m.add_switch_link(s1, 3, s2, 1).expect("valid link");
@@ -160,10 +166,7 @@ mod tests {
         assert_eq!(s.system.connection_count(), 4);
         // N_C in figure order.
         for (i, sw) in ["s1", "s2", "s3", "s4"].iter().enumerate() {
-            assert_eq!(
-                s.system.connection_by_names("c1", sw).map(|c| c.0),
-                Some(i)
-            );
+            assert_eq!(s.system.connection_by_names("c1", sw).map(|c| c.0), Some(i));
         }
         // The DMZ firewall switch's external port is 1.
         let (_, s2) = s.system.switches().nth(1).unwrap();
@@ -186,24 +189,19 @@ mod tests {
     #[test]
     fn figure10_attack_has_one_absorbing_start_state() {
         let s = enterprise_network();
-        let atk = dsl::compile(attacks::FLOW_MOD_SUPPRESSION, &s.system, &s.attack_model)
-            .unwrap();
+        let atk = dsl::compile(attacks::FLOW_MOD_SUPPRESSION, &s.system, &s.attack_model).unwrap();
         assert_eq!(atk.states().len(), 1);
         assert_eq!(atk.graph.absorbing, vec![0]);
         assert!(atk.graph.end.is_empty()); // it has a rule: absorbing, not end
-        // The single rule watches all four connections.
+                                           // The single rule watches all four connections.
         assert_eq!(atk.attack.states[0].rules[0].connections.len(), 4);
     }
 
     #[test]
     fn figure12_attack_is_a_three_state_chain() {
         let s = enterprise_network();
-        let atk = dsl::compile(
-            attacks::CONNECTION_INTERRUPTION,
-            &s.system,
-            &s.attack_model,
-        )
-        .unwrap();
+        let atk =
+            dsl::compile(attacks::CONNECTION_INTERRUPTION, &s.system, &s.attack_model).unwrap();
         assert_eq!(atk.states().len(), 3);
         assert_eq!(atk.graph.edges.len(), 2);
         assert_eq!(atk.graph.absorbing, vec![2]);

@@ -38,7 +38,11 @@ fn compiles_a_document_and_reports_structure() {
     let path = write_temp("good", GOOD_DOC);
     let out = attackc().arg(&path).output().expect("run attackc");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("attack demo: 2 state(s), 1 transition(s)"));
     assert!(stdout.contains("1 attack(s) compiled and validated"));
     std::fs::remove_file(path).ok();
@@ -47,7 +51,11 @@ fn compiles_a_document_and_reports_structure() {
 #[test]
 fn dot_flag_emits_graphviz() {
     let path = write_temp("dot", GOOD_DOC);
-    let out = attackc().arg("--dot").arg(&path).output().expect("run attackc");
+    let out = attackc()
+        .arg("--dot")
+        .arg(&path)
+        .output()
+        .expect("run attackc");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success());
     assert!(stdout.contains("digraph attack_state_graph"));
@@ -75,7 +83,11 @@ fn enterprise_scenario_compiles_attack_only_files() {
         .arg(&path)
         .output()
         .expect("run attackc");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::remove_file(path).ok();
 }
 
@@ -104,7 +116,10 @@ fn capability_violations_exit_nonzero() {
 
 #[test]
 fn missing_file_and_bad_flags_fail_cleanly() {
-    let out = attackc().arg("/nonexistent/file.atk").output().expect("run");
+    let out = attackc()
+        .arg("/nonexistent/file.atk")
+        .output()
+        .expect("run");
     assert!(!out.status.success());
     let out = attackc().arg("--bogus").output().expect("run");
     assert!(!out.status.success());

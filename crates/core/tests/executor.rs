@@ -119,10 +119,22 @@ fn connection_interruption_walks_the_figure_12_state_machine() {
     assert_eq!(exec.current_state_name(), "sigma3");
 
     // σ3 drops everything on (c1, s2)…
-    let out = send(&mut exec, 1, true, &OfMessage::EchoRequest(vec![]).encode(6), 3);
+    let out = send(
+        &mut exec,
+        1,
+        true,
+        &OfMessage::EchoRequest(vec![]).encode(6),
+        3,
+    );
     assert!(out.deliveries.is_empty());
     // …but other connections are untouched.
-    let out = send(&mut exec, 0, true, &OfMessage::EchoRequest(vec![]).encode(7), 4);
+    let out = send(
+        &mut exec,
+        0,
+        true,
+        &OfMessage::EchoRequest(vec![]).encode(7),
+        4,
+    );
     assert_eq!(out.deliveries.len(), 1);
 
     assert_eq!(exec.log().transitions(), vec![(0, 1), (1, 2)]);
@@ -302,7 +314,9 @@ fn delay_and_duplicate_and_modify() {
     for d in &out.deliveries {
         assert_eq!(d.extra_delay_ns, 500_000_000);
         let (msg, _) = OfMessage::decode(&d.bytes).unwrap();
-        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        let OfMessage::FlowMod(fm) = msg else {
+            panic!()
+        };
         assert_eq!(fm.idle_timeout, 60);
     }
 }
@@ -336,8 +350,7 @@ fn stochastic_suppression_drops_at_the_configured_rate() {
     );
     let run = || {
         let sc = scenario::enterprise_network();
-        let mut exec =
-            AttackExecutor::new(sc.system, sc.attack_model, attack.clone()).unwrap();
+        let mut exec = AttackExecutor::new(sc.system, sc.attack_model, attack.clone()).unwrap();
         let mut dropped = 0u32;
         for i in 0..1000 {
             let out = send(&mut exec, 0, false, &flow_mod_bytes(), i);
@@ -379,7 +392,10 @@ fn entropy_property_is_usable_from_the_dsl() {
             dropped += 1;
         }
     }
-    assert!((60..=140).contains(&dropped), "≈half should drop, got {dropped}");
+    assert!(
+        (60..=140).contains(&dropped),
+        "≈half should drop, got {dropped}"
+    );
 }
 
 #[test]

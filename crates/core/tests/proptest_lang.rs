@@ -89,10 +89,7 @@ fn arb_bool_expr() -> impl Strategy<Value = Expr> {
             Box::new(Expr::Prop(Property::Length)),
             Box::new(Expr::Lit(Value::Int(n))),
         )),
-        (0i64..200).prop_map(|n| Expr::eq(
-            Expr::Prop(Property::Id),
-            Expr::Lit(Value::Int(n)),
-        )),
+        (0i64..200).prop_map(|n| Expr::eq(Expr::Prop(Property::Id), Expr::Lit(Value::Int(n)),)),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
@@ -104,7 +101,9 @@ fn arb_bool_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn eval_bool(e: &Expr, msg: &MessageView<'_>, deques: &DequeStore) -> bool {
-    e.eval(msg, deques).expect("boolean expressions evaluate").truthy()
+    e.eval(msg, deques)
+        .expect("boolean expressions evaluate")
+        .truthy()
 }
 
 fn message_view(bytes: &[u8], id: u64) -> MessageView<'_> {
@@ -177,8 +176,12 @@ proptest! {
 
 fn trivial_executor() -> AttackExecutor {
     let sc = scenario::enterprise_network();
-    let atk = dsl::compile(scenario::attacks::TRIVIAL_PASS, &sc.system, &sc.attack_model)
-        .expect("bundled attack compiles");
+    let atk = dsl::compile(
+        scenario::attacks::TRIVIAL_PASS,
+        &sc.system,
+        &sc.attack_model,
+    )
+    .expect("bundled attack compiles");
     AttackExecutor::new(sc.system, sc.attack_model, atk.attack).expect("validates")
 }
 

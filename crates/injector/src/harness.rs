@@ -134,9 +134,8 @@ pub fn build_simulation(
     // not recoverable; hosts first matches the MAC-derivation convention
     // documented on the scenario builders.
     for (_, h) in system.hosts() {
-        let ip = h
-            .ip
-            .unwrap_or_else(|| panic!("host {} has no IP address", h.name));
+        let ip =
+            h.ip.unwrap_or_else(|| panic!("host {} has no IP address", h.name));
         host_ids.push(b.host(&h.name, &ip.to_string()));
     }
     for (_, s) in system.switches() {
@@ -209,7 +208,11 @@ impl SuppressionOutcome {
         if self.iperf.is_empty() {
             return 0.0;
         }
-        self.iperf.iter().map(IperfStats::throughput_mbps).sum::<f64>() / self.iperf.len() as f64
+        self.iperf
+            .iter()
+            .map(IperfStats::throughput_mbps)
+            .sum::<f64>()
+            / self.iperf.len() as f64
     }
 
     /// Whether throughput was fully denied (the paper's asterisk).
@@ -289,8 +292,7 @@ pub fn run_flow_mod_suppression(
         },
     );
     for trial in 0..fidelity.iperf_trials {
-        let at = iperf_start
-            + SimTime::from_secs(1 + trial as u64 * (fidelity.iperf_secs + 10));
+        let at = iperf_start + SimTime::from_secs(1 + trial as u64 * (fidelity.iperf_secs + 10));
         sim.schedule_command(
             at,
             HostCommand::IperfClient {

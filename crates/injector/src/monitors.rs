@@ -79,7 +79,14 @@ impl ExperimentReport {
             pings: sim
                 .ping_stats()
                 .iter()
-                .map(|p| (p.label.clone(), p.received(), p.transmitted(), p.avg_rtt_ms()))
+                .map(|p| {
+                    (
+                        p.label.clone(),
+                        p.received(),
+                        p.transmitted(),
+                        p.avg_rtt_ms(),
+                    )
+                })
                 .collect(),
             iperfs: sim
                 .iperf_stats()
@@ -132,7 +139,11 @@ impl fmt::Display for ExperimentReport {
         for (host, cmd) in &self.syscmds {
             writeln!(f, "syscmd on {host}: {cmd}")?;
         }
-        writeln!(f, "control plane ({} messages total):", self.control_total())?;
+        writeln!(
+            f,
+            "control plane ({} messages total):",
+            self.control_total()
+        )?;
         for c in &self.connections {
             writeln!(
                 f,

@@ -51,7 +51,11 @@ impl SimInjector {
     /// Panics if a connection of the executor's system model has no
     /// simulated counterpart (controller or switch name mismatch) — a
     /// configuration error a test harness should fail loudly on.
-    pub fn new(exec: AttackExecutor, system: &SystemModel, sim: &Simulation) -> (SimInjector, SharedExecutor) {
+    pub fn new(
+        exec: AttackExecutor,
+        system: &SystemModel,
+        sim: &Simulation,
+    ) -> (SimInjector, SharedExecutor) {
         let infos = sim.conn_infos();
         let mut to_sim = Vec::with_capacity(system.connection_count());
         let mut to_core = HashMap::new();

@@ -3,9 +3,9 @@
 //! capability class.
 
 use attain_controllers::Floodlight;
+use attain_core::dsl;
 use attain_core::exec::AttackExecutor;
 use attain_core::model::{AttackModel, CapabilitySet, SystemModel};
-use attain_core::dsl;
 use attain_injector::harness::build_simulation;
 use attain_injector::SimInjector;
 use attain_netsim::{Direction, FailMode, HostCommand, SimTime, Simulation};
@@ -73,10 +73,8 @@ fn delay_attack_inflates_latency_without_loss() {
             }
         }
     "#;
-    let (mut sim_base, _) = attacked_sim(
-        r#"attack nop { start state s { } }"#,
-        CapabilitySet::tls(),
-    );
+    let (mut sim_base, _) =
+        attacked_sim(r#"attack nop { start state s { } }"#, CapabilitySet::tls());
     ping(&mut sim_base, 10);
     sim_base.run_until(SimTime::from_secs(20));
     let base = sim_base.ping_stats()[0].clone();

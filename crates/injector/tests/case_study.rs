@@ -2,9 +2,7 @@
 //! fidelity, checking the qualitative shapes the paper reports.
 
 use attain_controllers::ControllerKind;
-use attain_injector::harness::{
-    run_connection_interruption, run_flow_mod_suppression, Fidelity,
-};
+use attain_injector::harness::{run_connection_interruption, run_flow_mod_suppression, Fidelity};
 use attain_netsim::FailMode;
 
 #[test]

@@ -169,12 +169,12 @@ impl NetworkBuilder {
                 NodeSpec::Switch { name, fail_mode } => {
                     dpid += 1;
                     names.insert(name.clone(), id);
-                    nodes.push(Node::Switch(Switch::new(
+                    nodes.push(Node::Switch(Box::new(Switch::new(
                         id,
                         name,
                         DatapathId(dpid),
                         fail_mode,
-                    )));
+                    ))));
                 }
             }
         }
@@ -220,7 +220,10 @@ impl NetworkBuilder {
         for (i, (ctrl, switch, latency)) in self.controls.into_iter().enumerate() {
             match &mut nodes[switch.0] {
                 Node::Switch(s) => s.add_conn(crate::engine::ConnId(i)),
-                Node::Host(h) => panic!("{} is a host; control connections attach to switches", h.name()),
+                Node::Host(h) => panic!(
+                    "{} is a host; control connections attach to switches",
+                    h.name()
+                ),
             }
             controllers[ctrl.0].add_conn(crate::engine::ConnId(i));
             connections.push(Connection {

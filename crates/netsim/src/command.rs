@@ -95,12 +95,19 @@ impl HostCommand {
                 while i < tokens.len() {
                     match tokens[i] {
                         "-c" => {
-                            count = tokens.get(i + 1).ok_or_else(err)?.parse().map_err(|_| err())?;
+                            count = tokens
+                                .get(i + 1)
+                                .ok_or_else(err)?
+                                .parse()
+                                .map_err(|_| err())?;
                             i += 2;
                         }
                         "-i" => {
-                            let secs: f64 =
-                                tokens.get(i + 1).ok_or_else(err)?.parse().map_err(|_| err())?;
+                            let secs: f64 = tokens
+                                .get(i + 1)
+                                .ok_or_else(err)?
+                                .parse()
+                                .map_err(|_| err())?;
                             if !(secs.is_finite() && secs > 0.0) {
                                 return Err(err());
                             }
@@ -136,17 +143,28 @@ impl HostCommand {
                         }
                         "-c" => {
                             dst = Some(
-                                tokens.get(i + 1).ok_or_else(err)?.parse().map_err(|_| err())?,
+                                tokens
+                                    .get(i + 1)
+                                    .ok_or_else(err)?
+                                    .parse()
+                                    .map_err(|_| err())?,
                             );
                             i += 2;
                         }
                         "-p" => {
-                            port = tokens.get(i + 1).ok_or_else(err)?.parse().map_err(|_| err())?;
+                            port = tokens
+                                .get(i + 1)
+                                .ok_or_else(err)?
+                                .parse()
+                                .map_err(|_| err())?;
                             i += 2;
                         }
                         "-t" => {
-                            let secs: u64 =
-                                tokens.get(i + 1).ok_or_else(err)?.parse().map_err(|_| err())?;
+                            let secs: u64 = tokens
+                                .get(i + 1)
+                                .ok_or_else(err)?
+                                .parse()
+                                .map_err(|_| err())?;
                             duration = SimTime::from_secs(secs);
                             i += 2;
                         }

@@ -264,10 +264,7 @@ mod tests {
         let (_, first) = q.pop().unwrap();
         let (_, second) = q.pop().unwrap();
         match (first, second) {
-            (
-                EventKind::NodeTimer { node: a, .. },
-                EventKind::NodeTimer { node: b, .. },
-            ) => {
+            (EventKind::NodeTimer { node: a, .. }, EventKind::NodeTimer { node: b, .. }) => {
                 assert_eq!(a, NodeId(0));
                 assert_eq!(b, NodeId(1));
             }

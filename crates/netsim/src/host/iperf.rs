@@ -134,7 +134,11 @@ impl IperfServerApp {
                     bytes: 0,
                 },
             );
-            return vec![reply(0, tcp.seq.wrapping_add(1), TcpFlags::SYN | TcpFlags::ACK)];
+            return vec![reply(
+                0,
+                tcp.seq.wrapping_add(1),
+                TcpFlags::SYN | TcpFlags::ACK,
+            )];
         }
         let Some(conn) = self.conns.get_mut(&key) else {
             // No such connection: RST.
@@ -388,7 +392,11 @@ mod tests {
     fn server_handshake_and_data() {
         let mut s = IperfServerApp::new(5001);
         let peer: Ipv4Addr = "10.0.0.1".parse().unwrap();
-        let replies = s.on_segment(peer, &seg(30000, 5001, 0, 0, TcpFlags::SYN, 0), SimTime::ZERO);
+        let replies = s.on_segment(
+            peer,
+            &seg(30000, 5001, 0, 0, TcpFlags::SYN, 0),
+            SimTime::ZERO,
+        );
         assert_eq!(replies.len(), 1);
         assert!(replies[0].flags.contains(TcpFlags::SYN));
         assert_eq!(replies[0].ack, 1);
@@ -442,7 +450,10 @@ mod tests {
         let mut syns = 0;
         loop {
             let (segs, next) = c.on_timer(now);
-            syns += segs.iter().filter(|s| s.flags.contains(TcpFlags::SYN)).count();
+            syns += segs
+                .iter()
+                .filter(|s| s.flags.contains(TcpFlags::SYN))
+                .count();
             match next {
                 Some(t) => now = t,
                 None => break,

@@ -119,8 +119,9 @@ impl Host {
     ) {
         let app = self.apps.len();
         // The echo identifier ties replies back to this app slot.
-        self.apps
-            .push(App::Ping(PingApp::new(label, dst, count, interval, app as u16)));
+        self.apps.push(App::Ping(PingApp::new(
+            label, dst, count, interval, app as u16,
+        )));
         fx.push(Effect::Timer {
             at: now,
             token: TimerToken::App { app },
@@ -163,23 +164,21 @@ impl Host {
             return;
         }
         match &eth.payload {
-            Payload::Arp(arp) => {
-                match arp.operation {
-                    ArpOperation::Request if arp.target_ip == self.ip => {
-                        self.arp_table.insert(arp.sender_ip, arp.sender_mac);
-                        let reply = packet::arp_reply(self.mac, self.ip, arp.sender_mac, arp.sender_ip);
-                        fx.push(Effect::Frame {
-                            out_port: HOST_PORT,
-                            frame: reply.encode(),
-                        });
-                    }
-                    ArpOperation::Reply if arp.target_ip == self.ip || eth.dst == self.mac => {
-                        self.arp_table.insert(arp.sender_ip, arp.sender_mac);
-                        self.flush_pending(arp.sender_ip, arp.sender_mac, fx);
-                    }
-                    _ => {}
+            Payload::Arp(arp) => match arp.operation {
+                ArpOperation::Request if arp.target_ip == self.ip => {
+                    self.arp_table.insert(arp.sender_ip, arp.sender_mac);
+                    let reply = packet::arp_reply(self.mac, self.ip, arp.sender_mac, arp.sender_ip);
+                    fx.push(Effect::Frame {
+                        out_port: HOST_PORT,
+                        frame: reply.encode(),
+                    });
                 }
-            }
+                ArpOperation::Reply if arp.target_ip == self.ip || eth.dst == self.mac => {
+                    self.arp_table.insert(arp.sender_ip, arp.sender_mac);
+                    self.flush_pending(arp.sender_ip, arp.sender_mac, fx);
+                }
+                _ => {}
+            },
             Payload::Ipv4(ip) => {
                 if ip.dst != self.ip {
                     return;
@@ -239,8 +238,16 @@ impl Host {
                 if s.port() == tcp.dst_port {
                     for seg in s.on_segment(peer_ip, tcp, now) {
                         let frame = packet::tcp_segment(
-                            my_mac, peer_mac, my_ip, peer_ip, seg.src_port, seg.dst_port,
-                            seg.seq, seg.ack, seg.flags, seg.payload,
+                            my_mac,
+                            peer_mac,
+                            my_ip,
+                            peer_ip,
+                            seg.src_port,
+                            seg.dst_port,
+                            seg.seq,
+                            seg.ack,
+                            seg.flags,
+                            seg.payload,
                         );
                         fx.push(Effect::Frame {
                             out_port: HOST_PORT,
@@ -273,7 +280,10 @@ impl Host {
         for seg in segs {
             let frame = packet::tcp_segment(
                 self.mac,
-                self.arp_table.get(&dst_ip).copied().unwrap_or(MacAddr::BROADCAST),
+                self.arp_table
+                    .get(&dst_ip)
+                    .copied()
+                    .unwrap_or(MacAddr::BROADCAST),
                 self.ip,
                 dst_ip,
                 seg.src_port,
@@ -290,7 +300,13 @@ impl Host {
     /// Sends an IP frame, resolving the destination MAC first if needed.
     /// `frame` must have been built with some placeholder destination MAC;
     /// it is patched on flush.
-    fn send_ip_frame(&mut self, dst_ip: Ipv4Addr, frame: Vec<u8>, now: SimTime, fx: &mut Vec<Effect>) {
+    fn send_ip_frame(
+        &mut self,
+        dst_ip: Ipv4Addr,
+        frame: Vec<u8>,
+        now: SimTime,
+        fx: &mut Vec<Effect>,
+    ) {
         if let Some(mac) = self.arp_table.get(&dst_ip).copied() {
             let mut f = frame;
             f[..6].copy_from_slice(&mac.0);
@@ -626,11 +642,7 @@ mod tests {
         assert_eq!(h.pending.len(), 1);
         for i in 0..6 {
             let mut fx2 = Vec::new();
-            h.handle_timer(
-                TimerToken::ArpRetry,
-                SimTime::from_secs(1 + i),
-                &mut fx2,
-            );
+            h.handle_timer(TimerToken::ArpRetry, SimTime::from_secs(1 + i), &mut fx2);
         }
         assert!(h.pending.is_empty());
         // The ping is recorded as lost, not answered.

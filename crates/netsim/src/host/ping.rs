@@ -55,16 +55,20 @@ impl PingStats {
 
     /// Minimum RTT over answered trials.
     pub fn min_rtt_ms(&self) -> Option<f64> {
-        self.rtts.iter().flatten().copied().fold(None, |acc, r| {
-            Some(acc.map_or(r, |a: f64| a.min(r)))
-        })
+        self.rtts
+            .iter()
+            .flatten()
+            .copied()
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.min(r))))
     }
 
     /// Maximum RTT over answered trials.
     pub fn max_rtt_ms(&self) -> Option<f64> {
-        self.rtts.iter().flatten().copied().fold(None, |acc, r| {
-            Some(acc.map_or(r, |a: f64| a.max(r)))
-        })
+        self.rtts
+            .iter()
+            .flatten()
+            .copied()
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
     }
 
     /// Whether every trial was lost — the paper's denial-of-service

@@ -75,7 +75,9 @@ pub use command::{HostCommand, ParseCommandError};
 pub use controller_host::ControllerHost;
 pub use engine::{ConnId, NodeId, TimerToken};
 pub use host::{Host, IperfStats, PingStats};
-pub use interpose::{Delivery, Direction, Interposer, InterposerActions, PassThrough, ProxiedMessage};
+pub use interpose::{
+    Delivery, Direction, Interposer, InterposerActions, PassThrough, ProxiedMessage,
+};
 pub use link::{Link, LinkEnd, TxOutcome};
 pub use sim::{ConnInfo, Simulation};
 pub use switch::{ApplyOutcome, FailMode, FlowEntry, FlowModError, FlowTable, Switch};

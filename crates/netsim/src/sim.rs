@@ -19,8 +19,9 @@ use std::collections::HashMap;
 pub(crate) enum Node {
     /// An end host.
     Host(Host),
-    /// A switch.
-    Switch(Switch),
+    /// A switch. Boxed: the switch state (flow table, connections) dwarfs
+    /// a host, and nodes of both kinds share one `Vec<Node>`.
+    Switch(Box<Switch>),
 }
 
 /// One control-plane connection of the relation `N_C`.

@@ -1,10 +1,46 @@
 //! The OpenFlow 1.0 flow table with OVS-compatible semantics.
+//!
+//! # Classifier structure
+//!
+//! Lookup used to be a linear scan over a flat `Vec<FlowEntry>`. The
+//! table is now a two-tier classifier in the style of Open vSwitch:
+//!
+//! * **Exact tier** — entries whose match constrains every field (no
+//!   wildcards at all) live in a `HashMap<FlowKey, _>` keyed by the one
+//!   flow key they admit. A packet probes this map first: O(1), and by
+//!   OpenFlow 1.0 §3.4 an exact entry outranks every wildcarded entry
+//!   regardless of priority, so a hit ends the search.
+//! * **Wildcard tier** — remaining entries are kept sorted by
+//!   (priority descending, insertion order ascending), each carrying its
+//!   [`MatchBits`] — the match pre-compiled at insert time into packed
+//!   value/mask words — so evaluation is five masked 64-bit compares and
+//!   the first hit is the winner (early exit).
+//!
+//! Entries live in an arena of slots with stable ids; a per-slot
+//! generation counter lets the timeout index invalidate lazily. That
+//! index is a min-heap of `(deadline, slot, generation)` triples:
+//! [`FlowTable::expire`] pops only entries whose provisional deadline
+//! has passed instead of scanning the whole table each tick. A popped
+//! triple whose generation is stale (entry replaced or removed) is
+//! discarded; one whose idle deadline moved forward because traffic
+//! refreshed `last_matched` is re-armed at the new deadline. The packet
+//! path never touches the heap.
+//!
+//! The observable semantics — priority ties, exact-beats-wildcard,
+//! counters, overlap/subsumption, timeout behaviour, and the order of
+//! removal notifications — are identical to the old scan; a differential
+//! property test in `tests/proptest_netsim.rs` drives both this
+//! classifier and a reference linear scan through random command
+//! sequences and asserts they never diverge.
 
 use crate::time::SimTime;
 use attain_openflow::{
-    Action, FlowKey, FlowMod, FlowModCommand, FlowModFlags, FlowRemovedReason, Match, PortNo,
-    Wildcards,
+    Action, FlowKey, FlowKeyBits, FlowMod, FlowModCommand, FlowModFlags, FlowRemovedReason, Match,
+    MatchBits, PortNo,
 };
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// One installed flow entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -14,8 +50,9 @@ pub struct FlowEntry {
     /// Priority (only meaningful between wildcarded entries; exact-match
     /// entries always outrank wildcarded ones, per OpenFlow 1.0 §3.4).
     pub priority: u16,
-    /// Action list (empty = drop).
-    pub actions: Vec<Action>,
+    /// Action list (empty = drop). Shared so that lookups and stats can
+    /// hand the list out without deep-cloning it.
+    pub actions: Arc<[Action]>,
     /// Controller cookie.
     pub cookie: u64,
     /// Idle timeout in seconds (0 = none).
@@ -32,16 +69,37 @@ pub struct FlowEntry {
     pub packet_count: u64,
     /// Bytes matched.
     pub byte_count: u64,
+    /// Cached `(is_exact, priority)` ordering rank, fixed at insert
+    /// (both inputs are immutable for the entry's lifetime).
+    rank: (bool, u16),
 }
 
 impl FlowEntry {
+    fn from_mod(fm: &FlowMod, now: SimTime) -> FlowEntry {
+        FlowEntry {
+            r#match: fm.r#match,
+            priority: fm.priority,
+            actions: fm.actions.as_slice().into(),
+            cookie: fm.cookie,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            send_flow_rem: fm.flags.has(FlowModFlags::SEND_FLOW_REM),
+            installed_at: now,
+            last_matched: now,
+            packet_count: 0,
+            byte_count: 0,
+            rank: (fm.r#match.is_exact(), fm.priority),
+        }
+    }
+
     /// Whether the entry's match has no wildcards at all.
     pub fn is_exact(&self) -> bool {
-        self.r#match.wildcards.0 & 0xff == 0
-            && !self.r#match.wildcards.has(Wildcards::DL_VLAN_PCP)
-            && !self.r#match.wildcards.has(Wildcards::NW_TOS)
-            && self.r#match.wildcards.nw_src_ignored_bits() == 0
-            && self.r#match.wildcards.nw_dst_ignored_bits() == 0
+        self.rank.0
+    }
+
+    /// The `(is_exact, priority)` rank ordering entries during lookup.
+    pub fn rank(&self) -> (bool, u16) {
+        self.rank
     }
 
     /// Whether the entry outputs to `port` (for delete `out_port`
@@ -50,6 +108,36 @@ impl FlowEntry {
         self.actions
             .iter()
             .any(|a| matches!(a, Action::Output { port: p, .. } if *p == port))
+    }
+
+    /// When the hard timeout fires, if one is set.
+    fn hard_deadline(&self) -> Option<SimTime> {
+        (self.hard_timeout > 0).then(|| {
+            SimTime(
+                self.installed_at
+                    .0
+                    .saturating_add(SimTime::from_secs(self.hard_timeout as u64).0),
+            )
+        })
+    }
+
+    /// When the idle timeout fires given current `last_matched`, if set.
+    fn idle_deadline(&self) -> Option<SimTime> {
+        (self.idle_timeout > 0).then(|| {
+            SimTime(
+                self.last_matched
+                    .0
+                    .saturating_add(SimTime::from_secs(self.idle_timeout as u64).0),
+            )
+        })
+    }
+
+    /// The earliest time either timeout can fire, if any is set.
+    fn next_deadline(&self) -> Option<SimTime> {
+        match (self.hard_deadline(), self.idle_deadline()) {
+            (Some(h), Some(i)) => Some(h.min(i)),
+            (h, i) => h.or(i),
+        }
     }
 }
 
@@ -73,10 +161,38 @@ pub struct ApplyOutcome {
     pub removed: Vec<FlowEntry>,
 }
 
-/// The flow table of one simulated switch.
+/// An arena slot: a generation counter plus the occupant, if any.
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    occ: Option<Occupied>,
+}
+
+#[derive(Debug)]
+struct Occupied {
+    entry: FlowEntry,
+    /// The match compiled to value/mask words (wildcard-tier lookups).
+    bits: MatchBits,
+}
+
+/// The flow table of one simulated switch (see the module docs for the
+/// classifier structure).
 #[derive(Debug)]
 pub struct FlowTable {
-    entries: Vec<FlowEntry>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Alive slot ids in insertion order — the observable entry order
+    /// (stats replies, removal notifications).
+    order: Vec<usize>,
+    /// Exact tier: fully-specified entries by the flow key they admit.
+    /// A bucket is a Vec because distinct exact entries can admit the
+    /// same key (different priorities, or `Match`es differing only in
+    /// reserved wildcard bits).
+    exact: HashMap<FlowKey, Vec<usize>>,
+    /// Wildcard tier, sorted by (priority desc, insertion order asc).
+    wild: Vec<usize>,
+    /// Min-heap of provisional `(deadline, slot, generation)` triples.
+    deadlines: BinaryHeap<Reverse<(SimTime, usize, u32)>>,
     capacity: usize,
     /// Packets looked up (table stats).
     pub lookup_count: u64,
@@ -94,53 +210,92 @@ impl FlowTable {
     /// Creates an empty table holding at most `capacity` entries.
     pub fn new(capacity: usize) -> FlowTable {
         FlowTable {
-            entries: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            order: Vec::new(),
+            exact: HashMap::new(),
+            wild: Vec::new(),
+            deadlines: BinaryHeap::new(),
             capacity,
             lookup_count: 0,
             matched_count: 0,
         }
     }
 
-    /// Active entries, in no particular order.
-    pub fn entries(&self) -> &[FlowEntry] {
-        &self.entries
+    /// Active entries, in insertion order.
+    pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> + '_ {
+        self.order.iter().map(|&id| self.entry(id))
     }
 
     /// Number of active entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.order.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.order.is_empty()
+    }
+
+    fn entry(&self, id: usize) -> &FlowEntry {
+        &self.slots[id].occ.as_ref().expect("stale slot id").entry
+    }
+
+    fn occupied_mut(&mut self, id: usize) -> &mut Occupied {
+        self.slots[id].occ.as_mut().expect("stale slot id")
     }
 
     /// Looks up the best entry for `key`, updating counters.
     ///
-    /// Returns a clone of the winning entry's actions (cloning decouples
-    /// the caller from the table borrow; action lists are short).
-    pub fn lookup(&mut self, key: &FlowKey, frame_len: usize, now: SimTime) -> Option<Vec<Action>> {
+    /// Returns a shared handle to the winning entry's actions (cheap
+    /// refcount bump, no deep clone; decouples the caller from the
+    /// table borrow).
+    pub fn lookup(
+        &mut self,
+        key: &FlowKey,
+        frame_len: usize,
+        now: SimTime,
+    ) -> Option<Arc<[Action]>> {
         self.lookup_count += 1;
-        let mut best: Option<usize> = None;
-        let mut best_rank = (false, 0u16); // (is_exact, priority)
-        for (i, e) in self.entries.iter().enumerate() {
-            if !e.r#match.matches(key) {
-                continue;
-            }
-            let rank = (e.is_exact(), e.priority);
-            if best.is_none() || rank > best_rank {
-                best = Some(i);
-                best_rank = rank;
-            }
-        }
-        let i = best?;
+        let id = self.classify(key)?;
         self.matched_count += 1;
-        let e = &mut self.entries[i];
+        let e = &mut self.occupied_mut(id).entry;
         e.packet_count += 1;
         e.byte_count += frame_len as u64;
         e.last_matched = now;
-        Some(e.actions.clone())
+        Some(Arc::clone(&e.actions))
+    }
+
+    /// The winning slot id for `key`, by OpenFlow 1.0 precedence.
+    fn classify(&self, key: &FlowKey) -> Option<usize> {
+        // Exact tier: every entry in the bucket admits exactly `key`, so
+        // only priority (then insertion order) discriminates.
+        if let Some(bucket) = self.exact.get(key) {
+            let mut best: Option<(usize, u16)> = None;
+            for &id in bucket {
+                let p = self.entry(id).priority;
+                if best.is_none_or(|(_, bp)| p > bp) {
+                    best = Some((id, p));
+                }
+            }
+            if let Some((id, _)) = best {
+                return Some(id);
+            }
+        }
+        // Wildcard tier: sorted by (priority desc, insertion asc), so the
+        // first compiled match that admits the key is the winner.
+        if self.wild.is_empty() {
+            return None;
+        }
+        let kb = FlowKeyBits::from_key(key);
+        self.wild.iter().copied().find(|&id| {
+            self.slots[id]
+                .occ
+                .as_ref()
+                .expect("stale slot id")
+                .bits
+                .matches(&kb)
+        })
     }
 
     /// Applies a `FLOW_MOD`.
@@ -156,15 +311,18 @@ impl FlowTable {
             }),
             FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
                 let strict = fm.command == FlowModCommand::ModifyStrict;
+                // Clone the action list once; matched entries share it.
+                let actions: Arc<[Action]> = fm.actions.as_slice().into();
                 let mut touched = false;
-                for e in &mut self.entries {
+                for &id in &self.order {
+                    let e = &mut self.slots[id].occ.as_mut().expect("stale slot id").entry;
                     let hit = if strict {
                         e.r#match == fm.r#match && e.priority == fm.priority
                     } else {
                         fm.r#match.subsumes(&e.r#match)
                     };
                     if hit {
-                        e.actions = fm.actions.clone();
+                        e.actions = Arc::clone(&actions);
                         e.cookie = fm.cookie;
                         touched = true;
                     }
@@ -181,19 +339,25 @@ impl FlowTable {
             }
             FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
                 let strict = fm.command == FlowModCommand::DeleteStrict;
-                let mut removed = Vec::new();
-                self.entries.retain(|e| {
+                let mut hits = Vec::new();
+                for &id in &self.order {
+                    let e = self.entry(id);
                     let hit = if strict {
                         e.r#match == fm.r#match && e.priority == fm.priority
                     } else {
                         fm.r#match.subsumes(&e.r#match)
                     };
-                    let hit = hit && (fm.out_port == PortNo::NONE || e.outputs_to(fm.out_port));
-                    if hit && e.send_flow_rem {
-                        removed.push(e.clone());
+                    if hit && (fm.out_port == PortNo::NONE || e.outputs_to(fm.out_port)) {
+                        hits.push(id);
                     }
-                    !hit
-                });
+                }
+                let mut removed = Vec::new();
+                for id in hits {
+                    let entry = self.remove(id);
+                    if entry.send_flow_rem {
+                        removed.push(entry);
+                    }
+                }
                 Ok(ApplyOutcome {
                     added: false,
                     removed,
@@ -205,79 +369,175 @@ impl FlowTable {
     fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<(), FlowModError> {
         if fm.flags.has(FlowModFlags::CHECK_OVERLAP) {
             let overlapping = self
-                .entries
+                .order
                 .iter()
+                .map(|&id| self.entry(id))
                 .any(|e| e.priority == fm.priority && e.r#match.overlaps(&fm.r#match));
             if overlapping {
                 return Err(FlowModError::Overlap);
             }
         }
         // Identical match+priority: replace, clearing counters (spec §4.6).
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .find(|e| e.r#match == fm.r#match && e.priority == fm.priority)
-        {
-            *e = FlowEntry {
-                r#match: fm.r#match,
-                priority: fm.priority,
-                actions: fm.actions.clone(),
-                cookie: fm.cookie,
-                idle_timeout: fm.idle_timeout,
-                hard_timeout: fm.hard_timeout,
-                send_flow_rem: fm.flags.has(FlowModFlags::SEND_FLOW_REM),
-                installed_at: now,
-                last_matched: now,
-                packet_count: 0,
-                byte_count: 0,
-            };
+        // The entry keeps its slot, insertion sequence, and tier position
+        // (the match and priority — everything the indexes key on — are
+        // unchanged); the generation bump invalidates its old deadlines.
+        if let Some(id) = self.find_identical(&fm.r#match, fm.priority) {
+            let entry = FlowEntry::from_mod(fm, now);
+            let deadline = entry.next_deadline();
+            self.slots[id].gen = self.slots[id].gen.wrapping_add(1);
+            let gen = self.slots[id].gen;
+            self.occupied_mut(id).entry = entry;
+            if let Some(d) = deadline {
+                self.deadlines.push(Reverse((d, id, gen)));
+            }
             return Ok(());
         }
-        if self.entries.len() >= self.capacity {
+        if self.order.len() >= self.capacity {
             return Err(FlowModError::TableFull);
         }
-        self.entries.push(FlowEntry {
-            r#match: fm.r#match,
-            priority: fm.priority,
-            actions: fm.actions.clone(),
-            cookie: fm.cookie,
-            idle_timeout: fm.idle_timeout,
-            hard_timeout: fm.hard_timeout,
-            send_flow_rem: fm.flags.has(FlowModFlags::SEND_FLOW_REM),
-            installed_at: now,
-            last_matched: now,
-            packet_count: 0,
-            byte_count: 0,
-        });
+        self.insert(FlowEntry::from_mod(fm, now));
         Ok(())
+    }
+
+    /// The slot holding an entry with exactly this match and priority.
+    fn find_identical(&self, m: &Match, priority: u16) -> Option<usize> {
+        if m.is_exact() {
+            // Any identical match is exact too, so only its bucket can
+            // hold it.
+            let bucket = self.exact.get(&m.flow_key())?;
+            bucket.iter().copied().find(|&id| {
+                let e = self.entry(id);
+                e.priority == priority && e.r#match == *m
+            })
+        } else {
+            // The wild tier is priority-sorted: binary-search the band of
+            // equal-priority entries, then compare matches within it.
+            let lo = self
+                .wild
+                .partition_point(|&id| self.entry(id).priority > priority);
+            let hi = self
+                .wild
+                .partition_point(|&id| self.entry(id).priority >= priority);
+            self.wild[lo..hi]
+                .iter()
+                .copied()
+                .find(|&id| self.entry(id).r#match == *m)
+        }
+    }
+
+    /// Installs `entry` into a free slot and every index.
+    fn insert(&mut self, entry: FlowEntry) {
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.slots.push(Slot { gen: 0, occ: None });
+                self.slots.len() - 1
+            }
+        };
+        let bits = entry.r#match.compile();
+        let deadline = entry.next_deadline();
+        let exact = entry.is_exact();
+        let key = entry.r#match.flow_key();
+        let priority = entry.priority;
+        self.slots[id].occ = Some(Occupied { entry, bits });
+        self.order.push(id);
+        if exact {
+            self.exact.entry(key).or_default().push(id);
+        } else {
+            // Keep (priority desc, insertion asc) order: the newest entry
+            // goes after every equal-priority peer.
+            let pos = self
+                .wild
+                .partition_point(|&x| self.entry(x).priority >= priority);
+            self.wild.insert(pos, id);
+        }
+        if let Some(d) = deadline {
+            self.deadlines.push(Reverse((d, id, self.slots[id].gen)));
+        }
+    }
+
+    /// Unlinks slot `id` from every index and returns its entry.
+    fn remove(&mut self, id: usize) -> FlowEntry {
+        let occ = self.slots[id].occ.take().expect("stale slot id");
+        self.slots[id].gen = self.slots[id].gen.wrapping_add(1);
+        self.free.push(id);
+        let pos = self
+            .order
+            .iter()
+            .position(|&x| x == id)
+            .expect("untracked id");
+        self.order.remove(pos);
+        if occ.entry.is_exact() {
+            let key = occ.entry.r#match.flow_key();
+            let bucket = self.exact.get_mut(&key).expect("missing exact bucket");
+            bucket.retain(|&x| x != id);
+            if bucket.is_empty() {
+                self.exact.remove(&key);
+            }
+        } else {
+            let pos = self
+                .wild
+                .iter()
+                .position(|&x| x == id)
+                .expect("untracked id");
+            self.wild.remove(pos);
+        }
+        occ.entry
     }
 
     /// Removes timed-out entries, returning them with their expiry
     /// reasons (all of them, so the switch can count expiries; only those
     /// with `send_flow_rem` warrant a `FLOW_REMOVED`).
+    ///
+    /// Pops only heap entries whose provisional deadline has passed:
+    /// when nothing is due this is O(1), not a table scan.
     pub fn expire(&mut self, now: SimTime) -> Vec<(FlowEntry, FlowRemovedReason)> {
-        let mut out = Vec::new();
-        self.entries.retain(|e| {
-            if e.hard_timeout > 0
-                && now.saturating_sub(e.installed_at) >= SimTime::from_secs(e.hard_timeout as u64)
-            {
-                out.push((e.clone(), FlowRemovedReason::HardTimeout));
-                return false;
+        let mut due: Vec<(usize, FlowRemovedReason)> = Vec::new();
+        while let Some(&Reverse((t, id, gen))) = self.deadlines.peek() {
+            if t > now {
+                break;
             }
-            if e.idle_timeout > 0
-                && now.saturating_sub(e.last_matched) >= SimTime::from_secs(e.idle_timeout as u64)
-            {
-                out.push((e.clone(), FlowRemovedReason::IdleTimeout));
-                return false;
+            self.deadlines.pop();
+            if self.slots[id].gen != gen {
+                continue; // entry replaced or removed since arming
             }
-            true
+            let Some(occ) = self.slots[id].occ.as_ref() else {
+                continue;
+            };
+            let e = &occ.entry;
+            // Hard before idle, matching the old scan's reason choice.
+            if e.hard_deadline().is_some_and(|d| d <= now) {
+                due.push((id, FlowRemovedReason::HardTimeout));
+            } else if e.idle_deadline().is_some_and(|d| d <= now) {
+                due.push((id, FlowRemovedReason::IdleTimeout));
+            } else if let Some(d) = e.next_deadline() {
+                // Traffic pushed the idle deadline forward: re-arm.
+                self.deadlines.push(Reverse((d, id, gen)));
+            }
+        }
+        if due.is_empty() {
+            return Vec::new();
+        }
+        // Report in insertion order, as the old retain scan did.
+        due.sort_by_key(|&(id, _)| {
+            self.order
+                .iter()
+                .position(|&x| x == id)
+                .expect("untracked id")
         });
-        out
+        due.into_iter()
+            .map(|(id, r)| (self.remove(id), r))
+            .collect()
     }
 
     /// Removes every entry (used when a switch resets).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.order.clear();
+        self.exact.clear();
+        self.wild.clear();
+        self.deadlines.clear();
     }
 }
 
@@ -304,24 +564,29 @@ mod tests {
         }
     }
 
+    fn out(port: u16) -> [Action; 1] {
+        [Action::Output {
+            port: PortNo(port),
+            max_len: 0,
+        }]
+    }
+
+    fn first(t: &FlowTable) -> &FlowEntry {
+        t.entries().next().unwrap()
+    }
+
     #[test]
     fn add_and_lookup() {
         let mut t = FlowTable::default();
         t.apply(&fm(Match::exact_in_port(PortNo(1)), 10, 2), SimTime::ZERO)
             .unwrap();
         let actions = t.lookup(&key_port(1), 100, SimTime::from_secs(1)).unwrap();
-        assert_eq!(
-            actions,
-            vec![Action::Output {
-                port: PortNo(2),
-                max_len: 0
-            }]
-        );
+        assert_eq!(&actions[..], &out(2));
         assert!(t.lookup(&key_port(3), 100, SimTime::ZERO).is_none());
         assert_eq!(t.lookup_count, 2);
         assert_eq!(t.matched_count, 1);
-        assert_eq!(t.entries()[0].packet_count, 1);
-        assert_eq!(t.entries()[0].byte_count, 100);
+        assert_eq!(first(&t).packet_count, 1);
+        assert_eq!(first(&t).byte_count, 100);
     }
 
     #[test]
@@ -331,13 +596,7 @@ mod tests {
         t.apply(&fm(Match::exact_in_port(PortNo(1)), 100, 8), SimTime::ZERO)
             .unwrap();
         let actions = t.lookup(&key_port(1), 10, SimTime::ZERO).unwrap();
-        assert_eq!(
-            actions,
-            vec![Action::Output {
-                port: PortNo(8),
-                max_len: 0
-            }]
-        );
+        assert_eq!(&actions[..], &out(8));
     }
 
     #[test]
@@ -346,16 +605,43 @@ mod tests {
         let key = key_port(1);
         let exact = Match::from_flow_key(&key);
         t.apply(&fm(exact, 1, 9), SimTime::ZERO).unwrap();
-        t.apply(&fm(Match::exact_in_port(PortNo(1)), 0xffff, 2), SimTime::ZERO)
-            .unwrap();
+        t.apply(
+            &fm(Match::exact_in_port(PortNo(1)), 0xffff, 2),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let actions = t.lookup(&key, 10, SimTime::ZERO).unwrap();
-        assert_eq!(
-            actions,
-            vec![Action::Output {
-                port: PortNo(9),
-                max_len: 0
-            }]
-        );
+        assert_eq!(&actions[..], &out(9));
+    }
+
+    #[test]
+    fn priority_discriminates_within_an_exact_bucket() {
+        // Two exact entries admitting the same key (priorities differ):
+        // the bucket must pick the higher one, not the first inserted.
+        let mut t = FlowTable::default();
+        let key = key_port(1);
+        let exact = Match::from_flow_key(&key);
+        t.apply(&fm(exact, 1, 5), SimTime::ZERO).unwrap();
+        let mut higher = exact;
+        // Reserved wildcard bits make the Match distinct without making
+        // it any less exact.
+        higher.wildcards = attain_openflow::Wildcards(1 << 22);
+        t.apply(&fm(higher, 9, 6), SimTime::ZERO).unwrap();
+        assert_eq!(t.len(), 2);
+        let actions = t.lookup(&key, 10, SimTime::ZERO).unwrap();
+        assert_eq!(&actions[..], &out(6));
+    }
+
+    #[test]
+    fn first_inserted_wins_priority_ties() {
+        let mut t = FlowTable::default();
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        let mut peer = Match::all();
+        peer.wildcards = attain_openflow::Wildcards(attain_openflow::Wildcards::ALL.0 | 1 << 23);
+        t.apply(&fm(peer, 5, 3), SimTime::ZERO).unwrap();
+        let actions = t.lookup(&key_port(1), 10, SimTime::ZERO).unwrap();
+        assert_eq!(&actions[..], &out(2));
     }
 
     #[test]
@@ -364,17 +650,31 @@ mod tests {
         t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
             .unwrap();
         t.lookup(&key_port(1), 50, SimTime::ZERO);
-        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 3), SimTime::from_secs(1))
-            .unwrap();
+        t.apply(
+            &fm(Match::exact_in_port(PortNo(1)), 5, 3),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(t.entries()[0].packet_count, 0);
-        assert_eq!(
-            t.entries()[0].actions,
-            vec![Action::Output {
-                port: PortNo(3),
-                max_len: 0
-            }]
-        );
+        assert_eq!(first(&t).packet_count, 0);
+        assert_eq!(&first(&t).actions[..], &out(3));
+    }
+
+    #[test]
+    fn replacement_keeps_tie_break_position() {
+        // A replaced entry keeps its insertion-order position, so it
+        // still wins priority ties against entries added after it.
+        let mut t = FlowTable::default();
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        t.apply(&fm(Match::all(), 5, 3), SimTime::ZERO).unwrap();
+        t.apply(
+            &fm(Match::exact_in_port(PortNo(1)), 5, 4),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
+        let actions = t.lookup(&key_port(1), 10, SimTime::from_secs(1)).unwrap();
+        assert_eq!(&actions[..], &out(4));
     }
 
     #[test]
@@ -403,15 +703,13 @@ mod tests {
         let mut m = fm(Match::all(), 0, 9);
         m.command = FlowModCommand::Modify;
         t.apply(&m, SimTime::ZERO).unwrap();
-        for e in t.entries() {
-            assert_eq!(
-                e.actions,
-                vec![Action::Output {
-                    port: PortNo(9),
-                    max_len: 0
-                }]
-            );
+        let entries: Vec<&FlowEntry> = t.entries().collect();
+        assert_eq!(entries.len(), 2);
+        for e in &entries {
+            assert_eq!(&e.actions[..], &out(9));
         }
+        // The rewritten lists are shared, not cloned per entry.
+        assert!(Arc::ptr_eq(&entries[0].actions, &entries[1].actions));
     }
 
     #[test]
@@ -440,7 +738,13 @@ mod tests {
         let outcome = t.apply(&del, SimTime::ZERO).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(outcome.removed.len(), 1); // only the SEND_FLOW_REM entry
-        assert_eq!(t.entries()[0].actions[0], Action::Output { port: PortNo(3), max_len: 0 });
+        assert_eq!(
+            first(&t).actions[0],
+            Action::Output {
+                port: PortNo(3),
+                max_len: 0
+            }
+        );
     }
 
     #[test]
@@ -483,6 +787,56 @@ mod tests {
     }
 
     #[test]
+    fn stale_deadlines_do_not_kill_slot_reusers() {
+        // Entry with a timeout is deleted; another entry without one
+        // reuses its slot. The orphaned heap deadline must not touch it.
+        let mut t = FlowTable::default();
+        let mut doomed = fm(Match::exact_in_port(PortNo(1)), 5, 2);
+        doomed.hard_timeout = 10;
+        t.apply(&doomed, SimTime::ZERO).unwrap();
+        let mut del = fm(Match::exact_in_port(PortNo(1)), 5, 0);
+        del.command = FlowModCommand::DeleteStrict;
+        del.actions.clear();
+        t.apply(&del, SimTime::ZERO).unwrap();
+        t.apply(
+            &fm(Match::exact_in_port(PortNo(7)), 5, 3),
+            SimTime::from_secs(1),
+        )
+        .unwrap();
+        assert!(t.expire(SimTime::from_secs(100)).is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn replacement_rearms_timeouts() {
+        let mut t = FlowTable::default();
+        let mut short = fm(Match::exact_in_port(PortNo(1)), 5, 2);
+        short.hard_timeout = 5;
+        t.apply(&short, SimTime::ZERO).unwrap();
+        // Replace with a longer hard timeout before the first fires.
+        let mut long = fm(Match::exact_in_port(PortNo(1)), 5, 2);
+        long.hard_timeout = 60;
+        t.apply(&long, SimTime::from_secs(2)).unwrap();
+        assert!(t.expire(SimTime::from_secs(10)).is_empty());
+        let gone = t.expire(SimTime::from_secs(62));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].1, FlowRemovedReason::HardTimeout);
+    }
+
+    #[test]
+    fn expiry_reports_in_insertion_order() {
+        let mut t = FlowTable::default();
+        for p in [3u16, 1, 2] {
+            let mut e = fm(Match::exact_in_port(PortNo(p)), p * 10, p);
+            e.hard_timeout = 1;
+            t.apply(&e, SimTime::ZERO).unwrap();
+        }
+        let gone = t.expire(SimTime::from_secs(5));
+        let ports: Vec<u16> = gone.iter().map(|(e, _)| e.r#match.in_port.0).collect();
+        assert_eq!(ports, vec![3, 1, 2]);
+    }
+
+    #[test]
     fn table_full_is_reported() {
         let mut t = FlowTable::new(2);
         t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
@@ -494,5 +848,20 @@ mod tests {
                 .unwrap_err(),
             FlowModError::TableFull
         );
+    }
+
+    #[test]
+    fn clear_resets_all_tiers() {
+        let mut t = FlowTable::default();
+        let key = key_port(1);
+        let mut e = fm(Match::from_flow_key(&key), 5, 2);
+        e.hard_timeout = 1;
+        t.apply(&e, SimTime::ZERO).unwrap();
+        t.apply(&fm(Match::exact_in_port(PortNo(2)), 5, 3), SimTime::ZERO)
+            .unwrap();
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.lookup(&key, 10, SimTime::ZERO).is_none());
+        assert!(t.expire(SimTime::from_secs(100)).is_empty());
     }
 }

@@ -257,8 +257,7 @@ impl Switch {
         let (buffer_id, data) = if self.buffers.len() < BUFFER_CAPACITY {
             let id = self.next_buffer_id;
             self.next_buffer_id = self.next_buffer_id.wrapping_add(1) & 0x7fff_ffff;
-            let truncated =
-                frame[..frame.len().min(self.config.miss_send_len as usize)].to_vec();
+            let truncated = frame[..frame.len().min(self.config.miss_send_len as usize)].to_vec();
             self.buffers.push_back(BufferedPacket {
                 id,
                 frame,
@@ -302,10 +301,7 @@ impl Switch {
         };
         match out {
             Some(p) if p == in_port => {} // hairpin: drop
-            Some(p) => fx.push(Effect::Frame {
-                out_port: p,
-                frame,
-            }),
+            Some(p) => fx.push(Effect::Frame { out_port: p, frame }),
             None => self.flood(in_port, &frame, fx),
         }
     }
@@ -640,9 +636,7 @@ impl Switch {
             ports: self
                 .ports
                 .iter()
-                .map(|&p| {
-                    PhyPort::simulated(p, MacAddr::from_low((self.dpid.0 << 8) | p.0 as u64))
-                })
+                .map(|&p| PhyPort::simulated(p, MacAddr::from_low((self.dpid.0 << 8) | p.0 as u64)))
                 .collect(),
         }
     }
@@ -661,7 +655,6 @@ impl Switch {
             } => StatsReplyBody::Flow(
                 self.table
                     .entries()
-                    .iter()
                     .filter(|e| r#match.subsumes(&e.r#match))
                     .filter(|e| {
                         *out_port == PortNo::NONE
@@ -682,7 +675,7 @@ impl Switch {
                             cookie: e.cookie,
                             packet_count: e.packet_count,
                             byte_count: e.byte_count,
-                            actions: e.actions.clone(),
+                            actions: e.actions.to_vec(),
                         }
                     })
                     .collect(),
@@ -691,7 +684,6 @@ impl Switch {
                 let selected: Vec<_> = self
                     .table
                     .entries()
-                    .iter()
                     .filter(|e| r#match.subsumes(&e.r#match))
                     .collect();
                 StatsReplyBody::Aggregate(attain_openflow::AggregateStats {
@@ -1016,12 +1008,20 @@ mod tests {
         assert!(fx
             .iter()
             .any(|e| matches!(e, Effect::Trace(TraceKind::ConnectionDead { .. }))));
-        assert!(fx
-            .iter()
-            .any(|e| matches!(e, Effect::Trace(TraceKind::FailModeEntered { standalone: false, .. }))));
-        assert!(fx
-            .iter()
-            .any(|e| matches!(e, Effect::Timer { token: TimerToken::Connect { .. }, .. })));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Trace(TraceKind::FailModeEntered {
+                standalone: false,
+                ..
+            })
+        )));
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Timer {
+                token: TimerToken::Connect { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1115,10 +1115,7 @@ mod tests {
         connect(&mut s);
         let mut fx = Vec::new();
         for port in [1u16, 2] {
-            let fm = OfMessage::FlowMod(FlowMod::add(
-                Match::exact_in_port(PortNo(port)),
-                vec![],
-            ));
+            let fm = OfMessage::FlowMod(FlowMod::add(Match::exact_in_port(PortNo(port)), vec![]));
             s.handle_control(ConnId(0), &fm.encode(port as u32), SimTime::ZERO, &mut fx);
         }
         let has_full = fx.iter().any(|e| match e {

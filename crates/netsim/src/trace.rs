@@ -105,7 +105,10 @@ impl Trace {
             ..
         } = &kind
         {
-            *self.counts.entry((*conn, *direction, *of_type)).or_insert(0) += 1;
+            *self
+                .counts
+                .entry((*conn, *direction, *of_type))
+                .or_insert(0) += 1;
         }
         if self.record_events {
             self.events.push(TraceEvent { time, kind });

@@ -2,9 +2,7 @@
 //! workload realism, fail modes, and determinism.
 
 use attain_controllers::{Controller, ControllerKind, Floodlight, Pox, Ryu};
-use attain_netsim::{
-    Direction, FailMode, HostCommand, NetworkBuilder, SimTime, Simulation,
-};
+use attain_netsim::{Direction, FailMode, HostCommand, NetworkBuilder, SimTime, Simulation};
 use attain_openflow::OfType;
 
 fn controller_box(kind: ControllerKind) -> Box<dyn Controller> {
@@ -134,7 +132,10 @@ fn iperf_reaches_near_line_rate_on_installed_flows() {
         let h2 = sim.node_id("h2").unwrap();
         sim.schedule_command(
             SimTime::from_secs(9),
-            HostCommand::IperfServer { host: h2, port: 5001 },
+            HostCommand::IperfServer {
+                host: h2,
+                port: 5001,
+            },
         );
         sim.schedule_command(
             SimTime::from_secs(10),
@@ -250,7 +251,10 @@ fn simulation_is_deterministic() {
         let h2 = sim.node_id("h2").unwrap();
         sim.schedule_command(
             SimTime::from_secs(8),
-            HostCommand::IperfServer { host: h2, port: 5001 },
+            HostCommand::IperfServer {
+                host: h2,
+                port: 5001,
+            },
         );
         sim.schedule_command(
             SimTime::from_secs(10),

@@ -1,11 +1,277 @@
 //! Property-based tests on the simulator substrate: flow-table
 //! semantics, link timing invariants, and command parsing.
+//!
+//! The flow table's two-tier classifier is checked differentially: a
+//! reference implementation preserving the original linear-scan
+//! semantics lives in this file, and random command sequences are driven
+//! through both, asserting identical winners, counters, and removals.
 
-use attain_netsim::{FlowTable, Link, LinkEnd, NodeId, SimTime};
+use attain_netsim::{FlowModError, FlowTable, Link, LinkEnd, NodeId, SimTime};
 use attain_openflow::{
-    Action, FlowKey, FlowMod, FlowModCommand, MacAddr, Match, PortNo, Wildcards,
+    Action, FlowKey, FlowKeyBits, FlowMod, FlowModCommand, FlowModFlags, FlowRemovedReason,
+    MacAddr, Match, PortNo, Wildcards,
 };
 use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Reference model: the flat-Vec linear scan the classifier replaced,
+// kept verbatim as the semantic oracle.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RefEntry {
+    m: Match,
+    priority: u16,
+    actions: Vec<Action>,
+    cookie: u64,
+    idle_timeout: u16,
+    hard_timeout: u16,
+    send_flow_rem: bool,
+    installed_at: SimTime,
+    last_matched: SimTime,
+    packet_count: u64,
+    byte_count: u64,
+}
+
+impl RefEntry {
+    fn from_mod(fm: &FlowMod, now: SimTime) -> RefEntry {
+        RefEntry {
+            m: fm.r#match,
+            priority: fm.priority,
+            actions: fm.actions.clone(),
+            cookie: fm.cookie,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            send_flow_rem: fm.flags.has(FlowModFlags::SEND_FLOW_REM),
+            installed_at: now,
+            last_matched: now,
+            packet_count: 0,
+            byte_count: 0,
+        }
+    }
+
+    fn is_exact(&self) -> bool {
+        self.m.wildcards.0 & 0xff == 0
+            && !self.m.wildcards.has(Wildcards::DL_VLAN_PCP)
+            && !self.m.wildcards.has(Wildcards::NW_TOS)
+            && self.m.wildcards.nw_src_ignored_bits() == 0
+            && self.m.wildcards.nw_dst_ignored_bits() == 0
+    }
+
+    fn outputs_to(&self, port: PortNo) -> bool {
+        self.actions
+            .iter()
+            .any(|a| matches!(a, Action::Output { port: p, .. } if *p == port))
+    }
+}
+
+#[derive(Debug, Default)]
+struct RefTable {
+    entries: Vec<RefEntry>,
+    capacity: usize,
+}
+
+impl RefTable {
+    fn new(capacity: usize) -> RefTable {
+        RefTable {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn lookup(&mut self, key: &FlowKey, frame_len: usize, now: SimTime) -> Option<Vec<Action>> {
+        let mut best: Option<usize> = None;
+        let mut best_rank = (false, 0u16);
+        for (i, e) in self.entries.iter().enumerate() {
+            if !e.m.matches(key) {
+                continue;
+            }
+            let rank = (e.is_exact(), e.priority);
+            if best.is_none() || rank > best_rank {
+                best = Some(i);
+                best_rank = rank;
+            }
+        }
+        let i = best?;
+        let e = &mut self.entries[i];
+        e.packet_count += 1;
+        e.byte_count += frame_len as u64;
+        e.last_matched = now;
+        Some(e.actions.clone())
+    }
+
+    fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<(bool, Vec<RefEntry>), FlowModError> {
+        match fm.command {
+            FlowModCommand::Add => self.add(fm, now).map(|_| (true, Vec::new())),
+            FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
+                let strict = fm.command == FlowModCommand::ModifyStrict;
+                let mut touched = false;
+                for e in &mut self.entries {
+                    let hit = if strict {
+                        e.m == fm.r#match && e.priority == fm.priority
+                    } else {
+                        fm.r#match.subsumes(&e.m)
+                    };
+                    if hit {
+                        e.actions = fm.actions.clone();
+                        e.cookie = fm.cookie;
+                        touched = true;
+                    }
+                }
+                if touched {
+                    Ok((false, Vec::new()))
+                } else {
+                    self.add(fm, now).map(|_| (true, Vec::new()))
+                }
+            }
+            FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
+                let strict = fm.command == FlowModCommand::DeleteStrict;
+                let mut removed = Vec::new();
+                self.entries.retain(|e| {
+                    let hit = if strict {
+                        e.m == fm.r#match && e.priority == fm.priority
+                    } else {
+                        fm.r#match.subsumes(&e.m)
+                    };
+                    let hit = hit && (fm.out_port == PortNo::NONE || e.outputs_to(fm.out_port));
+                    if hit && e.send_flow_rem {
+                        removed.push(e.clone());
+                    }
+                    !hit
+                });
+                Ok((false, removed))
+            }
+        }
+    }
+
+    fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<(), FlowModError> {
+        if fm.flags.has(FlowModFlags::CHECK_OVERLAP) {
+            let overlapping = self
+                .entries
+                .iter()
+                .any(|e| e.priority == fm.priority && e.m.overlaps(&fm.r#match));
+            if overlapping {
+                return Err(FlowModError::Overlap);
+            }
+        }
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.m == fm.r#match && e.priority == fm.priority)
+        {
+            *e = RefEntry::from_mod(fm, now);
+            return Ok(());
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(FlowModError::TableFull);
+        }
+        self.entries.push(RefEntry::from_mod(fm, now));
+        Ok(())
+    }
+
+    fn expire(&mut self, now: SimTime) -> Vec<(RefEntry, FlowRemovedReason)> {
+        let mut out = Vec::new();
+        self.entries.retain(|e| {
+            if e.hard_timeout > 0
+                && now.saturating_sub(e.installed_at) >= SimTime::from_secs(e.hard_timeout as u64)
+            {
+                out.push((e.clone(), FlowRemovedReason::HardTimeout));
+                return false;
+            }
+            if e.idle_timeout > 0
+                && now.saturating_sub(e.last_matched) >= SimTime::from_secs(e.idle_timeout as u64)
+            {
+                out.push((e.clone(), FlowRemovedReason::IdleTimeout));
+                return false;
+            }
+            true
+        });
+        out
+    }
+}
+
+/// Field-by-field equality between a classifier entry and a reference
+/// entry, including every counter and timestamp.
+fn entries_agree(e: &attain_netsim::FlowEntry, r: &RefEntry) -> bool {
+    e.r#match == r.m
+        && e.priority == r.priority
+        && e.actions[..] == r.actions[..]
+        && e.cookie == r.cookie
+        && e.idle_timeout == r.idle_timeout
+        && e.hard_timeout == r.hard_timeout
+        && e.send_flow_rem == r.send_flow_rem
+        && e.installed_at == r.installed_at
+        && e.last_matched == r.last_matched
+        && e.packet_count == r.packet_count
+        && e.byte_count == r.byte_count
+}
+
+/// One step of the differential script.
+#[derive(Debug, Clone)]
+enum Op {
+    Mod(FlowMod),
+    Lookup(FlowKey, usize),
+    /// Advance the clock by this many seconds, then expire.
+    Expire(u64),
+}
+
+fn arb_flow_mod() -> impl Strategy<Value = FlowMod> {
+    (
+        arb_rich_match(),
+        0u8..5,
+        any::<bool>(),
+        any::<bool>(),
+        0u16..4,
+        0u16..4,
+        0u16..3,
+        0u16..3,
+    )
+        .prop_map(
+            |((m, priority), cmd, flow_rem, overlap, idle, hard, out_sel, action_port)| {
+                let mut flags = 0;
+                if flow_rem {
+                    flags |= FlowModFlags::SEND_FLOW_REM;
+                }
+                if overlap {
+                    flags |= FlowModFlags::CHECK_OVERLAP;
+                }
+                FlowMod {
+                    command: match cmd {
+                        0 => FlowModCommand::Add,
+                        1 => FlowModCommand::Modify,
+                        2 => FlowModCommand::ModifyStrict,
+                        3 => FlowModCommand::Delete,
+                        _ => FlowModCommand::DeleteStrict,
+                    },
+                    priority,
+                    idle_timeout: idle,
+                    hard_timeout: hard,
+                    flags: FlowModFlags(flags),
+                    out_port: if out_sel == 0 {
+                        PortNo::NONE
+                    } else {
+                        PortNo(100 + out_sel - 1)
+                    },
+                    cookie: action_port as u64,
+                    ..FlowMod::add(
+                        m,
+                        vec![Action::Output {
+                            port: PortNo(100 + action_port),
+                            max_len: 0,
+                        }],
+                    )
+                }
+            },
+        )
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_flow_mod().prop_map(Op::Mod),
+        (arb_key(), 1usize..512).prop_map(|(k, len)| Op::Lookup(k, len)),
+        (0u64..4).prop_map(Op::Expire),
+    ]
+}
 
 fn arb_key() -> impl Strategy<Value = FlowKey> {
     (
@@ -50,6 +316,17 @@ fn arb_match() -> impl Strategy<Value = (Match, u16)> {
     })
 }
 
+fn arb_rich_match() -> impl Strategy<Value = (Match, u16)> {
+    // The full 22-bit wildcard space: field flags, VLAN PCP / ToS flags,
+    // and CIDR prefix counts — everything the classifier's exact-tier
+    // split and compiled masks have to decode.
+    (arb_key(), 0u32..=0x3f_ffff, 0u16..100).prop_map(|(key, wild_bits, priority)| {
+        let mut m = Match::from_flow_key(&key);
+        m.wildcards = Wildcards(wild_bits);
+        (m, priority)
+    })
+}
+
 proptest! {
     /// Lookup returns an entry only if that entry's match admits the key,
     /// and among admitting entries it never picks a lower-priority
@@ -90,14 +367,12 @@ proptest! {
             // checks unreliable).
             let best_live = table
                 .entries()
-                .iter()
                 .filter(|e| e.r#match.matches(&key))
                 .map(|e| (e.is_exact(), e.priority))
                 .max()
                 .expect("an entry admitted the key");
             let winner = table
                 .entries()
-                .iter()
                 .find(|e| e.actions == actions)
                 .expect("winner is a live entry");
             prop_assert_eq!((winner.is_exact(), winner.priority), best_live);
@@ -115,17 +390,116 @@ proptest! {
             let fm = FlowMod { priority: *priority, ..FlowMod::add(*m, vec![]) };
             table.apply(&fm, SimTime::ZERO).expect("capacity not reached");
         }
-        let before: Vec<Match> = table.entries().iter().map(|e| e.r#match).collect();
+        let before: Vec<Match> = table.entries().map(|e| e.r#match).collect();
         let del = FlowMod {
             command: FlowModCommand::Delete,
             ..FlowMod::add(selector.0, vec![])
         };
         table.apply(&del, SimTime::ZERO).expect("delete never fails");
-        let after: Vec<Match> = table.entries().iter().map(|e| e.r#match).collect();
+        let after: Vec<Match> = table.entries().map(|e| e.r#match).collect();
         for m in &before {
             let kept = after.contains(m);
             let subsumed = selector.0.subsumes(m);
             prop_assert_eq!(kept, !subsumed, "match {} subsumed={}", m, subsumed);
+        }
+    }
+
+    /// The compiled value/mask form of a match admits exactly the keys
+    /// its interpreted form does, over the full wildcard space.
+    #[test]
+    fn compiled_match_agrees_with_interpreter(
+        m in arb_rich_match(),
+        keys in proptest::collection::vec(arb_key(), 1..16),
+    ) {
+        let bits = m.0.compile();
+        for key in &keys {
+            prop_assert_eq!(
+                bits.matches(&FlowKeyBits::from_key(key)),
+                m.0.matches(key),
+                "compiled/interpreted divergence for {} on {:?}",
+                m.0,
+                key
+            );
+        }
+    }
+
+    /// Differential test: random add/modify/delete/lookup/expire command
+    /// sequences produce bit-for-bit identical winners, counters, errors,
+    /// and removal notifications (in order) in the two-tier classifier
+    /// and the reference linear scan.
+    #[test]
+    fn classifier_matches_reference_scan(
+        ops in proptest::collection::vec(arb_op(), 0..48),
+        capacity in 1usize..12,
+    ) {
+        let mut table = FlowTable::new(capacity);
+        let mut model = RefTable::new(capacity);
+        let mut now = SimTime::ZERO;
+        for op in &ops {
+            match op {
+                Op::Mod(fm) => {
+                    let got = table.apply(fm, now);
+                    let want = model.apply(fm, now);
+                    match (got, want) {
+                        (Ok(g), Ok(w)) => {
+                            prop_assert_eq!(g.added, w.0, "added flag diverged on {:?}", fm);
+                            prop_assert_eq!(
+                                g.removed.len(), w.1.len(),
+                                "removal count diverged on {:?}", fm
+                            );
+                            for (ge, we) in g.removed.iter().zip(&w.1) {
+                                prop_assert!(
+                                    entries_agree(ge, we),
+                                    "removed entry diverged: {:?} vs {:?}", ge, we
+                                );
+                            }
+                        }
+                        (Err(g), Err(w)) => prop_assert_eq!(g, w),
+                        (g, w) => prop_assert!(
+                            false,
+                            "outcome diverged on {:?}: classifier {:?}, reference {:?}",
+                            fm, g.is_ok(), w.is_ok()
+                        ),
+                    }
+                }
+                Op::Lookup(key, frame_len) => {
+                    let got = table.lookup(key, *frame_len, now);
+                    let want = model.lookup(key, *frame_len, now);
+                    match (&got, &want) {
+                        (Some(g), Some(w)) => prop_assert_eq!(
+                            &g[..], &w[..], "winning actions diverged for {:?}", key
+                        ),
+                        (None, None) => {}
+                        _ => prop_assert!(
+                            false,
+                            "hit/miss diverged for {:?}: classifier {}, reference {}",
+                            key, got.is_some(), want.is_some()
+                        ),
+                    }
+                }
+                Op::Expire(dt) => {
+                    now = SimTime(now.0 + SimTime::from_secs(*dt).0);
+                    let got = table.expire(now);
+                    let want = model.expire(now);
+                    prop_assert_eq!(got.len(), want.len(), "expiry count diverged at {:?}", now);
+                    for ((ge, gr), (we, wr)) in got.iter().zip(&want) {
+                        prop_assert!(
+                            entries_agree(ge, we),
+                            "expired entry diverged: {:?} vs {:?}", ge, we
+                        );
+                        prop_assert_eq!(gr, wr, "expiry reason diverged for {:?}", ge.r#match);
+                    }
+                }
+            }
+            // Full-state check after every step: same entries, same order,
+            // same counters.
+            prop_assert_eq!(table.len(), model.entries.len());
+            for (e, r) in table.entries().zip(&model.entries) {
+                prop_assert!(
+                    entries_agree(e, r),
+                    "live entry diverged: {:?} vs {:?}", e, r
+                );
+            }
         }
     }
 

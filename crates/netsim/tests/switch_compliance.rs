@@ -214,7 +214,10 @@ fn check_overlap_rejection_reaches_the_controller() {
     );
     overlapping.priority = base.priority;
     overlapping.flags = FlowModFlags(FlowModFlags::CHECK_OVERLAP);
-    let mut r = rig(vec![OfMessage::FlowMod(base), OfMessage::FlowMod(overlapping)]);
+    let mut r = rig(vec![
+        OfMessage::FlowMod(base),
+        OfMessage::FlowMod(overlapping),
+    ]);
     r.sim.run_until(SimTime::from_secs(3));
     let received = r.received.lock().expect("lock").clone();
     let err = received
@@ -272,9 +275,7 @@ fn packet_out_to_controller_action_comes_back_as_packet_in() {
     let mirrored: Vec<&PacketIn> = received
         .iter()
         .filter_map(|m| match m {
-            OfMessage::PacketIn(pi)
-                if pi.reason == attain_openflow::PacketInReason::Action =>
-            {
+            OfMessage::PacketIn(pi) if pi.reason == attain_openflow::PacketInReason::Action => {
                 Some(pi)
             }
             _ => None,

@@ -63,13 +63,16 @@ mod wire;
 pub use actions::Action;
 pub use error::CodecError;
 pub use header::{OfHeader, OfType, OFP_HEADER_LEN, OFP_VERSION};
-pub use r#match::{FlowKey, Match, Wildcards, OFP_MATCH_LEN, OFP_VLAN_NONE};
 pub use message::OfMessage;
 pub use messages::{
-    bad_request, flow_mod_failed, AggregateStats, ErrorCode, ErrorMsg, ErrorType, FlowMod, FlowModCommand, FlowModFlags,
-    FlowRemoved, FlowRemovedReason, FlowStatsEntry, PacketIn, PacketInReason, PacketOut,
-    PhyPort, PortMod, PortStatsEntry, PortStatus, PortStatusReason, QueueConfig, QueueStatsEntry,
-    StatsBody, StatsReplyBody, SwitchConfig, SwitchDesc, SwitchFeatures, TableStatsEntry,
+    bad_request, flow_mod_failed, AggregateStats, ErrorCode, ErrorMsg, ErrorType, FlowMod,
+    FlowModCommand, FlowModFlags, FlowRemoved, FlowRemovedReason, FlowStatsEntry, PacketIn,
+    PacketInReason, PacketOut, PhyPort, PortMod, PortStatsEntry, PortStatus, PortStatusReason,
+    QueueConfig, QueueStatsEntry, StatsBody, StatsReplyBody, SwitchConfig, SwitchDesc,
+    SwitchFeatures, TableStatsEntry,
+};
+pub use r#match::{
+    FlowKey, FlowKeyBits, Match, MatchBits, Wildcards, OFP_MATCH_LEN, OFP_VLAN_NONE,
 };
 pub use types::{BufferId, DatapathId, MacAddr, PortNo, Xid};
 pub use wire::{Reader, Writer};

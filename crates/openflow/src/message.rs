@@ -2,11 +2,11 @@
 
 use crate::error::CodecError;
 use crate::header::{OfHeader, OfType, OFP_HEADER_LEN, OFP_VERSION};
+use crate::messages::queue as queue_codec;
 use crate::messages::{
     ErrorMsg, FlowMod, FlowRemoved, PacketIn, PacketOut, PortMod, PortStatus, QueueConfig,
     StatsBody, StatsReplyBody, SwitchConfig, SwitchFeatures,
 };
-use crate::messages::queue as queue_codec;
 use crate::types::{PortNo, Xid};
 use crate::wire::{Reader, Writer};
 

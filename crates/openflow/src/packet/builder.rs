@@ -3,10 +3,10 @@
 use super::arp::{Arp, ArpOperation};
 use super::ethernet::{EtherType, Ethernet, Payload};
 use super::icmp::Icmp;
+use super::ip_proto;
 use super::ipv4::{IpPayload, Ipv4};
 use super::tcp::{Tcp, TcpFlags};
 use super::udp::Udp;
-use super::ip_proto;
 use crate::types::MacAddr;
 use std::net::Ipv4Addr;
 

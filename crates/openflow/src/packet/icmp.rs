@@ -147,7 +147,10 @@ mod tests {
     fn kind_classification() {
         assert_eq!(IcmpKind::from_type_byte(0), IcmpKind::EchoReply);
         assert_eq!(IcmpKind::from_type_byte(8), IcmpKind::EchoRequest);
-        assert_eq!(IcmpKind::from_type_byte(3), IcmpKind::DestinationUnreachable);
+        assert_eq!(
+            IcmpKind::from_type_byte(3),
+            IcmpKind::DestinationUnreachable
+        );
         assert_eq!(IcmpKind::from_type_byte(11), IcmpKind::Other(11));
         assert_eq!(IcmpKind::Other(11).type_byte(), 11);
     }

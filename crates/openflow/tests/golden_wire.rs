@@ -17,10 +17,7 @@ fn hex(s: &str) -> Vec<u8> {
 
 #[test]
 fn hello_is_eight_bytes() {
-    assert_eq!(
-        OfMessage::Hello.encode(1),
-        hex("01 00 0008 00000001"),
-    );
+    assert_eq!(OfMessage::Hello.encode(1), hex("01 00 0008 00000001"),);
 }
 
 #[test]

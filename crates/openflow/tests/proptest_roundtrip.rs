@@ -42,7 +42,18 @@ fn arb_match() -> impl Strategy<Value = Match> {
         any::<u16>(),
     )
         .prop_map(
-            |(wildcards, in_port, dl_src, dl_dst, dl_vlan, dl_vlan_pcp, dl_type, l3, tp_src, tp_dst)| {
+            |(
+                wildcards,
+                in_port,
+                dl_src,
+                dl_dst,
+                dl_vlan,
+                dl_vlan_pcp,
+                dl_type,
+                l3,
+                tp_src,
+                tp_dst,
+            )| {
                 let (nw_tos, nw_proto, nw_src, nw_dst) = l3;
                 Match {
                     wildcards,
@@ -117,13 +128,16 @@ fn arb_message() -> impl Strategy<Value = OfMessage> {
         Just(OfMessage::BarrierReply),
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(OfMessage::EchoRequest),
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(OfMessage::EchoReply),
-        (0u16..6, any::<u16>(), proptest::collection::vec(any::<u8>(), 0..32)).prop_map(
-            |(t, code, data)| OfMessage::Error(ErrorMsg {
+        (
+            0u16..6,
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..32)
+        )
+            .prop_map(|(t, code, data)| OfMessage::Error(ErrorMsg {
                 error_type: ErrorType::from_wire(t).unwrap(),
                 code,
                 data,
-            })
-        ),
+            })),
         (any::<u16>(), any::<u16>()).prop_map(|(flags, miss_send_len)| OfMessage::SetConfig(
             SwitchConfig {
                 flags,
@@ -161,19 +175,27 @@ fn arb_message() -> impl Strategy<Value = OfMessage> {
                 })
             }),
         arb_flow_mod().prop_map(OfMessage::FlowMod),
-        (arb_match(), any::<u64>(), any::<u16>(), 0u8..3, any::<u32>(), any::<u64>()).prop_map(
-            |(m, cookie, priority, reason, dur, count)| OfMessage::FlowRemoved(FlowRemoved {
-                r#match: m,
-                cookie,
-                priority,
-                reason: FlowRemovedReason::from_wire(reason).unwrap(),
-                duration_sec: dur,
-                duration_nsec: dur.wrapping_mul(7) % 1_000_000_000,
-                idle_timeout: priority,
-                packet_count: count,
-                byte_count: count.wrapping_mul(64),
-            })
-        ),
+        (
+            arb_match(),
+            any::<u64>(),
+            any::<u16>(),
+            0u8..3,
+            any::<u32>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(m, cookie, priority, reason, dur, count)| OfMessage::FlowRemoved(FlowRemoved {
+                    r#match: m,
+                    cookie,
+                    priority,
+                    reason: FlowRemovedReason::from_wire(reason).unwrap(),
+                    duration_sec: dur,
+                    duration_nsec: dur.wrapping_mul(7) % 1_000_000_000,
+                    idle_timeout: priority,
+                    packet_count: count,
+                    byte_count: count.wrapping_mul(64),
+                })
+            ),
         arb_match().prop_map(|m| OfMessage::StatsRequest(StatsBody::Flow {
             r#match: m,
             table_id: 0xff,

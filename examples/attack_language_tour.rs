@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             g.vertices.len(),
             g.edges.len(),
             g.vertices[g.start],
-            g.absorbing.iter().map(|&i| &g.vertices[i]).collect::<Vec<_>>(),
+            g.absorbing
+                .iter()
+                .map(|&i| &g.vertices[i])
+                .collect::<Vec<_>>(),
             g.end.iter().map(|&i| &g.vertices[i]).collect::<Vec<_>>(),
         );
         for e in &g.edges {

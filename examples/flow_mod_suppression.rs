@@ -50,8 +50,6 @@ fn main() {
              suppressed FLOW_MOD"
         );
     } else {
-        println!(
-            "verdict: degraded service — {kind} keeps forwarding per-packet via PACKET_OUT"
-        );
+        println!("verdict: degraded service — {kind} keeps forwarding per-packet via PACKET_OUT");
     }
 }

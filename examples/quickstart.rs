@@ -6,9 +6,9 @@
 //! ```
 
 use attain::controllers::Floodlight;
+use attain::core::dsl;
 use attain::core::exec::AttackExecutor;
 use attain::core::model::{AttackModel, CapabilitySet, SystemModel};
-use attain::core::dsl;
 use attain::injector::SimInjector;
 use attain::netsim::{HostCommand, NetworkBuilder, SimTime};
 

@@ -7,8 +7,8 @@
 //! cargo run --example tls_capabilities
 //! ```
 
-use attain::core::model::{AttackModel, Capability, CapabilitySet, SystemModel};
 use attain::core::dsl;
+use attain::core::model::{AttackModel, Capability, CapabilitySet, SystemModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut system = SystemModel::new();
@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Against the plain-TCP connection: compiles.
     let ok = dsl::compile(&payload_reading_attack("s1"), &system, &model);
-    println!("against plain-TCP (c1, s1): {}", if ok.is_ok() { "compiles" } else { "rejected" });
+    println!(
+        "against plain-TCP (c1, s1): {}",
+        if ok.is_ok() { "compiles" } else { "rejected" }
+    );
     assert!(ok.is_ok());
 
     // Against the TLS connection: rejected — msg.type needs READMESSAGE.

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide pre-merge checks. Offline-friendly: everything here builds
+# against the vendored dependency stubs, no network access required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "all checks passed"

@@ -17,8 +17,7 @@ fn shipped_atk_files_match_bundled_attacks() {
     let sc = scenario::enterprise_network();
     for (name, source) in scenario::attacks::ALL {
         let path = format!("attacks/{name}.atk");
-        let file = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("{path} missing: {e}"));
+        let file = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path} missing: {e}"));
         assert_eq!(
             strip_comments(&file),
             strip_comments(source),
@@ -32,8 +31,8 @@ fn shipped_atk_files_match_bundled_attacks() {
 
 #[test]
 fn self_contained_demo_compiles_as_a_document() {
-    let file = std::fs::read_to_string("attacks/self_contained_demo.atk")
-        .expect("demo file present");
+    let file =
+        std::fs::read_to_string("attacks/self_contained_demo.atk").expect("demo file present");
     let doc = dsl::compile_document(&file).expect("demo compiles");
     assert_eq!(doc.attacks.len(), 1);
     assert_eq!(doc.attacks[0].name(), "tap_and_slow");

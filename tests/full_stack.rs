@@ -59,7 +59,9 @@ fn self_contained_document_drives_a_simulation() {
     let compiled = &doc.attacks[0];
     assert_eq!(compiled.graph.vertices, vec!["count_up", "blackhole"]);
 
-    let mut sim = build_simulation(&doc.system, FailMode::Secure, |_| Box::new(Floodlight::new()));
+    let mut sim = build_simulation(&doc.system, FailMode::Secure, |_| {
+        Box::new(Floodlight::new())
+    });
     let exec = AttackExecutor::new(
         doc.system.clone(),
         doc.attack_model.clone(),
@@ -100,7 +102,10 @@ fn self_contained_document_drives_a_simulation() {
     sim.run_until(SimTime::from_secs(70));
 
     let stats = sim.ping_stats();
-    let first = stats.iter().find(|s| s.label == "while flows live").expect("first ping ran");
+    let first = stats
+        .iter()
+        .find(|s| s.label == "while flows live")
+        .expect("first ping ran");
     let second = stats
         .iter()
         .find(|s| s.label == "after flows expire")
@@ -169,8 +174,7 @@ fn full_stack_is_deterministic() {
     let run = || {
         let doc = dsl::compile_document(DOCUMENT).expect("document compiles");
         let compiled = &doc.attacks[0];
-        let mut sim =
-            build_simulation(&doc.system, FailMode::Safe, |_| Box::new(Pox::new()));
+        let mut sim = build_simulation(&doc.system, FailMode::Safe, |_| Box::new(Pox::new()));
         let exec = AttackExecutor::new(
             doc.system.clone(),
             doc.attack_model.clone(),

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark-definition API this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, `Throughput`) with a simple
+//! adaptive wall-clock timer instead of criterion's statistical engine.
+//! Results are printed as `ns/iter` lines. When the binary is invoked
+//! with `--test` (as `cargo test` does for `harness = false` targets)
+//! each routine runs exactly once, keeping test runs fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measuring time per benchmark (full runs).
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// The benchmark manager handed to every `criterion_group!` function.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (no-op beyond `--test` detection).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            quick: self.quick,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let quick = self.quick;
+        run_one("", &id.into_benchmark_id(), quick, f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    quick: bool,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the statistical sample count (accepted, ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput (accepted, ignored by the stub).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into_benchmark_id(), self.quick, f);
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into_benchmark_id(), self.quick, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Per-iteration throughput annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for the id-accepting methods.
+pub trait IntoBenchmarkId {
+    /// Converts `self` into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            repr: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { repr: self }
+    }
+}
+
+/// The timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    quick: bool,
+    /// Measured nanoseconds per iteration, set by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            black_box(routine());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Calibrate: grow the batch until one batch takes >= ~1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 8;
+        }
+        // Measure for the budget.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < MEASURE_BUDGET {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &BenchmarkId, quick: bool, mut f: F) {
+    let mut b = Bencher {
+        quick,
+        ns_per_iter: 0.0,
+    };
+    f(&mut b);
+    let name = if group.is_empty() {
+        id.repr.clone()
+    } else {
+        format!("{group}/{}", id.repr)
+    };
+    if quick {
+        println!("bench {name}: ok (test mode)");
+    } else {
+        println!("bench {name}: {:.1} ns/iter", b.ns_per_iter);
+    }
+}
+
+/// Declares a group function invoking each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main()` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("lookup", 64).repr, "lookup/64");
+        assert_eq!(BenchmarkId::from_parameter(7).repr, "7");
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut count = 0;
+        let mut b = Bencher {
+            quick: true,
+            ns_per_iter: -1.0,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(b.ns_per_iter, 0.0);
+    }
+}

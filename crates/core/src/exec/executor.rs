@@ -39,6 +39,11 @@ pub struct OutMessage {
     pub bytes: Vec<u8>,
     /// Extra delay before delivery, in nanoseconds.
     pub extra_delay_ns: u64,
+    /// Executor-assigned emission sequence number, strictly increasing
+    /// across the executor's lifetime. Deployments that apply
+    /// `extra_delay_ns` asynchronously (the TCP proxy's timer heap) use
+    /// it to keep equal-deadline deliveries in executor order.
+    pub seq: u64,
     /// Whether this entry derives from the triggering input message
     /// (`DROPMESSAGE` removes derived entries; injections survive).
     derived: bool,
@@ -185,6 +190,9 @@ pub struct AttackExecutor {
     held: VecDeque<HeldMessage>,
     log: InjectionLog,
     next_msg_id: u64,
+    /// Next value of [`OutMessage::seq`]; stamped onto every delivery in
+    /// emission order.
+    next_delivery_seq: u64,
     fuzz_rng: SmallRng,
     /// Seed for the per-message entropy property.
     entropy_seed: u64,
@@ -230,6 +238,7 @@ impl AttackExecutor {
             held: VecDeque::new(),
             log: InjectionLog::new(),
             next_msg_id: 1,
+            next_delivery_seq: 0,
             fuzz_rng: SmallRng::seed_from_u64(0x00A7_7A1D),
             entropy_seed: 0x05EE_D0FA_77A1,
         })
@@ -339,6 +348,7 @@ impl AttackExecutor {
             to_controller,
             bytes: bytes.to_vec(),
             extra_delay_ns: 0,
+            seq: 0,
             derived: true,
         }];
         let mut commands = Vec::new();
@@ -432,6 +442,12 @@ impl AttackExecutor {
             }
         }
 
+        // Stamp the surviving list in emission order: the sequence an
+        // asynchronous deployment must preserve among equal deadlines.
+        for m in &mut out {
+            m.seq = self.next_delivery_seq;
+            self.next_delivery_seq += 1;
+        }
         ExecOutput {
             deliveries: out,
             commands,
@@ -469,6 +485,7 @@ impl AttackExecutor {
                         to_controller: matches!(view.source, NodeRef::Switch(_)),
                         bytes: view.bytes.to_vec(),
                         extra_delay_ns: 0,
+                        seq: 0,
                         derived: true,
                     });
                 }
@@ -496,6 +513,7 @@ impl AttackExecutor {
                             to_controller: matches!(view.source, NodeRef::Switch(_)),
                             bytes: view.bytes.to_vec(),
                             extra_delay_ns: 0,
+                            seq: 0,
                             derived: true,
                         });
                 out.push(template);
@@ -607,6 +625,7 @@ impl AttackExecutor {
                     to_controller: *to_controller,
                     bytes: bytes.clone(),
                     extra_delay_ns: 0,
+                    seq: 0,
                     derived: false,
                 });
                 self.log.push(now_ns, LogKind::Injected { conn: conn.0 });
@@ -648,6 +667,7 @@ impl AttackExecutor {
                         to_controller: m.to_controller,
                         bytes: m.bytes,
                         extra_delay_ns: 0,
+                        seq: 0,
                         derived: false,
                     }),
                     Value::None => {}

@@ -7,6 +7,7 @@
 //! [`InjectionLog`](attain_core::exec::InjectionLog) — and this module condenses them into one
 //! [`ExperimentReport`] suitable for printing or asserting against.
 
+use crate::tcp::{ProxyStats, TcpProxy};
 use attain_core::exec::{AttackExecutor, LogKind};
 use attain_netsim::{Direction, Simulation};
 use attain_openflow::OfType;
@@ -126,6 +127,49 @@ impl ExperimentReport {
     }
 }
 
+/// The monitor view of a live TCP deployment (§VI-B2): the proxy's
+/// connection-lifecycle counters, rendered alongside the run's
+/// [`ExperimentReport`] when the injector ran on real sockets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProxyLifecycleReport {
+    /// Lifecycle counters snapshotted from the proxy.
+    pub stats: ProxyStats,
+}
+
+impl ProxyLifecycleReport {
+    /// Snapshots a running (or just shut down) proxy.
+    pub fn collect(proxy: &TcpProxy) -> ProxyLifecycleReport {
+        ProxyLifecycleReport {
+            stats: proxy.stats(),
+        }
+    }
+
+    /// Deliveries the proxy refused to misdeliver: bytes addressed to a
+    /// dead epoch or a dead connection.
+    pub fn quarantined(&self) -> u64 {
+        self.stats.stale_epoch_dropped + self.stats.dead_target_dropped
+    }
+}
+
+impl fmt::Display for ProxyLifecycleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== proxy lifecycle ===")?;
+        writeln!(
+            f,
+            "sessions: {} opened, {} closed, {} live",
+            self.stats.sessions_opened, self.stats.sessions_closed, self.stats.live_sessions
+        )?;
+        writeln!(
+            f,
+            "dropped: {} stale-epoch, {} dead-target, {} overflow",
+            self.stats.stale_epoch_dropped,
+            self.stats.dead_target_dropped,
+            self.stats.overflow_dropped
+        )?;
+        Ok(())
+    }
+}
+
 impl fmt::Display for ExperimentReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "=== experiment report ===")?;
@@ -217,5 +261,40 @@ mod tests {
         assert!(text.contains("rule phi1"));
         assert!(text.contains("ping probe"));
         assert!(text.contains("c1/s2"));
+    }
+
+    #[test]
+    fn proxy_lifecycle_report_renders_counters() {
+        use crate::tcp::{ProxyRoute, TcpProxy};
+        use attain_core::model::ConnectionId;
+        use attain_core::{dsl, scenario};
+
+        let sc = scenario::enterprise_network();
+        let compiled = dsl::compile(
+            scenario::attacks::TRIVIAL_PASS,
+            &sc.system,
+            &sc.attack_model,
+        )
+        .expect("compiles");
+        let exec =
+            attain_core::exec::AttackExecutor::new(sc.system, sc.attack_model, compiled.attack)
+                .expect("valid attack");
+        let proxy = TcpProxy::spawn(
+            exec,
+            vec![ProxyRoute {
+                listen: "127.0.0.1:0".parse().expect("addr"),
+                controller: "127.0.0.1:1".parse().expect("addr"),
+                conn: ConnectionId(0),
+            }],
+            None,
+        )
+        .expect("binds");
+        let report = ProxyLifecycleReport::collect(&proxy);
+        assert_eq!(report.stats.sessions_opened, 0);
+        assert_eq!(report.quarantined(), 0);
+        let text = report.to_string();
+        assert!(text.contains("proxy lifecycle"));
+        assert!(text.contains("0 opened, 0 closed, 0 live"));
+        proxy.shutdown();
     }
 }

@@ -8,19 +8,56 @@
 //! Every OpenFlow message crossing either direction is framed, fed to
 //! the shared [`AttackExecutor`], and the executor's verdicts (drop,
 //! delay, modify, inject, …) are applied on the wire.
+//!
+//! # Connection lifecycle
+//!
+//! Each accepted switch connection becomes a **session** stamped with a
+//! process-wide *epoch* (a generation counter). A session owns both
+//! sockets and both write sinks; it is registered atomically when the
+//! controller dial succeeds and unregistered atomically the moment any
+//! of its four worker loops observes the connection dying, a reconnect
+//! replaces it, or a fault severs it. Deliveries carry the epoch they
+//! were addressed to, so bytes belonging to a dead session are counted
+//! and dropped instead of being written into a successor session —
+//! reconnect storms can never interleave stale traffic into a fresh
+//! control channel, and no sink outlives its session.
+//!
+//! Delayed deliveries (`DELAYMESSAGE`) and executor wakeups (`SLEEP`)
+//! are owned by a single timer thread holding a min-heap ordered by
+//! `(deadline, seq)`, where `seq` is the executor's emission sequence
+//! number — equal-delay deliveries therefore fire in executor order,
+//! and an attack delaying thousands of messages costs one OS thread,
+//! not one per message.
+//!
+//! Write sinks are bounded ([`WRITE_QUEUE_CAP`]) with an explicit
+//! overflow policy: the message path blocks (backpressure propagates to
+//! the reading socket, as TCP flow control would), while the timer
+//! thread never blocks — a full queue drops the delivery and increments
+//! [`ProxyStats::overflow_dropped`].
+//!
+//! The proxy doubles as the paper's §VII connection-interruption fault
+//! harness: [`FaultAction`]s sever a route, hold it down so reconnects
+//! are refused, and restore it — immediately via
+//! [`TcpProxy::apply_fault`] or at a scheduled offset via
+//! [`TcpProxy::schedule_fault`].
 
 use attain_core::exec::{AttackExecutor, ExecOutput, InjectorInput};
 use attain_core::model::ConnectionId;
 use attain_openflow::OfMessage;
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread;
+use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Capacity of each per-direction write queue. The message path blocks
+/// when a queue is full (backpressure); the timer path drops instead.
+pub const WRITE_QUEUE_CAP: usize = 1024;
 
 /// One proxied control-plane connection: where the switch will connect,
 /// where the controller listens, and which `N_C` element this is.
@@ -37,16 +74,181 @@ pub struct ProxyRoute {
 /// Callback invoked for `SYSCMD` actions: `(host, command)`.
 pub type SysCmdHandler = Box<dyn Fn(&str, &str) + Send + Sync>;
 
-/// Per-connection byte sinks, keyed by `(conn, to_controller)`.
-type SinkMap = HashMap<(usize, bool), Sender<Vec<u8>>>;
+/// A connection-interruption primitive (the §VII case-study faults),
+/// applied to a route by index into the `spawn` route list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Cut the route's live session. The switch observes a disconnect
+    /// and may reconnect immediately.
+    Sever {
+        /// Route index (position in the `spawn` route list).
+        route: usize,
+    },
+    /// Cut the live session *and* refuse reconnect attempts until the
+    /// route is restored — the sustained-interruption case.
+    HoldDown {
+        /// Route index.
+        route: usize,
+    },
+    /// Accept switch connections on the route again.
+    Restore {
+        /// Route index.
+        route: usize,
+    },
+}
+
+/// Lifecycle counters exposed by [`TcpProxy::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Sessions registered (one per accepted switch connection that
+    /// reached its controller).
+    pub sessions_opened: u64,
+    /// Sessions unregistered (disconnect, replacement, fault, shutdown).
+    pub sessions_closed: u64,
+    /// Deliveries dropped because their session epoch was no longer the
+    /// live one — bytes from a dead session never reach its successor.
+    pub stale_epoch_dropped: u64,
+    /// Deliveries dropped because their target connection had no live
+    /// session at all.
+    pub dead_target_dropped: u64,
+    /// Timer-path deliveries dropped because the write queue was full.
+    pub overflow_dropped: u64,
+    /// Sessions currently registered.
+    pub live_sessions: usize,
+}
+
+/// What [`TcpProxy::shutdown`] accomplished.
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Worker threads joined by this call (acceptors, session loops,
+    /// and the timer thread).
+    pub threads_joined: usize,
+    /// Final lifecycle counters; `live_sessions` is 0 after a clean
+    /// shutdown.
+    pub stats: ProxyStats,
+}
+
+/// Session generation number: strictly increasing across the proxy's
+/// lifetime, never reused.
+type Epoch = u64;
+
+/// One live proxied switch–controller connection pair.
+struct Session {
+    epoch: Epoch,
+    /// Sink feeding the controller-side write loop.
+    ctrl_tx: Sender<Vec<u8>>,
+    /// Sink feeding the switch-side write loop.
+    sw_tx: Sender<Vec<u8>>,
+    /// Socket handles kept for severing: `shutdown()` here unblocks any
+    /// loop parked in `read`/`write` on the same underlying socket.
+    switch_sock: TcpStream,
+    controller_sock: TcpStream,
+}
+
+impl Session {
+    fn sink(&self, to_controller: bool) -> &Sender<Vec<u8>> {
+        if to_controller {
+            &self.ctrl_tx
+        } else {
+            &self.sw_tx
+        }
+    }
+
+    fn sever(&self) {
+        let _ = self.switch_sock.shutdown(Shutdown::Both);
+        let _ = self.controller_sock.shutdown(Shutdown::Both);
+    }
+}
+
+/// Per-route runtime state (fault-harness visible).
+struct RouteState {
+    conn: usize,
+    controller: SocketAddr,
+    /// The actually bound listen address (used to wake the acceptor).
+    listen: SocketAddr,
+    /// While set, reconnect attempts are accepted and immediately
+    /// dropped — the hold-down window of a sustained interruption.
+    held: AtomicBool,
+}
+
+#[derive(Default)]
+struct Counters {
+    sessions_opened: AtomicU64,
+    sessions_closed: AtomicU64,
+    stale_epoch_dropped: AtomicU64,
+    dead_target_dropped: AtomicU64,
+    overflow_dropped: AtomicU64,
+}
+
+/// An event owned by the timer thread.
+enum TimedEvent {
+    /// A `DELAYMESSAGE` delivery addressed to a specific session epoch.
+    Delivery {
+        conn: usize,
+        to_controller: bool,
+        epoch: Epoch,
+        bytes: Vec<u8>,
+    },
+    /// An executor `SLEEP` wakeup.
+    Wakeup,
+    /// A scheduled fault-harness action.
+    Fault(FaultAction),
+}
+
+struct TimerEntry {
+    due: Instant,
+    /// Executor emission sequence for deliveries ([`u64::MAX`] for
+    /// wakeups and faults, which fire after same-instant deliveries).
+    seq: u64,
+    /// Proxy-local tie-break making the ordering total.
+    uid: u64,
+    event: TimedEvent,
+}
+
+impl TimerEntry {
+    fn key(&self) -> (Instant, u64, u64) {
+        (self.due, self.seq, self.uid)
+    }
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+enum TimerCmd {
+    Schedule(TimerEntry),
+    Stop,
+}
 
 struct Shared {
     exec: Mutex<AttackExecutor>,
-    /// Where each connection's two directions are written.
-    sinks: Mutex<SinkMap>,
+    /// Live sessions keyed by connection index. Registration and
+    /// unregistration are atomic with session start/end; there is never
+    /// a sink in this map whose loops are gone.
+    sessions: Mutex<HashMap<usize, Session>>,
+    routes: Vec<RouteState>,
     start: Instant,
     shutdown: AtomicBool,
     syscmd: Option<SysCmdHandler>,
+    timer_tx: Sender<TimerCmd>,
+    next_epoch: AtomicU64,
+    next_uid: AtomicU64,
+    counters: Counters,
+    /// Session worker loops and the timer thread, joined at shutdown.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Shared {
@@ -54,21 +256,110 @@ impl Shared {
         self.start.elapsed().as_nanos() as u64
     }
 
-    fn dispatch(self: &Arc<Self>, out: ExecOutput) {
+    fn route(&self, idx: usize) -> &RouteState {
+        self.routes
+            .get(idx)
+            .unwrap_or_else(|| panic!("fault names route {idx}, proxy has {}", self.routes.len()))
+    }
+
+    fn schedule(&self, due: Instant, seq: u64, event: TimedEvent) {
+        let entry = TimerEntry {
+            due,
+            seq,
+            uid: self.next_uid.fetch_add(1, Ordering::Relaxed),
+            event,
+        };
+        // A failed send means the timer already stopped (shutdown);
+        // pending work is deliberately discarded then.
+        let _ = self.timer_tx.send(TimerCmd::Schedule(entry));
+    }
+
+    /// Delivers `bytes` to `conn`'s session iff it is still the session
+    /// of `epoch`. `blocking` selects the overflow policy: the message
+    /// path blocks for backpressure, the timer path drops on overflow.
+    fn deliver(
+        &self,
+        conn: usize,
+        to_controller: bool,
+        epoch: Epoch,
+        bytes: Vec<u8>,
+        blocking: bool,
+    ) {
+        let sink = {
+            let sessions = self.sessions.lock();
+            match sessions.get(&conn) {
+                Some(s) if s.epoch == epoch => s.sink(to_controller).clone(),
+                Some(_) => {
+                    self.counters
+                        .stale_epoch_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                None => {
+                    self.counters
+                        .dead_target_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        };
+        if blocking {
+            if sink.send(bytes).is_err() {
+                // The session died between lookup and send.
+                self.counters
+                    .stale_epoch_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            match sink.try_send(bytes) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.counters
+                        .overflow_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.counters
+                        .stale_epoch_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Applies one executor output. `origin` names the session whose
+    /// message triggered it (None for wakeups); `blocking` is the
+    /// immediate-delivery overflow policy of the calling context.
+    fn dispatch(self: &Arc<Self>, out: ExecOutput, origin: Option<(usize, Epoch)>, blocking: bool) {
         for d in out.deliveries {
-            let key = (d.conn.0, d.to_controller);
-            let sink = self.sinks.lock().get(&key).cloned();
-            let Some(sink) = sink else { continue };
+            // A delivery back onto the originating connection is pinned
+            // to the originating epoch: if that session died, the bytes
+            // die with it. Cross-connection deliveries (INJECTNEWMESSAGE,
+            // MODIFYMESSAGEMETADATA redirects) address whatever session
+            // is live on the target now.
+            let epoch = match origin {
+                Some((conn, epoch)) if conn == d.conn.0 => Some(epoch),
+                _ => self.sessions.lock().get(&d.conn.0).map(|s| s.epoch),
+            };
+            let Some(epoch) = epoch else {
+                self.counters
+                    .dead_target_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
             if d.extra_delay_ns == 0 {
-                let _ = sink.send(d.bytes);
+                self.deliver(d.conn.0, d.to_controller, epoch, d.bytes, blocking);
             } else {
-                // DELAYMESSAGE on real sockets: a short-lived timer
-                // thread; attack delays are seconds-scale and rare.
-                let delay = Duration::from_nanos(d.extra_delay_ns);
-                thread::spawn(move || {
-                    thread::sleep(delay);
-                    let _ = sink.send(d.bytes);
-                });
+                self.schedule(
+                    Instant::now() + Duration::from_nanos(d.extra_delay_ns),
+                    d.seq,
+                    TimedEvent::Delivery {
+                        conn: d.conn.0,
+                        to_controller: d.to_controller,
+                        epoch,
+                        bytes: d.bytes,
+                    },
+                );
             }
         }
         for (host, cmd) in out.commands {
@@ -77,22 +368,19 @@ impl Shared {
             }
         }
         if let Some(wake_ns) = out.wakeup_ns {
-            let shared = Arc::clone(self);
-            thread::spawn(move || {
-                let now = shared.now_ns();
-                if wake_ns > now {
-                    thread::sleep(Duration::from_nanos(wake_ns - now));
-                }
-                let out = {
-                    let mut exec = shared.exec.lock();
-                    exec.on_wakeup(shared.now_ns())
-                };
-                shared.dispatch(out);
-            });
+            let now_ns = self.now_ns();
+            let due = Instant::now() + Duration::from_nanos(wake_ns.saturating_sub(now_ns));
+            self.schedule(due, u64::MAX, TimedEvent::Wakeup);
         }
     }
 
-    fn on_message(self: &Arc<Self>, conn: ConnectionId, to_controller: bool, bytes: &[u8]) {
+    fn on_message(
+        self: &Arc<Self>,
+        conn: ConnectionId,
+        epoch: Epoch,
+        to_controller: bool,
+        bytes: &[u8],
+    ) {
         let out = {
             let mut exec = self.exec.lock();
             exec.on_message(InjectorInput {
@@ -102,18 +390,115 @@ impl Shared {
                 now_ns: self.now_ns(),
             })
         };
-        self.dispatch(out);
+        self.dispatch(out, Some((conn.0, epoch)), true);
+    }
+
+    fn fire(self: &Arc<Self>, event: TimedEvent) {
+        match event {
+            TimedEvent::Delivery {
+                conn,
+                to_controller,
+                epoch,
+                bytes,
+            } => self.deliver(conn, to_controller, epoch, bytes, false),
+            TimedEvent::Wakeup => {
+                let out = {
+                    let mut exec = self.exec.lock();
+                    exec.on_wakeup(self.now_ns())
+                };
+                self.dispatch(out, None, false);
+            }
+            TimedEvent::Fault(action) => self.apply_fault(action),
+        }
+    }
+
+    fn apply_fault(&self, action: FaultAction) {
+        match action {
+            FaultAction::Sever { route } => self.sever_route(route),
+            FaultAction::HoldDown { route } => {
+                self.route(route).held.store(true, Ordering::SeqCst);
+                self.sever_route(route);
+            }
+            FaultAction::Restore { route } => {
+                self.route(route).held.store(false, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn sever_route(&self, route: usize) {
+        let conn = self.route(route).conn;
+        let old = self.sessions.lock().remove(&conn);
+        if let Some(s) = old {
+            s.sever();
+            self.counters
+                .sessions_closed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Ends `conn`'s session iff it is still the one of `epoch`
+    /// (idempotent across the session's four loops; a successor session
+    /// is never touched).
+    fn end_session(&self, conn: usize, epoch: Epoch) {
+        let old = {
+            let mut sessions = self.sessions.lock();
+            match sessions.get(&conn) {
+                Some(s) if s.epoch == epoch => sessions.remove(&conn),
+                _ => None,
+            }
+        };
+        if let Some(s) = old {
+            s.sever();
+            self.counters
+                .sessions_closed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn close_all_sessions(&self) {
+        let drained: Vec<Session> = {
+            let mut sessions = self.sessions.lock();
+            sessions.drain().map(|(_, s)| s).collect()
+        };
+        for s in &drained {
+            s.sever();
+            self.counters
+                .sessions_closed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn spawn_worker(self: &Arc<Self>, name: &str, f: impl FnOnce() + Send + 'static) {
+        let handle = thread::Builder::new()
+            .name(format!("attain-proxy-{name}"))
+            .spawn(f)
+            .expect("spawn proxy worker thread");
+        self.workers.lock().push(handle);
+    }
+
+    fn stats(&self) -> ProxyStats {
+        ProxyStats {
+            sessions_opened: self.counters.sessions_opened.load(Ordering::Relaxed),
+            sessions_closed: self.counters.sessions_closed.load(Ordering::Relaxed),
+            stale_epoch_dropped: self.counters.stale_epoch_dropped.load(Ordering::Relaxed),
+            dead_target_dropped: self.counters.dead_target_dropped.load(Ordering::Relaxed),
+            overflow_dropped: self.counters.overflow_dropped.load(Ordering::Relaxed),
+            live_sessions: self.sessions.lock().len(),
+        }
     }
 }
 
-/// The running proxy. Dropping it does not stop the worker threads; call
-/// [`TcpProxy::shutdown`] for a clean stop (threads also exit when their
-/// sockets close).
+/// The running proxy. Dropping it does not stop the worker threads;
+/// call [`TcpProxy::shutdown`] for a clean stop that severs every
+/// socket, unblocks parked I/O, and joins every worker thread.
 pub struct TcpProxy {
     shared: Arc<Shared>,
     /// The actually bound listen addresses, in route order (useful when
     /// routes asked for port 0).
     pub listen_addrs: Vec<SocketAddr>,
+    /// Acceptor threads, one per route; joined first at shutdown so no
+    /// new sessions can appear while the rest is torn down.
+    acceptors: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for TcpProxy {
@@ -135,29 +520,119 @@ impl TcpProxy {
         routes: Vec<ProxyRoute>,
         syscmd: Option<SysCmdHandler>,
     ) -> std::io::Result<TcpProxy> {
+        let mut listeners = Vec::with_capacity(routes.len());
+        let mut listen_addrs = Vec::with_capacity(routes.len());
+        let mut route_states = Vec::with_capacity(routes.len());
+        for route in &routes {
+            let listener = TcpListener::bind(route.listen)?;
+            let addr = listener.local_addr()?;
+            listen_addrs.push(addr);
+            route_states.push(RouteState {
+                conn: route.conn.0,
+                controller: route.controller,
+                listen: addr,
+                held: AtomicBool::new(false),
+            });
+            listeners.push(listener);
+        }
+        let (timer_tx, timer_rx) = unbounded();
         let shared = Arc::new(Shared {
             exec: Mutex::new(exec),
-            sinks: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            routes: route_states,
             start: Instant::now(),
             shutdown: AtomicBool::new(false),
             syscmd,
+            timer_tx,
+            next_epoch: AtomicU64::new(1),
+            next_uid: AtomicU64::new(0),
+            counters: Counters::default(),
+            workers: Mutex::new(Vec::new()),
         });
-        let mut listen_addrs = Vec::with_capacity(routes.len());
-        for route in routes {
-            let listener = TcpListener::bind(route.listen)?;
-            listen_addrs.push(listener.local_addr()?);
+        {
             let shared = Arc::clone(&shared);
-            thread::spawn(move || accept_loop(shared, listener, route));
+            let timer_shared = Arc::clone(&shared);
+            shared.spawn_worker("timer", move || timer_loop(timer_shared, timer_rx));
+        }
+        let mut acceptors = Vec::with_capacity(listeners.len());
+        for (route_idx, listener) in listeners.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let handle = thread::Builder::new()
+                .name(format!("attain-proxy-accept-{route_idx}"))
+                .spawn(move || accept_loop(shared, listener, route_idx))
+                .expect("spawn proxy acceptor thread");
+            acceptors.push(handle);
         }
         Ok(TcpProxy {
             shared,
             listen_addrs,
+            acceptors: Mutex::new(acceptors),
         })
     }
 
-    /// Signals every thread to stop at its next I/O boundary.
-    pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+    /// Stops the proxy and joins every worker thread: severs all
+    /// sessions (unblocking loops parked in `read`/`write`), wakes the
+    /// acceptors, stops the timer, and joins until no worker remains.
+    /// Idempotent; later calls join any stragglers and return the final
+    /// counters.
+    pub fn shutdown(&self) -> ShutdownReport {
+        let first = !self.shared.shutdown.swap(true, Ordering::SeqCst);
+        if first {
+            // Wake each acceptor parked in `accept()`: the flag is
+            // checked right after the dummy connection is accepted.
+            for route in &self.shared.routes {
+                let _ = TcpStream::connect(route.listen);
+            }
+        }
+        let mut joined = 0;
+        for handle in self.acceptors.lock().drain(..) {
+            let _ = handle.join();
+            joined += 1;
+        }
+        // Past this point no acceptor is alive, so no new session (or
+        // worker thread) can be created.
+        if first {
+            self.shared.close_all_sessions();
+            let _ = self.shared.timer_tx.send(TimerCmd::Stop);
+        }
+        loop {
+            let handles: Vec<JoinHandle<()>> = self.shared.workers.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+                joined += 1;
+            }
+        }
+        ShutdownReport {
+            threads_joined: joined,
+            stats: self.shared.stats(),
+        }
+    }
+
+    /// Applies a connection-interruption fault right now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action names a route index the proxy does not have
+    /// — harness misuse.
+    pub fn apply_fault(&self, action: FaultAction) {
+        self.shared.apply_fault(action);
+    }
+
+    /// Schedules a fault `after` the current instant on the proxy's
+    /// timer thread (the §VII experiment timelines: sever at `t=X`,
+    /// restore at `t=Y`). Route indices are validated when the fault
+    /// fires.
+    pub fn schedule_fault(&self, after: Duration, action: FaultAction) {
+        self.shared
+            .schedule(Instant::now() + after, u64::MAX, TimedEvent::Fault(action));
+    }
+
+    /// Current lifecycle counters.
+    pub fn stats(&self) -> ProxyStats {
+        self.shared.stats()
     }
 
     /// Locks and inspects the executor (e.g. for its injection log).
@@ -166,79 +641,200 @@ impl TcpProxy {
     }
 }
 
-fn accept_loop(shared: Arc<Shared>, listener: TcpListener, route: ProxyRoute) {
+fn timer_loop(shared: Arc<Shared>, rx: Receiver<TimerCmd>) {
+    let mut heap: BinaryHeap<Reverse<TimerEntry>> = BinaryHeap::new();
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
+        let cmd = if let Some(Reverse(next)) = heap.peek() {
+            let now = Instant::now();
+            if next.due <= now {
+                None
+            } else {
+                match rx.recv_timeout(next.due - now) {
+                    Ok(cmd) => Some(cmd),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => None,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        } else {
+            match rx.recv() {
+                Ok(cmd) => Some(cmd),
+                Err(_) => return,
+            }
+        };
+        match cmd {
+            Some(TimerCmd::Stop) => return,
+            Some(TimerCmd::Schedule(entry)) => {
+                heap.push(Reverse(entry));
+                continue;
+            }
+            None => {}
         }
+        // Fire everything due, in (deadline, seq) order.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(e)| e.due <= now) {
+            let Reverse(entry) = heap.pop().expect("peeked entry");
+            shared.fire(entry.event);
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener, route_idx: usize) {
+    loop {
         let Ok((switch_sock, _)) = listener.accept() else {
             return;
         };
-        let Ok(controller_sock) = TcpStream::connect(route.controller) else {
-            // Controller unreachable: drop the switch connection; it will
-            // retry, as a real switch does.
-            continue;
-        };
-        let conn = route.conn;
-        // Writers: channel-fed threads own the write halves.
-        let (ctrl_tx, ctrl_rx) = unbounded::<Vec<u8>>();
-        let (sw_tx, sw_rx) = unbounded::<Vec<u8>>();
-        {
-            let mut sinks = shared.sinks.lock();
-            sinks.insert((conn.0, true), ctrl_tx);
-            sinks.insert((conn.0, false), sw_tx);
-        }
-        let ctrl_write = controller_sock.try_clone().expect("clone stream");
-        let sw_write = switch_sock.try_clone().expect("clone stream");
-        thread::spawn(move || write_loop(ctrl_write, ctrl_rx));
-        thread::spawn(move || write_loop(sw_write, sw_rx));
-        // Readers feed the executor.
-        {
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || read_loop(shared, switch_sock, conn, true));
-        }
-        {
-            let shared = Arc::clone(&shared);
-            thread::spawn(move || read_loop(shared, controller_sock, conn, false));
-        }
-    }
-}
-
-fn write_loop(mut sock: TcpStream, rx: crossbeam::channel::Receiver<Vec<u8>>) {
-    while let Ok(bytes) = rx.recv() {
-        if sock.write_all(&bytes).is_err() {
-            return;
-        }
-    }
-}
-
-fn read_loop(shared: Arc<Shared>, mut sock: TcpStream, conn: ConnectionId, to_controller: bool) {
-    let mut buf = Vec::with_capacity(4096);
-    let mut chunk = [0u8; 4096];
-    loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        let route = &shared.routes[route_idx];
+        if route.held.load(Ordering::SeqCst) {
+            // Hold-down window: the interruption is sustained, so the
+            // switch's reconnect attempt is accepted and dropped.
+            drop(switch_sock);
+            continue;
+        }
+        let Ok(controller_sock) = TcpStream::connect(route.controller) else {
+            // Controller unreachable: drop the switch connection; it
+            // will retry, as a real switch does.
+            continue;
+        };
+        start_session(&shared, route.conn, switch_sock, controller_sock);
+    }
+}
+
+fn start_session(
+    shared: &Arc<Shared>,
+    conn: usize,
+    switch_sock: TcpStream,
+    controller_sock: TcpStream,
+) {
+    // Clones for the write loops and for severing; a failed clone means
+    // the socket already died, so the switch simply retries.
+    let (Ok(sw_keep), Ok(ctrl_keep), Ok(sw_write), Ok(ctrl_write)) = (
+        switch_sock.try_clone(),
+        controller_sock.try_clone(),
+        switch_sock.try_clone(),
+        controller_sock.try_clone(),
+    ) else {
+        return;
+    };
+    let epoch = shared.next_epoch.fetch_add(1, Ordering::SeqCst);
+    let (ctrl_tx, ctrl_rx) = bounded::<Vec<u8>>(WRITE_QUEUE_CAP);
+    let (sw_tx, sw_rx) = bounded::<Vec<u8>>(WRITE_QUEUE_CAP);
+    let session = Session {
+        epoch,
+        ctrl_tx,
+        sw_tx,
+        switch_sock: sw_keep,
+        controller_sock: ctrl_keep,
+    };
+    {
+        let mut sessions = shared.sessions.lock();
+        if let Some(old) = sessions.insert(conn, session) {
+            // The switch reconnected before the old session's loops
+            // noticed the disconnect: replace it atomically so no stale
+            // sink survives and the old epoch's deliveries die.
+            old.sever();
+            shared
+                .counters
+                .sessions_closed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    shared
+        .counters
+        .sessions_opened
+        .fetch_add(1, Ordering::Relaxed);
+    {
+        let shared = Arc::clone(shared);
+        shared.clone().spawn_worker("write-ctrl", move || {
+            write_loop(shared, ctrl_write, ctrl_rx, conn, epoch)
+        });
+    }
+    {
+        let shared = Arc::clone(shared);
+        shared.clone().spawn_worker("write-switch", move || {
+            write_loop(shared, sw_write, sw_rx, conn, epoch)
+        });
+    }
+    {
+        let shared = Arc::clone(shared);
+        shared.clone().spawn_worker("read-switch", move || {
+            read_loop(shared, switch_sock, ConnectionId(conn), epoch, true)
+        });
+    }
+    {
+        let shared = Arc::clone(shared);
+        shared.clone().spawn_worker("read-ctrl", move || {
+            read_loop(shared, controller_sock, ConnectionId(conn), epoch, false)
+        });
+    }
+    // A shutdown that raced session creation must not leave the new
+    // session running unsupervised.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.end_session(conn, epoch);
+    }
+}
+
+fn write_loop(
+    shared: Arc<Shared>,
+    mut sock: TcpStream,
+    rx: Receiver<Vec<u8>>,
+    conn: usize,
+    epoch: Epoch,
+) {
+    while let Ok(bytes) = rx.recv() {
+        if sock.write_all(&bytes).is_err() {
+            // Socket is gone: tear the session down so the peer loops
+            // unblock and the sinks unregister.
+            shared.end_session(conn, epoch);
+            return;
+        }
+    }
+    // Channel disconnected: the session was already unregistered.
+}
+
+fn read_loop(
+    shared: Arc<Shared>,
+    mut sock: TcpStream,
+    conn: ConnectionId,
+    epoch: Epoch,
+    to_controller: bool,
+) {
+    let mut buf = Vec::with_capacity(8192);
+    let mut chunk = [0u8; 4096];
+    'outer: loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
         let n = match sock.read(&mut chunk) {
-            Ok(0) | Err(_) => return,
+            Ok(0) | Err(_) => break,
             Ok(n) => n,
         };
         buf.extend_from_slice(&chunk[..n]);
+        // Frame from a moving offset and compact once per read: a
+        // pipelined batch costs one memmove, not one per frame.
+        let mut start = 0;
         loop {
-            match OfMessage::frame_len(&buf) {
+            match OfMessage::frame_len(&buf[start..]) {
                 Ok(Some(len)) => {
-                    let frame: Vec<u8> = buf.drain(..len).collect();
-                    shared.on_message(conn, to_controller, &frame);
+                    shared.on_message(conn, epoch, to_controller, &buf[start..start + len]);
+                    start += len;
                 }
                 Ok(None) => break,
                 Err(_) => {
-                    // Unframeable garbage (bad version byte): a real
-                    // proxy would reset the connection.
-                    return;
+                    // Unframeable garbage (bad version byte): reset the
+                    // connection, as a real proxy would.
+                    break 'outer;
                 }
             }
         }
+        if start > 0 {
+            buf.copy_within(start.., 0);
+            buf.truncate(buf.len() - start);
+        }
     }
+    shared.end_session(conn.0, epoch);
 }
 
 #[cfg(test)]
@@ -412,5 +1008,26 @@ mod tests {
         );
         assert_eq!(read_one(&mut switch), OfMessage::Hello);
         proxy.shutdown();
+    }
+
+    #[test]
+    fn timer_entries_order_by_deadline_then_seq() {
+        let t0 = Instant::now();
+        let t1 = t0 + Duration::from_millis(5);
+        let entry = |due, seq, uid| TimerEntry {
+            due,
+            seq,
+            uid,
+            event: TimedEvent::Wakeup,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(entry(t1, 2, 0)));
+        heap.push(Reverse(entry(t0, 9, 1)));
+        heap.push(Reverse(entry(t1, 1, 2)));
+        let popped: Vec<(Instant, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|Reverse(e)| (e.due, e.seq))
+            .collect();
+        // Earliest deadline first; equal deadlines in executor order.
+        assert_eq!(popped, vec![(t0, 9), (t1, 1), (t1, 2)]);
     }
 }

@@ -1,0 +1,323 @@
+//! Connection-lifecycle tests for the TCP proxy over real sockets:
+//! the §VII-B interruption scenario, reconnect epoch isolation,
+//! equal-delay ordering, and shutdown joining every worker thread.
+
+use attain_core::exec::AttackExecutor;
+use attain_core::model::ConnectionId;
+use attain_core::{dsl, scenario};
+use attain_injector::tcp::{FaultAction, ProxyRoute, TcpProxy};
+use attain_openflow::OfMessage;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Delays `ECHO_REQUEST`s from the first switch by 600 ms — long enough
+/// for a test to kill the session before the delivery fires.
+const DELAY_ECHO: &str = r#"
+attack delay_echo {
+    start state sigma1 {
+        rule hold on (c1, s1) requires no_tls {
+            when msg.type == ECHO_REQUEST && msg.source == s1
+            do { delay(msg, 0.6); }
+        }
+    }
+}
+"#;
+
+/// Delays *everything* from the first switch by the same 200 ms, so a
+/// pipelined batch becomes a set of equal-delay deliveries whose order
+/// is carried only by the executor's emission sequence.
+const DELAY_ALL: &str = r#"
+attack delay_all {
+    start state sigma1 {
+        rule hold on (c1, s1) requires no_tls {
+            when msg.source == s1
+            do { delay(msg, 0.2); }
+        }
+    }
+}
+"#;
+
+fn executor(source: &str) -> AttackExecutor {
+    let sc = scenario::enterprise_network();
+    let compiled = dsl::compile(source, &sc.system, &sc.attack_model).unwrap();
+    AttackExecutor::new(sc.system, sc.attack_model, compiled.attack).unwrap()
+}
+
+/// A controller accepting any number of sequential connections (the
+/// proxy redials per switch session). Decoded messages are forwarded on
+/// the channel; HELLO is answered with HELLO.
+fn fake_controller() -> (SocketAddr, mpsc::Receiver<OfMessage>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        while let Ok((mut sock, _)) = listener.accept() {
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 1024];
+            'conn: loop {
+                let n = match sock.read(&mut chunk) {
+                    Ok(0) | Err(_) => break 'conn,
+                    Ok(n) => n,
+                };
+                buf.extend_from_slice(&chunk[..n]);
+                while let Ok(Some(len)) = OfMessage::frame_len(&buf) {
+                    let frame: Vec<u8> = buf.drain(..len).collect();
+                    let (msg, xid) = OfMessage::decode(&frame).unwrap();
+                    if msg == OfMessage::Hello {
+                        let _ = sock.write_all(&OfMessage::Hello.encode(xid));
+                    }
+                    if tx.send(msg).is_err() {
+                        break 'conn;
+                    }
+                }
+            }
+        }
+    });
+    (addr, rx)
+}
+
+fn spawn_proxy(source: &str, controller: SocketAddr) -> TcpProxy {
+    TcpProxy::spawn(
+        executor(source),
+        vec![ProxyRoute {
+            listen: "127.0.0.1:0".parse().unwrap(),
+            controller,
+            conn: ConnectionId(0),
+        }],
+        None,
+    )
+    .unwrap()
+}
+
+fn read_one(sock: &mut TcpStream) -> Option<OfMessage> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Ok(Some(len)) = OfMessage::frame_len(&buf) {
+            let frame: Vec<u8> = buf.drain(..len).collect();
+            return Some(OfMessage::decode(&frame).unwrap().0);
+        }
+        match sock.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+/// The stale-sink reconnect bug: a delayed delivery scheduled for a
+/// session that died must not be written into the successor session,
+/// while delayed deliveries for the live session still arrive.
+#[test]
+fn delayed_delivery_does_not_cross_into_reconnected_session() {
+    let (ctrl_addr, ctrl_rx) = fake_controller();
+    let proxy = spawn_proxy(DELAY_ECHO, ctrl_addr);
+    let listen = proxy.listen_addrs[0];
+
+    // First switch session: HELLO passes, ECHO_REQUEST is held for
+    // 600 ms by the attack.
+    let mut switch1 = TcpStream::connect(listen).unwrap();
+    switch1.write_all(&OfMessage::Hello.encode(1)).unwrap();
+    assert_eq!(
+        ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+        OfMessage::Hello
+    );
+    switch1
+        .write_all(&OfMessage::EchoRequest(vec![7]).encode(2))
+        .unwrap();
+    // Let the proxy ingest the echo (it is now in the timer heap), then
+    // kill the session before the delay elapses.
+    assert!(wait_until(Duration::from_secs(5), || {
+        proxy.with_executor(|e| e.log().rule_fires("hold") >= 1)
+    }));
+    drop(switch1);
+    assert!(wait_until(Duration::from_secs(5), || {
+        proxy.stats().live_sessions == 0
+    }));
+
+    // The switch reconnects: a fresh session on the same connection id.
+    let mut switch2 = TcpStream::connect(listen).unwrap();
+    switch2.write_all(&OfMessage::Hello.encode(3)).unwrap();
+    assert_eq!(
+        ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+        OfMessage::Hello
+    );
+
+    // Wait out the old delivery's deadline: the stale echo must be
+    // dropped (as stale if the new session was already up when it
+    // fired, as dead-target if not), never delivered onward.
+    assert!(wait_until(Duration::from_secs(5), || {
+        let s = proxy.stats();
+        s.stale_epoch_dropped + s.dead_target_dropped >= 1
+    }));
+    assert!(
+        ctrl_rx.try_recv().is_err(),
+        "stale delayed delivery leaked into the reconnected session"
+    );
+
+    // A delayed delivery addressed to the *live* session still works.
+    switch2
+        .write_all(&OfMessage::EchoRequest(vec![8]).encode(4))
+        .unwrap();
+    assert_eq!(
+        ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+        OfMessage::EchoRequest(vec![8])
+    );
+
+    let stats = proxy.stats();
+    assert_eq!(stats.sessions_opened, 2);
+    assert_eq!(stats.sessions_closed, 1);
+    assert_eq!(stats.live_sessions, 1, "stale sink-map entry survived");
+    proxy.shutdown();
+}
+
+/// Equal-delay `DELAYMESSAGE`s must arrive in executor order: the timer
+/// heap breaks deadline ties on the executor's emission sequence
+/// instead of racing one sleeper thread per message.
+#[test]
+fn equal_delay_deliveries_preserve_executor_order() {
+    let (ctrl_addr, ctrl_rx) = fake_controller();
+    let proxy = spawn_proxy(DELAY_ALL, ctrl_addr);
+
+    let mut switch = TcpStream::connect(proxy.listen_addrs[0]).unwrap();
+    // One pipelined write → four deliveries, all delayed by 200 ms.
+    let mut batch = Vec::new();
+    batch.extend(OfMessage::Hello.encode(1));
+    batch.extend(OfMessage::EchoRequest(vec![1]).encode(2));
+    batch.extend(OfMessage::EchoRequest(vec![2]).encode(3));
+    batch.extend(OfMessage::BarrierRequest.encode(4));
+    switch.write_all(&batch).unwrap();
+
+    let expect = [
+        OfMessage::Hello,
+        OfMessage::EchoRequest(vec![1]),
+        OfMessage::EchoRequest(vec![2]),
+        OfMessage::BarrierRequest,
+    ];
+    for want in expect {
+        assert_eq!(ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap(), want);
+    }
+    proxy.shutdown();
+}
+
+/// `shutdown()` must sever parked I/O and join every worker thread —
+/// acceptor, timer, and all four loops of the live session — within a
+/// deadline, leaving no live session behind.
+#[test]
+fn shutdown_joins_all_worker_threads_within_deadline() {
+    let (ctrl_addr, ctrl_rx) = fake_controller();
+    let proxy = spawn_proxy(scenario::attacks::TRIVIAL_PASS, ctrl_addr);
+
+    // One live session whose read loops are parked in blocking reads.
+    let mut switch = TcpStream::connect(proxy.listen_addrs[0]).unwrap();
+    switch.write_all(&OfMessage::Hello.encode(1)).unwrap();
+    assert_eq!(
+        ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+        OfMessage::Hello
+    );
+    assert!(wait_until(Duration::from_secs(5), || {
+        proxy.stats().live_sessions == 1
+    }));
+
+    let start = Instant::now();
+    let report = proxy.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?}",
+        start.elapsed()
+    );
+    // 1 acceptor + 1 timer + 4 session loops.
+    assert!(
+        report.threads_joined >= 6,
+        "joined only {} threads",
+        report.threads_joined
+    );
+    assert_eq!(report.stats.live_sessions, 0);
+    assert_eq!(report.stats.sessions_opened, report.stats.sessions_closed);
+
+    // Idempotent: a second call has nothing left to join.
+    let again = proxy.shutdown();
+    assert_eq!(again.threads_joined, 0);
+}
+
+/// The §VII-B interruption scenario over real sockets: sever and hold
+/// down the route mid-run, watch reconnects being refused, restore at a
+/// scheduled time, and verify the switch re-establishes service.
+#[test]
+fn interruption_harness_severs_holds_and_restores_route() {
+    let (ctrl_addr, ctrl_rx) = fake_controller();
+    let proxy = spawn_proxy(scenario::attacks::TRIVIAL_PASS, ctrl_addr);
+    let listen = proxy.listen_addrs[0];
+
+    // Healthy control channel first.
+    let mut switch = TcpStream::connect(listen).unwrap();
+    switch.write_all(&OfMessage::Hello.encode(1)).unwrap();
+    assert_eq!(
+        ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+        OfMessage::Hello
+    );
+    assert_eq!(read_one(&mut switch), Some(OfMessage::Hello));
+
+    // Interrupt: sever the live session and hold the route down.
+    proxy.apply_fault(FaultAction::HoldDown { route: 0 });
+    // The switch observes the disconnect…
+    assert_eq!(read_one(&mut switch), None);
+    assert_eq!(proxy.stats().live_sessions, 0);
+
+    // …and its reconnect attempts are refused while the route is held:
+    // the connection is accepted and immediately closed, no session
+    // forms.
+    let mut refused = TcpStream::connect(listen).unwrap();
+    let _ = refused.write_all(&OfMessage::Hello.encode(2));
+    assert_eq!(
+        read_one(&mut refused),
+        None,
+        "held-down route served a session"
+    );
+    assert_eq!(proxy.stats().sessions_opened, 1);
+
+    // Restoration is scheduled on the proxy's own timer, as in the
+    // experiment timelines.
+    proxy.schedule_fault(
+        Duration::from_millis(200),
+        FaultAction::Restore { route: 0 },
+    );
+
+    // The switch keeps retrying until the route comes back.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut restored = None;
+    while Instant::now() < deadline {
+        let mut attempt = match TcpStream::connect(listen) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if attempt.write_all(&OfMessage::Hello.encode(3)).is_err() {
+            continue;
+        }
+        if let Some(msg) = read_one(&mut attempt) {
+            restored = Some((attempt, msg));
+            break;
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    let (_switch, msg) = restored.expect("route never restored");
+    assert_eq!(msg, OfMessage::Hello);
+
+    let stats = proxy.stats();
+    assert_eq!(stats.sessions_opened, 2);
+    assert_eq!(stats.live_sessions, 1);
+    proxy.shutdown();
+}

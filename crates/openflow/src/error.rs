@@ -42,6 +42,14 @@ pub enum CodecError {
         /// Number of unconsumed bytes.
         remaining: usize,
     },
+    /// An encoded message would exceed the 16-bit `ofp_header` length
+    /// field, so no valid frame can carry it.
+    Oversize {
+        /// What was being encoded.
+        context: &'static str,
+        /// The encoded size that does not fit.
+        len: usize,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -67,6 +75,10 @@ impl fmt::Display for CodecError {
             CodecError::TrailingBytes { context, remaining } => {
                 write!(f, "{remaining} trailing bytes after decoding {context}")
             }
+            CodecError::Oversize { context, len } => write!(
+                f,
+                "encoded {context} is {len} bytes, exceeding the 65535-byte frame limit"
+            ),
         }
     }
 }
@@ -94,6 +106,17 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CodecError>();
+    }
+
+    #[test]
+    fn oversize_display_names_limit() {
+        let e = CodecError::Oversize {
+            context: "ofp message",
+            len: 70_000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("70000"));
+        assert!(s.contains("65535"));
     }
 
     #[test]

@@ -106,7 +106,27 @@ impl OfMessage {
     }
 
     /// Encodes header + body into a standalone byte vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded message exceeds the 16-bit header length
+    /// field (body larger than 65527 bytes). Callers holding bodies of
+    /// untrusted size should use [`OfMessage::try_encode`], which
+    /// returns [`CodecError::Oversize`] instead of producing a frame
+    /// whose declared length silently disagrees with its contents.
     pub fn encode(&self, xid: Xid) -> Vec<u8> {
+        self.try_encode(xid)
+            .expect("message exceeds the OpenFlow frame size limit (use try_encode)")
+    }
+
+    /// Encodes header + body, failing if the message cannot fit a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Oversize`] when the encoded size exceeds
+    /// `u16::MAX` — the header's length field would otherwise truncate
+    /// and desynchronize the peer's framer.
+    pub fn try_encode(&self, xid: Xid) -> Result<Vec<u8>, CodecError> {
         let mut w = Writer::with_capacity(64);
         // Placeholder header; length patched after the body is written.
         OfHeader {
@@ -144,8 +164,14 @@ impl OfMessage {
             }
         }
         let len = w.len();
+        if len > u16::MAX as usize {
+            return Err(CodecError::Oversize {
+                context: "ofp message",
+                len,
+            });
+        }
         w.patch_u16(2, len as u16);
-        w.into_vec()
+        Ok(w.into_vec())
     }
 
     /// Decodes a complete message (header + body) from `buf`.
@@ -309,6 +335,24 @@ mod tests {
                 max_len: 0,
             }],
         )));
+    }
+
+    #[test]
+    fn oversized_body_encode_errors_instead_of_truncating() {
+        // 65527 bytes of body is the largest that fits (8-byte header).
+        let max = OfMessage::EchoRequest(vec![0; 65527]);
+        let bytes = max.try_encode(1).unwrap();
+        assert_eq!(bytes.len(), 65535);
+        let header = OfHeader::decode(&bytes).unwrap();
+        assert_eq!(header.length as usize, bytes.len());
+
+        // One byte more and the length field would wrap; the old encoder
+        // emitted a frame whose header claimed 0 bytes.
+        let over = OfMessage::EchoRequest(vec![0; 65528]);
+        assert!(matches!(
+            over.try_encode(1),
+            Err(CodecError::Oversize { len: 65536, .. })
+        ));
     }
 
     #[test]

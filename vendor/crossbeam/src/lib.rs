@@ -1,7 +1,7 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` over
-//! `std::sync::mpsc`. Only the MPSC shape this workspace uses is
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}`
+//! over `std::sync::mpsc`. Only the MPSC shape this workspace uses is
 //! supported (cloneable senders, single consumer).
 
 #![forbid(unsafe_code)]
@@ -10,14 +10,21 @@
 /// Multi-producer channels (the `crossbeam-channel` subset in use).
 pub mod channel {
     use std::sync::mpsc;
+    use std::time::Duration;
 
-    /// Sending half of an unbounded channel.
+    /// Sending half of a channel (unbounded or bounded).
     #[derive(Debug, Clone)]
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: Flavor<T>,
     }
 
-    /// Receiving half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    enum Flavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    /// Receiving half of a channel.
     #[derive(Debug)]
     pub struct Receiver<T> {
         inner: mpsc::Receiver<T>,
@@ -27,14 +34,50 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// An error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// The receiving half has disconnected.
+        Disconnected(T),
+    }
+
     /// An error returned when all senders have disconnected.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// An error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived before the deadline.
+        Timeout,
+        /// Every sender has disconnected.
+        Disconnected,
+    }
+
     impl<T> Sender<T> {
-        /// Sends `value`, failing only if the receiver is gone.
+        /// Sends `value`, blocking while a bounded channel is full.
+        /// Fails only if the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|e| SendError(e.0))
+            match &self.inner {
+                Flavor::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                Flavor::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Sends without blocking: a full bounded channel returns
+        /// [`TrySendError::Full`] instead of waiting.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                Flavor::Unbounded(tx) => {
+                    tx.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                Flavor::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
         }
     }
 
@@ -48,12 +91,38 @@ pub mod channel {
         pub fn try_recv(&self) -> Option<T> {
             self.inner.try_recv().ok()
         }
+
+        /// Blocks until a value arrives, the deadline passes, or every
+        /// sender is gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
     }
 
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (
+            Sender {
+                inner: Flavor::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a bounded FIFO channel holding at most `cap` values;
+    /// `send` blocks (and `try_send` fails) while it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: Flavor::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
     }
 
     #[cfg(test)]
@@ -70,6 +139,34 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(2));
             drop((tx, tx2));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full_then_drains() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_and_disconnects() {
+            let (tx, rx) = bounded::<u8>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
     }
 }

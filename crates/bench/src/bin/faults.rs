@@ -1,0 +1,93 @@
+//! Environment-fault recovery: the §VII-C interruption attack composed
+//! with testbed failures — a flapping backbone link, seeded packet loss,
+//! a controller crash/restart, and a switch power-cycle.
+//!
+//! Every scenario runs **twice with the same seed** and the two traces
+//! are compared byte for byte: the fault machinery must not disturb the
+//! simulator's determinism.
+//!
+//! Usage: `cargo run --release -p attain-bench --bin faults [--quick] [--seed N]`
+
+use attain_bench::render_table;
+use attain_controllers::ControllerKind;
+use attain_injector::harness::{run_fault_recovery, FaultRecoveryOutcome};
+use attain_netsim::FailMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(0x00A7_7A17);
+
+    println!("Environment-fault recovery (seed {seed:#x})");
+    println!("timeline: t=15s s3-s4 flaps ×2, t=20s s1-s2 1% loss,");
+    println!("          t=45s c1 crashes, t=70s c1 restarts, t=85s s4 power-cycles\n");
+
+    let kinds: &[ControllerKind] = if quick {
+        &[ControllerKind::Floodlight]
+    } else {
+        &ControllerKind::ALL
+    };
+
+    let mut outs: Vec<FaultRecoveryOutcome> = Vec::new();
+    for &kind in kinds {
+        for mode in [FailMode::Safe, FailMode::Secure] {
+            eprintln!("running {kind} / {mode:?} (twice, determinism check)…");
+            let a = run_fault_recovery(kind, mode, seed);
+            let b = run_fault_recovery(kind, mode, seed);
+            assert_eq!(
+                a.trace_lines, b.trace_lines,
+                "same seed must reproduce the trace byte for byte"
+            );
+            outs.push(a);
+        }
+    }
+
+    let header: Vec<String> = std::iter::once("h6 -> h1".to_string())
+        .chain(outs.iter().map(|o| {
+            format!(
+                "{}/{}",
+                o.controller,
+                match o.fail_mode {
+                    FailMode::Safe => "Safe",
+                    FailMode::Secure => "Secure",
+                }
+            )
+        }))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let row = |label: &str, f: &dyn Fn(&FaultRecoveryOutcome) -> String| -> Vec<String> {
+        std::iter::once(label.to_string())
+            .chain(outs.iter().map(f))
+            .collect()
+    };
+    let check = |c: &attain_injector::harness::AccessCheck| c.to_string();
+    let rows = vec![
+        row("healthy (t=30s)", &|o| check(&o.before)),
+        row("controller down (t=61s)", &|o| check(&o.during)),
+        row("after restart (t=95s)", &|o| check(&o.after)),
+    ];
+    println!("{}", render_table(&header_refs, &rows));
+    println!(
+        "(fail-safe recovers after the restart via s2's standalone fallback;\n\
+         fail-secure stays dark because the σ3 interruption keeps dropping\n\
+         c1-s2 control traffic even once the controller is back)\n"
+    );
+
+    for o in &outs {
+        println!(
+            "{}/{:?}: final state {} (φ2 fired {}×), {} trace events",
+            o.controller,
+            o.fail_mode,
+            o.final_state,
+            o.phi2_fires,
+            o.trace_lines.len()
+        );
+        println!("{}", o.report);
+    }
+    println!("determinism: all same-seed run pairs produced identical traces");
+}

@@ -176,6 +176,10 @@ impl Controller for DmzFirewall {
         self.inner.on_switch_disconnect(dpid);
     }
 
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
     fn processing_delay_us(&self) -> u64 {
         self.inner.processing_delay_us()
     }

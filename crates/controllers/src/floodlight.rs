@@ -128,6 +128,10 @@ impl Controller for Floodlight {
         self.table.forget_switch(dpid);
     }
 
+    fn reset(&mut self) {
+        self.table.clear();
+    }
+
     fn processing_delay_us(&self) -> u64 {
         // JVM service pipeline: fast steady-state dispatch.
         300

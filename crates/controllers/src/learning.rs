@@ -32,6 +32,11 @@ impl L2Table {
         self.entries.retain(|(d, _), _| *d != dpid);
     }
 
+    /// Drops everything (on controller restart).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Number of learned entries.
     pub fn len(&self) -> usize {
         self.entries.len()

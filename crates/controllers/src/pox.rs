@@ -134,6 +134,10 @@ impl Controller for Pox {
         self.table.forget_switch(dpid);
     }
 
+    fn reset(&mut self) {
+        self.table.clear();
+    }
+
     fn processing_delay_us(&self) -> u64 {
         // CPython event loop: the slowest of the three platforms.
         1200

@@ -105,6 +105,10 @@ impl Controller for Ryu {
         self.table.forget_switch(dpid);
     }
 
+    fn reset(&mut self) {
+        self.table.clear();
+    }
+
     fn processing_delay_us(&self) -> u64 {
         // CPython with an eventlet hub: between Floodlight and POX.
         800

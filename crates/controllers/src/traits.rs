@@ -103,6 +103,12 @@ pub trait Controller: Send {
         let _ = dpid;
     }
 
+    /// The controller process was restarted: discard all learned state, as
+    /// a freshly started Floodlight/POX/Ryu would. Harnesses call this on
+    /// crash and on restart so the application never carries state across
+    /// a process boundary.
+    fn reset(&mut self) {}
+
     /// Mean per-message processing latency in microseconds, modelling the
     /// platform runtime (JVM vs. CPython). Harnesses add this to every
     /// reply's departure time.

@@ -265,4 +265,11 @@ pub enum ActionAst {
         /// Source line.
         line: u32,
     },
+    /// `fault("link s1-s2 down");`
+    Fault {
+        /// The fault spec text (environment-fault grammar).
+        spec: String,
+        /// Source line.
+        line: u32,
+    },
 }

@@ -555,6 +555,38 @@ fn compile_action(
                 cmd: cmd.clone(),
             }
         }
+        ActionAst::Fault { spec, line } => {
+            // Shallow validation: the full grammar lives with the
+            // simulator, but target kinds and component names are known
+            // here and a typo should fail at compile time, not silently
+            // no-op at run time.
+            let toks: Vec<&str> = spec.split_whitespace().collect();
+            let err = |msg: String| Err(DslError::new(*line, msg));
+            match toks.as_slice() {
+                ["link", ab, _, ..] => {
+                    let Some((a, b)) = ab.split_once('-') else {
+                        return err(format!("fault link target `{ab}` is not `A-B`"));
+                    };
+                    for n in [a, b] {
+                        if system.resolve(n).is_none() {
+                            return err(format!("unknown component `{n}` in fault `{spec}`"));
+                        }
+                    }
+                }
+                [kind @ ("controller" | "switch"), name, _, ..] => {
+                    if system.resolve(name).is_none() {
+                        return err(format!("unknown {kind} `{name}` in fault `{spec}`"));
+                    }
+                }
+                _ => {
+                    return err(format!(
+                        "fault spec `{spec}` must be `link A-B …`, `controller N …`, \
+                         or `switch N …`"
+                    ));
+                }
+            }
+            AttackAction::Fault { spec: spec.clone() }
+        }
     })
 }
 
@@ -746,6 +778,43 @@ mod tests {
         // Malformed hex:
         let bad = source.replace("00 63", "00 6");
         assert!(compile(&bad, &doc.system, &doc.attack_model).is_err());
+    }
+
+    #[test]
+    fn fault_specs_are_validated_against_the_system_model() {
+        let doc = compile_document(SELF_CONTAINED).unwrap();
+        let source = r#"
+            attack env {
+                start state s {
+                    rule r on (c1, s1) {
+                        when true
+                        do {
+                            fault("link s1-s2 down");
+                            fault("controller c1 crash");
+                            fault("switch s2 restart");
+                        }
+                    }
+                }
+            }
+        "#;
+        let atk = compile(source, &doc.system, &doc.attack_model).unwrap();
+        let actions = &atk.attack.states[0].rules[0].actions;
+        assert!(matches!(&actions[0], AttackAction::Fault { spec } if spec == "link s1-s2 down"));
+        assert!(
+            matches!(&actions[1], AttackAction::Fault { spec } if spec == "controller c1 crash")
+        );
+        // Unknown component names fail at compile time, not at run time.
+        for bad in [
+            r#"fault("link s1-s9 down")"#,
+            r#"fault("controller c9 crash")"#,
+            r#"fault("nonsense")"#,
+        ] {
+            let src = source.replace(r#"fault("link s1-s2 down")"#, bad);
+            assert!(
+                compile(&src, &doc.system, &doc.attack_model).is_err(),
+                "expected {bad} to be rejected"
+            );
+        }
     }
 
     #[test]

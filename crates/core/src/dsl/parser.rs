@@ -499,6 +499,12 @@ impl Parser {
                 self.expect(Tok::RParen)?;
                 ActionAst::SysCmd { host, cmd, line }
             }
+            "fault" => {
+                self.expect(Tok::LParen)?;
+                let spec = self.string()?;
+                self.expect(Tok::RParen)?;
+                ActionAst::Fault { spec, line }
+            }
             other => return Err(DslError::new(line, format!("unknown action `{other}`"))),
         };
         self.expect(Tok::Semi)?;
@@ -880,6 +886,36 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parses_fault_action() {
+        let doc = parse(
+            r#"
+            attack env {
+                start state s1 {
+                    rule r on (c1, s1) {
+                        when true
+                        do {
+                            fault("link s1-s2 down");
+                            fault("controller c1 crash");
+                        }
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let actions = &doc.attacks[0].states[0].rules[0].actions;
+        assert!(matches!(&actions[0], ActionAst::Fault { spec, .. } if spec == "link s1-s2 down"));
+        assert!(
+            matches!(&actions[1], ActionAst::Fault { spec, .. } if spec == "controller c1 crash")
+        );
+        // The spec is a string literal, not bare tokens.
+        assert!(parse(
+            "attack x { start state s { rule r on (c1, s1) { when true do { fault(link); } } } }"
+        )
+        .is_err());
     }
 
     #[test]

@@ -185,6 +185,7 @@ fn render_action(
         }
         AttackAction::Sleep(e) => format!("sleep({});", render_expr(e, system)?),
         AttackAction::SysCmd { host, cmd } => format!("syscmd({host}, {cmd:?});"),
+        AttackAction::Fault { spec } => format!("fault({spec:?});"),
     })
 }
 

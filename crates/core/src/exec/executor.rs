@@ -56,6 +56,8 @@ pub struct ExecOutput {
     pub deliveries: Vec<OutMessage>,
     /// `SYSCMD` commands, as `(host, command)` pairs.
     pub commands: Vec<(String, String)>,
+    /// `FAULT` environment-fault specs, in issue order.
+    pub faults: Vec<String>,
     /// Absolute time the executor wants a wakeup at (for `SLEEP`).
     pub wakeup_ns: Option<u64>,
 }
@@ -325,6 +327,7 @@ impl AttackExecutor {
             let out = self.process(held.conn, held.to_controller, &held.bytes, now_ns, held.id);
             total.deliveries.extend(out.deliveries);
             total.commands.extend(out.commands);
+            total.faults.extend(out.faults);
             if let Some(w) = out.wakeup_ns {
                 // A held message triggered another SLEEP: stop draining.
                 total.wakeup_ns = Some(w);
@@ -352,6 +355,7 @@ impl AttackExecutor {
             derived: true,
         }];
         let mut commands = Vec::new();
+        let mut faults = Vec::new();
         let mut wakeup = None;
 
         let decoded = OfMessage::decode(bytes).ok();
@@ -436,6 +440,7 @@ impl AttackExecutor {
                     &view,
                     &mut out,
                     &mut commands,
+                    &mut faults,
                     &mut wakeup,
                     now_ns,
                 );
@@ -451,6 +456,7 @@ impl AttackExecutor {
         ExecOutput {
             deliveries: out,
             commands,
+            faults,
             wakeup_ns: wakeup,
         }
     }
@@ -463,6 +469,7 @@ impl AttackExecutor {
         view: &MessageView<'_>,
         out: &mut Vec<OutMessage>,
         commands: &mut Vec<(String, String)>,
+        faults: &mut Vec<String>,
         wakeup: &mut Option<u64>,
         now_ns: u64,
     ) {
@@ -702,6 +709,10 @@ impl AttackExecutor {
                     },
                 );
                 commands.push((host.clone(), cmd.clone()));
+            }
+            AttackAction::Fault { spec } => {
+                self.log.push(now_ns, LogKind::Fault { spec: spec.clone() });
+                faults.push(spec.clone());
             }
         }
     }

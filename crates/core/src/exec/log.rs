@@ -75,6 +75,11 @@ pub enum LogKind {
         /// Command line.
         cmd: String,
     },
+    /// `FAULT` was issued (environment fault, dispatched to the testbed).
+    Fault {
+        /// The fault spec text.
+        spec: String,
+    },
 }
 
 /// One timestamped log event.

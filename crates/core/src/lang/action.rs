@@ -102,6 +102,13 @@ pub enum AttackAction {
         /// Command line.
         cmd: String,
     },
+    /// `FAULT(spec)`: inject an environment fault (link down/flap,
+    /// loss/corruption, process crash/restart) — testbed conditions, not
+    /// a message-level capability, so it needs no capabilities.
+    Fault {
+        /// The fault spec text (the simulator parses the grammar).
+        spec: String,
+    },
 }
 
 impl AttackAction {
@@ -139,7 +146,10 @@ impl AttackAction {
             // (possibly opaque) bytes; emitting it re-sends a copy.
             AttackAction::StoreMessage { .. } => caps.insert(Capability::ReadMessageMetadata),
             AttackAction::EmitStored { .. } => caps.insert(Capability::PassMessage),
-            AttackAction::GoToState(_) | AttackAction::Sleep(_) | AttackAction::SysCmd { .. } => {}
+            AttackAction::GoToState(_)
+            | AttackAction::Sleep(_)
+            | AttackAction::SysCmd { .. }
+            | AttackAction::Fault { .. } => {}
         }
         caps
     }
@@ -186,6 +196,7 @@ impl fmt::Display for AttackAction {
             AttackAction::GoToState(s) => write!(f, "GOTOSTATE(σ{s})"),
             AttackAction::Sleep(_) => write!(f, "SLEEP(t)"),
             AttackAction::SysCmd { host, cmd } => write!(f, "SYSCMD({host}, {cmd:?})"),
+            AttackAction::Fault { spec } => write!(f, "FAULT({spec:?})"),
         }
     }
 }

@@ -453,3 +453,110 @@ pub fn run_connection_interruption(
         phi2_fires: exec.log().rule_fires("phi2"),
     }
 }
+
+// ---------------------------------------------------------------------------
+// Environment faults: the §VII-C attack composed with testbed failures
+// ---------------------------------------------------------------------------
+
+/// Results of one fault-recovery run (`bin/faults`): the
+/// connection-interruption attack running while the testbed itself
+/// misbehaves — a flapping backbone link, seeded packet loss, a
+/// controller crash and restart, and a switch power-cycle.
+#[derive(Debug)]
+pub struct FaultRecoveryOutcome {
+    /// The controller under test.
+    pub controller: ControllerKind,
+    /// `s2`'s fail mode.
+    pub fail_mode: FailMode,
+    /// `h6 → h1` while everything is healthy (`t = 30 s`).
+    pub before: AccessCheck,
+    /// `h6 → h1` while the controller is down and liveness has expired
+    /// (`t = 61 s`): fail-secure switches lock down, fail-safe ones
+    /// fall back to standalone forwarding.
+    pub during: AccessCheck,
+    /// `h6 → h1` after controller restart and re-handshake (`t = 95 s`).
+    pub after: AccessCheck,
+    /// Per-link / per-process fault accounting.
+    pub report: attain_netsim::FaultReport,
+    /// Every trace event, rendered — byte-identical across runs with the
+    /// same seed.
+    pub trace_lines: Vec<String>,
+    /// The attack state the injector ended in.
+    pub final_state: String,
+    /// How often the interruption trigger φ2 fired.
+    pub phi2_fires: u64,
+}
+
+/// Runs the fault-recovery scenario with `seed` driving the per-link
+/// loss/corruption streams. Timeline: `t=15 s` the s3–s4 backbone link
+/// flaps twice, `t=20 s` the s1–s2 link picks up 1 % seeded loss,
+/// `t=45 s` the controller crashes (switches declare it dead ≈15 s
+/// later and enter their fail mode), `t=70 s` it restarts (switches
+/// re-handshake within a reconnect period), `t=85 s` s4 power-cycles.
+/// The §VII-C interruption attack is interposed throughout, triggered by
+/// the `h2 → h3` pings at `t=50 s`.
+pub fn run_fault_recovery(
+    kind: ControllerKind,
+    fail_mode: FailMode,
+    seed: u64,
+) -> FaultRecoveryOutcome {
+    use attain_netsim::FaultPlan;
+
+    let mut sim = build_case_study(kind, fail_mode);
+    let exec = attach_attack(&mut sim, scenario::attacks::CONNECTION_INTERRUPTION);
+
+    let mut plan = FaultPlan::seeded(seed);
+    for (secs, spec) in [
+        (15, "link s3-s4 flap 2 0.5 0.5"),
+        (20, "link s1-s2 loss 1"),
+        (45, "controller c1 crash"),
+        (70, "controller c1 restart"),
+        (85, "switch s4 restart"),
+    ] {
+        plan.at_str(SimTime::from_secs(secs), spec)
+            .expect("scenario fault spec parses");
+    }
+    sim.apply_fault_plan(&plan);
+
+    let h2 = sim.node_id("h2").expect("case study has h2");
+    let h6 = sim.node_id("h6").expect("case study has h6");
+    let ip = |last: u8| format!("10.0.0.{last}").parse().expect("valid address");
+    let ping = |host, dst, count: u32, label: &str| HostCommand::Ping {
+        host,
+        dst,
+        count,
+        interval: SimTime::from_secs(1),
+        label: label.into(),
+    };
+    sim.schedule_command(SimTime::from_secs(30), ping(h6, ip(1), 10, "before"));
+    // The attack's trigger traffic, as in §VII-C.
+    sim.schedule_command(SimTime::from_secs(50), ping(h2, ip(3), 30, "trigger"));
+    // Liveness declares the controller dead ≈ t=60 s; probe the outage.
+    sim.schedule_command(SimTime::from_secs(61), ping(h6, ip(1), 8, "during"));
+    sim.schedule_command(SimTime::from_secs(95), ping(h6, ip(1), 10, "after"));
+    sim.run_until(SimTime::from_secs(115));
+
+    let stats = sim.ping_stats();
+    let by_label = |label: &str| -> AccessCheck {
+        let s = stats
+            .iter()
+            .find(|s| s.label == label)
+            .expect("scheduled ping ran");
+        AccessCheck {
+            transmitted: s.transmitted(),
+            received: s.received(),
+        }
+    };
+    let exec = exec.lock();
+    FaultRecoveryOutcome {
+        controller: kind,
+        fail_mode,
+        before: by_label("before"),
+        during: by_label("during"),
+        after: by_label("after"),
+        report: sim.fault_report(),
+        trace_lines: sim.trace().events().iter().map(|e| e.to_string()).collect(),
+        final_state: exec.current_state_name().to_string(),
+        phi2_fires: exec.log().rule_fires("phi2"),
+    }
+}

@@ -116,6 +116,12 @@ impl SimInjector {
                     .push(format!("unknown host {host} in syscmd {cmd:?}")),
             }
         }
+        for spec in out.faults {
+            match attain_netsim::FaultSpec::parse(&spec) {
+                Ok(fault) => actions.commands.push(HostCommand::Fault(fault)),
+                Err(e) => self.rejected_commands.push(e.to_string()),
+            }
+        }
         actions.wakeup = out.wakeup_ns.map(SimTime::from_nanos);
         actions
     }

@@ -2,6 +2,7 @@
 
 use crate::controller_host::ControllerHost;
 use crate::engine::NodeId;
+use crate::fault::{FaultPlan, FaultSpec};
 use crate::host::Host;
 use crate::link::{Link, LinkEnd};
 use crate::sim::{Connection, Node, Simulation};
@@ -50,6 +51,7 @@ pub struct NetworkBuilder {
     links: Vec<(NodeId, NodeId, LinkParams)>,
     controllers: Vec<(String, Box<dyn Controller>)>,
     controls: Vec<(ControllerRef, NodeId, SimTime)>,
+    faults: FaultPlan,
 }
 
 impl NetworkBuilder {
@@ -133,6 +135,27 @@ impl NetworkBuilder {
     /// Adds a control-plane connection with explicit one-way latency.
     pub fn control_with_latency(&mut self, ctrl: ControllerRef, switch: NodeId, latency: SimTime) {
         self.controls.push((ctrl, switch, latency));
+    }
+
+    /// Sets the scenario seed for the per-link loss/corruption streams.
+    pub fn fault_seed(&mut self, seed: u64) {
+        self.faults.seed = seed;
+    }
+
+    /// Schedules an environment fault for `at` (virtual time).
+    pub fn fault_at(&mut self, at: SimTime, spec: FaultSpec) {
+        self.faults.events.push((at, spec));
+    }
+
+    /// Schedules a fault from its textual form (`link s1-s2 down`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` does not parse; builder-time specs are authored
+    /// by the experimenter, so a typo should fail loudly.
+    pub fn fault_at_str(&mut self, at: SimTime, spec: &str) {
+        let spec = FaultSpec::parse(spec).unwrap_or_else(|e| panic!("{e}"));
+        self.fault_at(at, spec);
     }
 
     fn assert_fresh(&self, name: &str) {
@@ -233,7 +256,9 @@ impl NetworkBuilder {
             });
         }
 
-        Simulation::assemble(nodes, links, port_map, controllers, connections, names)
+        let mut sim = Simulation::assemble(nodes, links, port_map, controllers, connections, names);
+        sim.apply_fault_plan(&self.faults);
+        sim
     }
 }
 

@@ -7,6 +7,7 @@
 //! applications.
 
 use crate::engine::NodeId;
+use crate::fault::FaultSpec;
 use crate::time::SimTime;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -55,6 +56,10 @@ pub enum HostCommand {
         /// Marker text.
         label: String,
     },
+    /// Inject an environment fault (link/process; see
+    /// [`FaultSpec::parse`] for the grammar). Targets are named, not
+    /// host-scoped: the issuing host is irrelevant.
+    Fault(FaultSpec),
 }
 
 /// Error parsing a command line.
@@ -79,6 +84,7 @@ impl HostCommand {
     /// * `iperf -s [-p PORT]`
     /// * `iperf -c DST [-p PORT] [-t SECS]`
     /// * `echo TEXT` (becomes a trace marker)
+    /// * `fault SPEC` (environment fault; see [`FaultSpec::parse`])
     ///
     /// # Errors
     ///
@@ -187,6 +193,12 @@ impl HostCommand {
             Some("echo") => Ok(HostCommand::Marker {
                 label: tokens[1..].join(" "),
             }),
+            Some("fault") => {
+                let spec = cmd.trim_start().strip_prefix("fault").unwrap_or("");
+                FaultSpec::parse(spec)
+                    .map(HostCommand::Fault)
+                    .map_err(|_| err())
+            }
             _ => Err(err()),
         }
     }
@@ -267,6 +279,26 @@ mod tests {
                 label: "phase two begins".into()
             }
         );
+    }
+
+    #[test]
+    fn parses_fault_commands() {
+        use crate::fault::{FaultKind, FaultTarget};
+        let c = HostCommand::parse(NodeId(0), "fault link s1-s2 down").unwrap();
+        assert_eq!(
+            c,
+            HostCommand::Fault(FaultSpec {
+                target: FaultTarget::Link {
+                    a: "s1".into(),
+                    b: "s2".into()
+                },
+                kind: FaultKind::LinkDown,
+            })
+        );
+        assert!(HostCommand::parse(NodeId(0), "fault controller c1 crash").is_ok());
+        assert!(HostCommand::parse(NodeId(0), "fault switch s1 restart").is_ok());
+        assert!(HostCommand::parse(NodeId(0), "fault").is_err());
+        assert!(HostCommand::parse(NodeId(0), "fault link s1-s2 explode").is_err());
     }
 
     #[test]

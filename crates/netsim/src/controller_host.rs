@@ -3,12 +3,18 @@
 //! model for the controller's event loop.
 
 use crate::engine::ConnId;
+use crate::interpose::Direction;
 use crate::time::SimTime;
+use crate::trace::TraceKind;
 use attain_controllers::{Controller, Outbox};
 use attain_openflow::{DatapathId, OfMessage, Xid};
 
 /// Controller-side silence threshold before a switch is declared gone.
 const DEAD_AFTER: SimTime = SimTime::from_secs(15);
+
+/// Consecutive undecodable messages on one connection before the
+/// controller resets it: a corrupted stream cannot stay "up" forever.
+pub(crate) const MAX_DECODE_FAILURES: u32 = 8;
 
 /// Handshake state of the controller's side of one connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +31,8 @@ struct CtrlConn {
     dpid: Option<DatapathId>,
     last_rx: SimTime,
     next_xid: Xid,
+    /// Consecutive undecodable deliveries (reset by any good message).
+    decode_fails: u32,
 }
 
 /// A message the controller wants delivered, with its departure time
@@ -45,6 +53,14 @@ pub struct ControllerHost {
     /// starts no earlier (the serial-bottleneck model that makes the
     /// controller path a measurable data-plane detour under attack).
     busy_until: SimTime,
+    /// `false` after a crash fault, until the matching restart.
+    alive: bool,
+    /// Crash faults applied (for the fault report).
+    pub(crate) crashes: u64,
+    /// Restart faults applied (for the fault report).
+    pub(crate) restarts: u64,
+    /// Total undecodable deliveries observed across all connections.
+    pub decode_failures: u64,
 }
 
 impl std::fmt::Debug for ControllerHost {
@@ -64,6 +80,10 @@ impl ControllerHost {
             app,
             conns: Vec::new(),
             busy_until: SimTime::ZERO,
+            alive: true,
+            crashes: 0,
+            restarts: 0,
+            decode_failures: 0,
         }
     }
 
@@ -84,7 +104,54 @@ impl ControllerHost {
             dpid: None,
             last_rx: SimTime::ZERO,
             next_xid: 0x1000,
+            decode_fails: 0,
         });
+    }
+
+    /// Whether the process is running (not crashed by a fault).
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// A crash fault: the process dies. Every connection is torn down
+    /// (the application sees disconnects first — its last gasp — then
+    /// all state is lost; the restart builds a pristine app).
+    pub(crate) fn crash(&mut self) {
+        if !self.alive {
+            return;
+        }
+        self.alive = false;
+        self.crashes += 1;
+        for c in &mut self.conns {
+            if c.phase == Phase::Up {
+                if let Some(dpid) = c.dpid.take() {
+                    self.app.on_switch_disconnect(dpid);
+                }
+            }
+            c.phase = Phase::WaitHello;
+            c.dpid = None;
+            c.decode_fails = 0;
+        }
+        self.app.reset();
+    }
+
+    /// A restart fault: a fresh process comes up. Handshake state and
+    /// the hosted application start from scratch; switches re-handshake
+    /// when their reconnect timers fire.
+    pub(crate) fn restart(&mut self) {
+        if self.alive {
+            return;
+        }
+        self.alive = true;
+        self.restarts += 1;
+        self.busy_until = SimTime::ZERO;
+        for c in &mut self.conns {
+            c.phase = Phase::WaitHello;
+            c.dpid = None;
+            c.next_xid = 0x1000;
+            c.decode_fails = 0;
+        }
+        self.app.reset();
     }
 
     fn conn_index(&self, conn: ConnId) -> Option<usize> {
@@ -126,21 +193,46 @@ impl ControllerHost {
         }
     }
 
-    /// An encoded message arrived from a switch on `conn`.
+    /// An encoded message arrived from a switch on `conn`. Trace records
+    /// (decode failures, connection resets) are pushed onto `traces`.
     pub(crate) fn handle_control(
         &mut self,
         conn: ConnId,
         bytes: &[u8],
         now: SimTime,
+        traces: &mut Vec<TraceKind>,
     ) -> Vec<CtrlSend> {
+        if !self.alive {
+            // A crashed process reads nothing off its sockets.
+            return Vec::new();
+        }
         let Some(i) = self.conn_index(conn) else {
             return Vec::new();
         };
         self.conns[i].last_rx = now;
         let Ok((msg, _xid)) = OfMessage::decode(bytes) else {
-            // Garbled bytes at the controller: platforms log and drop.
+            // Garbled bytes at the controller: platforms log and drop —
+            // but a persistently corrupted stream means the peer (or the
+            // path) is broken, so after enough consecutive failures the
+            // connection is reset rather than left "up" forever.
+            self.decode_failures += 1;
+            self.conns[i].decode_fails += 1;
+            traces.push(TraceKind::DecodeFailure {
+                conn,
+                direction: Direction::SwitchToController,
+            });
+            if self.conns[i].decode_fails >= MAX_DECODE_FAILURES {
+                let failures = self.conns[i].decode_fails;
+                self.conns[i].phase = Phase::WaitHello;
+                self.conns[i].decode_fails = 0;
+                if let Some(dpid) = self.conns[i].dpid.take() {
+                    self.app.on_switch_disconnect(dpid);
+                }
+                traces.push(TraceKind::ConnectionReset { conn, failures });
+            }
             return Vec::new();
         };
+        self.conns[i].decode_fails = 0;
         let mut sends = Vec::new();
         match msg {
             OfMessage::Hello => {
@@ -219,6 +311,9 @@ impl ControllerHost {
 
     /// Periodic liveness sweep: declares silent switches disconnected.
     pub(crate) fn tick(&mut self, now: SimTime) {
+        if !self.alive {
+            return;
+        }
         for i in 0..self.conns.len() {
             if self.conns[i].phase == Phase::Up
                 && now.saturating_sub(self.conns[i].last_rx) >= DEAD_AFTER
@@ -265,7 +360,12 @@ mod tests {
     #[test]
     fn hello_yields_hello_and_features_request() {
         let mut h = host();
-        let sends = h.handle_control(ConnId(0), &OfMessage::Hello.encode(1), SimTime::ZERO);
+        let sends = h.handle_control(
+            ConnId(0),
+            &OfMessage::Hello.encode(1),
+            SimTime::ZERO,
+            &mut Vec::new(),
+        );
         let types: Vec<_> = sends
             .iter()
             .map(|s| OfMessage::decode(&s.bytes).unwrap().0)
@@ -278,11 +378,17 @@ mod tests {
     #[test]
     fn features_reply_completes_handshake() {
         let mut h = host();
-        h.handle_control(ConnId(0), &OfMessage::Hello.encode(1), SimTime::ZERO);
+        h.handle_control(
+            ConnId(0),
+            &OfMessage::Hello.encode(1),
+            SimTime::ZERO,
+            &mut Vec::new(),
+        );
         h.handle_control(
             ConnId(0),
             &OfMessage::FeaturesReply(features(7)).encode(2),
             SimTime::from_millis(1),
+            &mut Vec::new(),
         );
         assert!(h.is_up(ConnId(0)));
     }
@@ -294,6 +400,7 @@ mod tests {
             ConnId(0),
             &OfMessage::EchoRequest(vec![9]).encode(3),
             SimTime::ZERO,
+            &mut Vec::new(),
         );
         assert_eq!(sends.len(), 1);
         assert_eq!(
@@ -305,11 +412,17 @@ mod tests {
     #[test]
     fn serial_processing_queues_departures() {
         let mut h = host();
-        h.handle_control(ConnId(0), &OfMessage::Hello.encode(1), SimTime::ZERO);
+        h.handle_control(
+            ConnId(0),
+            &OfMessage::Hello.encode(1),
+            SimTime::ZERO,
+            &mut Vec::new(),
+        );
         h.handle_control(
             ConnId(0),
             &OfMessage::FeaturesReply(features(7)).encode(2),
             SimTime::ZERO,
+            &mut Vec::new(),
         );
         // Two echo requests arriving at the same instant depart one
         // processing quantum apart.
@@ -317,11 +430,13 @@ mod tests {
             ConnId(0),
             &OfMessage::EchoRequest(vec![1]).encode(3),
             SimTime::from_secs(1),
+            &mut Vec::new(),
         );
         let s2 = h.handle_control(
             ConnId(0),
             &OfMessage::EchoRequest(vec![2]).encode(4),
             SimTime::from_secs(1),
+            &mut Vec::new(),
         );
         assert!(s2[0].depart > s1[0].depart);
         let quantum = s2[0].depart - s1[0].depart;
@@ -331,11 +446,17 @@ mod tests {
     #[test]
     fn silence_disconnects_the_switch() {
         let mut h = host();
-        h.handle_control(ConnId(0), &OfMessage::Hello.encode(1), SimTime::ZERO);
+        h.handle_control(
+            ConnId(0),
+            &OfMessage::Hello.encode(1),
+            SimTime::ZERO,
+            &mut Vec::new(),
+        );
         h.handle_control(
             ConnId(0),
             &OfMessage::FeaturesReply(features(7)).encode(2),
             SimTime::ZERO,
+            &mut Vec::new(),
         );
         assert!(h.is_up(ConnId(0)));
         h.tick(SimTime::from_secs(20));
@@ -352,14 +473,14 @@ mod tests {
             reason: attain_openflow::PacketInReason::NoMatch,
             data: vec![],
         });
-        let sends = h.handle_control(ConnId(0), &pi.encode(9), SimTime::ZERO);
+        let sends = h.handle_control(ConnId(0), &pi.encode(9), SimTime::ZERO, &mut Vec::new());
         assert!(sends.is_empty());
     }
 
     #[test]
     fn garbage_bytes_are_dropped_silently() {
         let mut h = host();
-        let sends = h.handle_control(ConnId(0), &[0xde, 0xad], SimTime::ZERO);
+        let sends = h.handle_control(ConnId(0), &[0xde, 0xad], SimTime::ZERO, &mut Vec::new());
         assert!(sends.is_empty());
     }
 }

@@ -25,7 +25,10 @@
 //!   handshake and modelling controller processing as a serial bottleneck;
 //! * [`interpose`] — the hook through which the ATTAIN runtime injector
 //!   proxies every control-plane message (drop/delay/modify/inject),
-//!   exactly where the paper's proxy sits.
+//!   exactly where the paper's proxy sits;
+//! * [`fault`] — deterministic environment faults (link down/flap/degrade,
+//!   seeded loss and corruption, controller crash/restart, switch
+//!   restart), the testbed conditions an attack campaign runs against.
 //!
 //! # Example: two hosts, one switch, one controller
 //!
@@ -62,6 +65,7 @@ mod builder;
 mod command;
 mod controller_host;
 pub mod engine;
+pub mod fault;
 mod host;
 pub mod interpose;
 mod link;
@@ -74,6 +78,10 @@ pub use builder::{ControllerRef, LinkParams, NetworkBuilder};
 pub use command::{HostCommand, ParseCommandError};
 pub use controller_host::ControllerHost;
 pub use engine::{ConnId, NodeId, TimerToken};
+pub use fault::{
+    ControllerFaultStats, DetRng, FaultKind, FaultPlan, FaultReport, FaultSpec, FaultTarget,
+    LinkStats, ParseFaultError, SwitchFaultStats,
+};
 pub use host::{Host, IperfStats, PingStats};
 pub use interpose::{
     Delivery, Direction, Interposer, InterposerActions, PassThrough, ProxiedMessage,

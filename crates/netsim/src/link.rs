@@ -1,6 +1,7 @@
 //! Full-duplex point-to-point links with bandwidth and delay.
 
 use crate::engine::NodeId;
+use crate::fault::DetRng;
 use crate::time::SimTime;
 use attain_openflow::PortNo;
 
@@ -21,6 +22,11 @@ pub struct LinkEnd {
 /// propagation `delay`. Frames whose queueing delay would exceed
 /// `max_queue_delay` are dropped (drop-tail), bounding buffer memory the
 /// way a real NIC ring does.
+///
+/// The fault layer can sever a link ([`Link::set_down`]), override its
+/// characteristics ([`Link::degrade`]), and impose seeded per-frame loss
+/// and corruption ([`Link::set_loss`], [`Link::set_corrupt`]); nominal
+/// characteristics are remembered so [`Link::restore`] undoes a degrade.
 #[derive(Debug, Clone)]
 pub struct Link {
     /// First endpoint.
@@ -39,6 +45,26 @@ pub struct Link {
     pub drops_ab: u64,
     /// Frames dropped at the `b → a` transmitter.
     pub drops_ba: u64,
+    /// Nominal bandwidth, restored after a degrade fault clears.
+    base_bandwidth_bps: u64,
+    /// Nominal delay, restored after a degrade fault clears.
+    base_delay: SimTime,
+    up: bool,
+    loss_pct: u8,
+    corrupt_pct: u8,
+    rng: DetRng,
+    /// Frames accepted at the `a → b` transmitter.
+    pub tx_ab: u64,
+    /// Frames accepted at the `b → a` transmitter.
+    pub tx_ba: u64,
+    /// Frames dropped because the link was down (either direction).
+    pub down_drops: u64,
+    /// Frames dropped by the seeded loss process.
+    pub lost: u64,
+    /// Frames bit-flipped by the seeded corruption process.
+    pub corrupted: u64,
+    /// Up→down transitions.
+    pub down_events: u64,
 }
 
 /// The outcome of offering a frame to a link transmitter.
@@ -65,7 +91,104 @@ impl Link {
             busy_until_ba: SimTime::ZERO,
             drops_ab: 0,
             drops_ba: 0,
+            base_bandwidth_bps: bandwidth_bps,
+            base_delay: delay,
+            up: true,
+            loss_pct: 0,
+            corrupt_pct: 0,
+            rng: DetRng::new(0),
+            tx_ab: 0,
+            tx_ba: 0,
+            down_drops: 0,
+            lost: 0,
+            corrupted: 0,
+            down_events: 0,
         }
+    }
+
+    // ---- fault state --------------------------------------------------
+
+    /// Whether the link is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Severs the link. Frames queued in the transmitters are discarded
+    /// (the serializers idle), and offers while down are counted in
+    /// [`Link::down_drops`]. Returns `true` on an up→down transition.
+    pub fn set_down(&mut self) -> bool {
+        if !self.up {
+            return false;
+        }
+        self.up = false;
+        self.down_events += 1;
+        self.busy_until_ab = SimTime::ZERO;
+        self.busy_until_ba = SimTime::ZERO;
+        true
+    }
+
+    /// Restores a severed link. Returns `true` on a down→up transition.
+    pub fn set_up(&mut self) -> bool {
+        if self.up {
+            return false;
+        }
+        self.up = true;
+        true
+    }
+
+    /// Overrides bandwidth and/or delay (a degrade fault). `None` keeps
+    /// the current value.
+    pub fn degrade(&mut self, bandwidth_bps: Option<u64>, delay: Option<SimTime>) {
+        if let Some(bw) = bandwidth_bps {
+            self.bandwidth_bps = bw.max(1);
+        }
+        if let Some(d) = delay {
+            self.delay = d;
+        }
+    }
+
+    /// Restores nominal bandwidth/delay and clears loss/corruption.
+    pub fn restore(&mut self) {
+        self.bandwidth_bps = self.base_bandwidth_bps;
+        self.delay = self.base_delay;
+        self.loss_pct = 0;
+        self.corrupt_pct = 0;
+    }
+
+    /// Sets the per-frame loss probability in percent.
+    pub fn set_loss(&mut self, pct: u8) {
+        self.loss_pct = pct.min(100);
+    }
+
+    /// Sets the per-frame corruption probability in percent.
+    pub fn set_corrupt(&mut self, pct: u8) {
+        self.corrupt_pct = pct.min(100);
+    }
+
+    /// Re-derives this link's random stream from the scenario seed and
+    /// the link's index (so per-link streams are decorrelated).
+    pub fn reseed(&mut self, scenario_seed: u64, link_index: usize) {
+        self.rng = DetRng::new(scenario_seed ^ ((link_index as u64 + 1).wrapping_mul(0x9e37)));
+    }
+
+    /// Applies the stochastic fault processes to a frame about to be
+    /// transmitted: returns `false` if the loss process eats it (counted
+    /// in [`Link::lost`]), and otherwise flips a random bit per
+    /// corruption hit (counted in [`Link::corrupted`]).
+    ///
+    /// The random stream advances only for configured processes, so
+    /// fault-free links stay byte-identical to pre-fault builds.
+    pub fn stochastic(&mut self, frame: &mut [u8]) -> bool {
+        if self.loss_pct > 0 && self.rng.chance(self.loss_pct) {
+            self.lost += 1;
+            return false;
+        }
+        if self.corrupt_pct > 0 && self.rng.chance(self.corrupt_pct) && !frame.is_empty() {
+            let bit = self.rng.below(frame.len() as u64 * 8);
+            frame[(bit / 8) as usize] ^= 1 << (bit % 8);
+            self.corrupted += 1;
+        }
+        true
     }
 
     /// The far end relative to `node`, if `node` is attached.
@@ -92,13 +215,17 @@ impl Link {
     ///
     /// Panics if `from` is not an endpoint of this link.
     pub fn transmit(&mut self, from: NodeId, bytes: usize, now: SimTime) -> TxOutcome {
-        let (busy, drops) = if self.a.node == from {
-            (&mut self.busy_until_ab, &mut self.drops_ab)
+        let (busy, drops, tx_count) = if self.a.node == from {
+            (&mut self.busy_until_ab, &mut self.drops_ab, &mut self.tx_ab)
         } else if self.b.node == from {
-            (&mut self.busy_until_ba, &mut self.drops_ba)
+            (&mut self.busy_until_ba, &mut self.drops_ba, &mut self.tx_ba)
         } else {
             panic!("node {from} is not attached to this link");
         };
+        if !self.up {
+            self.down_drops += 1;
+            return TxOutcome::Dropped;
+        }
         let start = (*busy).max(now);
         if start.saturating_sub(now) > self.max_queue_delay {
             *drops += 1;
@@ -106,6 +233,7 @@ impl Link {
         }
         let tx = SimTime((bytes as u64 * 8).saturating_mul(1_000_000_000) / self.bandwidth_bps);
         *busy = start + tx;
+        *tx_count += 1;
         TxOutcome::Arrives(start + tx + self.delay)
     }
 }
@@ -184,6 +312,92 @@ mod tests {
         assert_eq!(l.opposite(NodeId(0)).unwrap().node, NodeId(1));
         assert_eq!(l.opposite(NodeId(1)).unwrap().port, PortNo(1));
         assert_eq!(l.opposite(NodeId(9)), None);
+    }
+
+    #[test]
+    fn down_link_drops_everything_until_up() {
+        let mut l = link();
+        assert!(l.set_down());
+        assert!(!l.set_down()); // idempotent
+        assert_eq!(
+            l.transmit(NodeId(0), 100, SimTime::ZERO),
+            TxOutcome::Dropped
+        );
+        assert_eq!(
+            l.transmit(NodeId(1), 100, SimTime::ZERO),
+            TxOutcome::Dropped
+        );
+        assert_eq!(l.down_drops, 2);
+        assert_eq!(l.down_events, 1);
+        assert!(l.set_up());
+        assert!(matches!(
+            l.transmit(NodeId(0), 100, SimTime::from_secs(1)),
+            TxOutcome::Arrives(_)
+        ));
+        assert_eq!(l.tx_ab, 1);
+    }
+
+    #[test]
+    fn degrade_and_restore_change_characteristics() {
+        let mut l = link();
+        l.degrade(Some(1_000_000), Some(SimTime::from_millis(10)));
+        // 1250 bytes at 1 Mb/s = 10 ms serialization + 10 ms delay.
+        match l.transmit(NodeId(0), 1250, SimTime::ZERO) {
+            TxOutcome::Arrives(t) => assert_eq!(t, SimTime::from_millis(20)),
+            TxOutcome::Dropped => panic!("dropped"),
+        }
+        l.restore();
+        assert_eq!(l.bandwidth_bps, 100_000_000);
+        assert_eq!(l.delay, SimTime::from_micros(250));
+    }
+
+    #[test]
+    fn seeded_loss_is_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let mut l = link();
+            l.reseed(seed, 0);
+            l.set_loss(50);
+            let mut frame = vec![0u8; 64];
+            (0..100).map(|_| l.stochastic(&mut frame)).collect()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+        let mut l = link();
+        l.reseed(5, 0);
+        l.set_loss(50);
+        let mut frame = vec![0u8; 64];
+        for _ in 0..100 {
+            l.stochastic(&mut frame);
+        }
+        assert!((20..80).contains(&(l.lost as i64)), "lost={}", l.lost);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut l = link();
+        l.reseed(9, 0);
+        l.set_corrupt(100);
+        let orig = vec![0u8; 64];
+        let mut frame = orig.clone();
+        assert!(l.stochastic(&mut frame));
+        let flipped: u32 = frame
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+        assert_eq!(l.corrupted, 1);
+    }
+
+    #[test]
+    fn fault_free_links_do_not_touch_the_rng() {
+        let mut l = link();
+        l.reseed(3, 0);
+        let before = l.rng;
+        let mut frame = vec![1u8; 32];
+        assert!(l.stochastic(&mut frame));
+        assert_eq!(l.rng, before);
+        assert_eq!(frame, vec![1u8; 32]);
     }
 
     #[test]

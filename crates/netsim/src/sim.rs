@@ -4,6 +4,10 @@
 use crate::command::HostCommand;
 use crate::controller_host::ControllerHost;
 use crate::engine::{ConnId, Effect, EventKind, EventQueue, NodeId, TimerToken};
+use crate::fault::{
+    ControllerFaultStats, FaultKind, FaultPlan, FaultReport, FaultSpec, FaultTarget, LinkStats,
+    SwitchFaultStats,
+};
 use crate::host::Host;
 use crate::interpose::{Direction, Interposer, InterposerActions, ProxiedMessage};
 use crate::link::{Link, TxOutcome};
@@ -147,6 +151,32 @@ impl Simulation {
         self.queue.schedule(at, EventKind::Command(cmd));
     }
 
+    /// Schedules an environment fault at absolute time `at`.
+    pub fn schedule_fault(&mut self, at: SimTime, spec: FaultSpec) {
+        self.queue
+            .schedule(at, EventKind::Command(HostCommand::Fault(spec)));
+    }
+
+    /// Sets the scenario seed for the per-link loss/corruption streams.
+    ///
+    /// Each link's stream is derived from `seed` and the link's index,
+    /// so runs with the same topology, schedule, and seed are
+    /// byte-identical, and per-link streams are mutually decorrelated.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        for (i, link) in self.links.iter_mut().enumerate() {
+            link.reseed(seed, i);
+        }
+    }
+
+    /// Applies a [`FaultPlan`]: installs its seed and schedules every
+    /// event.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        self.set_fault_seed(plan.seed);
+        for (at, spec) in &plan.events {
+            self.schedule_fault(*at, spec.clone());
+        }
+    }
+
     /// Runs the simulation until virtual time `t` (inclusive of events at
     /// `t`).
     pub fn run_until(&mut self, t: SimTime) {
@@ -195,6 +225,73 @@ impl Simulation {
         match &self.nodes[self.names[name].0] {
             Node::Switch(s) => s,
             Node::Host(_) => panic!("{name} is a host, not a switch"),
+        }
+    }
+
+    /// The named controller host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no controller has that name.
+    pub fn controller(&self, name: &str) -> &ControllerHost {
+        self.controllers
+            .iter()
+            .find(|c| c.name() == name)
+            .unwrap_or_else(|| panic!("no controller named {name}"))
+    }
+
+    fn node_name(&self, id: NodeId) -> &str {
+        match &self.nodes[id.0] {
+            Node::Host(h) => h.name(),
+            Node::Switch(s) => s.name(),
+        }
+    }
+
+    /// Per-link transmission and fault counters, in link-creation order.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        self.links
+            .iter()
+            .map(|l| LinkStats {
+                a: self.node_name(l.a.node).to_string(),
+                b: self.node_name(l.b.node).to_string(),
+                tx: l.tx_ab + l.tx_ba,
+                queue_drops: l.drops_ab + l.drops_ba,
+                down_drops: l.down_drops,
+                lost: l.lost,
+                corrupted: l.corrupted,
+                down_events: l.down_events,
+                up: l.is_up(),
+            })
+            .collect()
+    }
+
+    /// Aggregate fault/drop/corruption accounting for this run.
+    pub fn fault_report(&self) -> FaultReport {
+        FaultReport {
+            links: self.link_stats(),
+            controllers: self
+                .controllers
+                .iter()
+                .map(|c| ControllerFaultStats {
+                    name: c.name().to_string(),
+                    crashes: c.crashes,
+                    restarts: c.restarts,
+                    alive: c.is_alive(),
+                })
+                .collect(),
+            switches: self
+                .nodes
+                .iter()
+                .filter_map(|n| match n {
+                    Node::Switch(s) => Some(SwitchFaultStats {
+                        name: s.name().to_string(),
+                        restarts: s.restarts,
+                        secure_drops: s.secure_drops,
+                        standalone_forwards: s.standalone_forwards,
+                    }),
+                    Node::Host(_) => None,
+                })
+                .collect(),
         }
     }
 
@@ -254,6 +351,15 @@ impl Simulation {
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Frame { node, port, frame } => {
+                // A frame still in flight when its link was severed never
+                // arrives: the LinkDown fault discards it at delivery.
+                if let Some(&link_idx) = self.port_map.get(&(node, port)) {
+                    let link = &mut self.links[link_idx];
+                    if !link.is_up() {
+                        link.down_drops += 1;
+                        return;
+                    }
+                }
                 let mut fx = Vec::new();
                 match &mut self.nodes[node.0] {
                     Node::Host(h) => h.handle_frame(&frame, self.now, &mut fx),
@@ -273,7 +379,12 @@ impl Simulation {
             } => match direction {
                 Direction::SwitchToController => {
                     let ctrl = self.connections[conn.0].controller;
-                    let sends = self.controllers[ctrl].handle_control(conn, &bytes, self.now);
+                    let mut traces = Vec::new();
+                    let sends =
+                        self.controllers[ctrl].handle_control(conn, &bytes, self.now, &mut traces);
+                    for kind in traces {
+                        self.trace.push(self.now, kind);
+                    }
                     for s in sends {
                         self.queue.schedule(
                             s.depart,
@@ -428,6 +539,146 @@ impl Simulation {
             HostCommand::Marker { label } => {
                 self.trace.push(self.now, TraceKind::Marker(label));
             }
+            HostCommand::Fault(spec) => self.apply_fault(spec),
+        }
+    }
+
+    /// Looks up the link between two named nodes (order-insensitive).
+    fn link_index(&self, a: &str, b: &str) -> Option<usize> {
+        let na = *self.names.get(a)?;
+        let nb = *self.names.get(b)?;
+        self.links
+            .iter()
+            .position(|l| (l.a.node == na && l.b.node == nb) || (l.a.node == nb && l.b.node == na))
+    }
+
+    /// Applies one environment fault, tracing the transition. Unknown
+    /// targets are traced (not panicked on): a fault schedule is data,
+    /// often authored separately from the topology.
+    fn apply_fault(&mut self, spec: FaultSpec) {
+        let target = spec.target.to_string();
+        let what = spec.kind.to_string();
+        match (&spec.target, &spec.kind) {
+            (FaultTarget::Link { a, b }, kind) => {
+                let Some(idx) = self.link_index(a, b) else {
+                    self.trace.push(
+                        self.now,
+                        TraceKind::Fault {
+                            target,
+                            what: "unknown link (ignored)".into(),
+                        },
+                    );
+                    return;
+                };
+                let link = &mut self.links[idx];
+                let changed = match kind {
+                    FaultKind::LinkDown => link.set_down(),
+                    FaultKind::LinkUp => link.set_up(),
+                    FaultKind::LinkFlap { count, down, up } => {
+                        if *count > 0 {
+                            link.set_down();
+                            let target = FaultTarget::Link {
+                                a: a.clone(),
+                                b: b.clone(),
+                            };
+                            self.schedule_fault(
+                                self.now + *down,
+                                FaultSpec {
+                                    target: target.clone(),
+                                    kind: FaultKind::LinkUp,
+                                },
+                            );
+                            if *count > 1 {
+                                self.schedule_fault(
+                                    self.now + *down + *up,
+                                    FaultSpec {
+                                        target,
+                                        kind: FaultKind::LinkFlap {
+                                            count: count - 1,
+                                            down: *down,
+                                            up: *up,
+                                        },
+                                    },
+                                );
+                            }
+                        }
+                        *count > 0
+                    }
+                    FaultKind::LinkDegrade {
+                        bandwidth_bps,
+                        delay,
+                    } => {
+                        link.degrade(*bandwidth_bps, *delay);
+                        true
+                    }
+                    FaultKind::LinkRestore => {
+                        link.restore();
+                        link.set_up();
+                        true
+                    }
+                    FaultKind::PacketLoss { pct } => {
+                        link.set_loss(*pct);
+                        true
+                    }
+                    FaultKind::PacketCorrupt { pct } => {
+                        link.set_corrupt(*pct);
+                        true
+                    }
+                    _ => false,
+                };
+                if changed {
+                    self.trace.push(self.now, TraceKind::Fault { target, what });
+                }
+            }
+            (FaultTarget::Controller(name), kind) => {
+                let Some(ctrl) = self.controllers.iter_mut().find(|c| c.name() == name) else {
+                    self.trace.push(
+                        self.now,
+                        TraceKind::Fault {
+                            target,
+                            what: "unknown controller (ignored)".into(),
+                        },
+                    );
+                    return;
+                };
+                let changed = match kind {
+                    FaultKind::ControllerCrash => {
+                        let was_alive = ctrl.is_alive();
+                        ctrl.crash();
+                        was_alive
+                    }
+                    FaultKind::ControllerRestart => {
+                        let was_dead = !ctrl.is_alive();
+                        ctrl.restart();
+                        was_dead
+                    }
+                    _ => false,
+                };
+                if changed {
+                    self.trace.push(self.now, TraceKind::Fault { target, what });
+                }
+            }
+            (FaultTarget::Switch(name), FaultKind::SwitchRestart) => {
+                let Some(&node) = self.names.get(name.as_str()) else {
+                    self.trace.push(
+                        self.now,
+                        TraceKind::Fault {
+                            target,
+                            what: "unknown switch (ignored)".into(),
+                        },
+                    );
+                    return;
+                };
+                let mut fx = Vec::new();
+                if let Node::Switch(s) = &mut self.nodes[node.0] {
+                    s.restart(self.now, &mut fx);
+                    self.trace.push(self.now, TraceKind::Fault { target, what });
+                }
+                self.apply_effects(node, fx);
+            }
+            (FaultTarget::Switch(_), _) => {
+                // Unreachable through the parser; ignore quietly.
+            }
         }
     }
 
@@ -441,6 +692,10 @@ impl Simulation {
                     let link = &mut self.links[link_idx];
                     match link.transmit(node, frame.len(), self.now) {
                         TxOutcome::Arrives(at) => {
+                            let mut frame = frame;
+                            if !link.stochastic(&mut frame) {
+                                continue; // lost; counted on the link
+                            }
                             let far = link.opposite(node).expect("node attached");
                             self.queue.schedule(
                                 at,

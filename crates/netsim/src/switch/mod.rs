@@ -6,6 +6,7 @@ mod flow_table;
 pub use flow_table::{ApplyOutcome, FlowEntry, FlowModError, FlowTable};
 
 use crate::engine::{ConnId, Effect, NodeId, TimerToken};
+use crate::interpose::Direction;
 use crate::time::SimTime;
 use crate::trace::TraceKind;
 use attain_openflow::packet::{self, Ethernet, IpPayload, Payload};
@@ -92,6 +93,8 @@ pub struct Switch {
     pub secure_drops: u64,
     /// Packets forwarded by standalone learning while disconnected.
     pub standalone_forwards: u64,
+    /// Times this switch was power-cycled by a fault.
+    pub restarts: u64,
 }
 
 impl Switch {
@@ -111,6 +114,7 @@ impl Switch {
             conns: Vec::new(),
             secure_drops: 0,
             standalone_forwards: 0,
+            restarts: 0,
         }
     }
 
@@ -217,6 +221,35 @@ impl Switch {
             fx.push(Effect::Timer {
                 at: now + RECONNECT_AFTER,
                 token: TimerToken::Connect { conn },
+            });
+        }
+    }
+
+    /// Power-cycles the switch: the flow table is wiped (no
+    /// `FLOW_REMOVED` is sent — the entries died with the process, there
+    /// is nothing left to report them), table counters are zeroed,
+    /// buffered packets and learned MACs are discarded, the config
+    /// reverts to defaults, and every control connection re-handshakes
+    /// from scratch. Until a handshake completes the configured fail
+    /// mode governs forwarding, exactly as after a liveness-declared
+    /// disconnect.
+    pub(crate) fn restart(&mut self, now: SimTime, fx: &mut Vec<Effect>) {
+        self.restarts += 1;
+        self.table.clear();
+        self.table.lookup_count = 0;
+        self.table.matched_count = 0;
+        self.buffers.clear();
+        self.next_buffer_id = 1;
+        self.mac_table.clear();
+        self.config = SwitchConfig::default();
+        for c in &mut self.conns {
+            c.phase = ConnPhase::Idle;
+            c.attempt = 0;
+            c.next_xid = 1;
+            c.last_rx = now;
+            fx.push(Effect::Timer {
+                at: now,
+                token: TimerToken::Connect { conn: c.conn },
             });
         }
     }
@@ -388,6 +421,10 @@ impl Switch {
             Err(e) => {
                 // Fuzzed/garbled message: answer with an ERROR, as a real
                 // switch would, and carry on.
+                fx.push(Effect::Trace(TraceKind::DecodeFailure {
+                    conn,
+                    direction: Direction::ControllerToSwitch,
+                }));
                 self.send(
                     conn,
                     OfMessage::Error(ErrorMsg {
@@ -1128,5 +1165,156 @@ mod tests {
             _ => false,
         });
         assert!(has_full);
+    }
+
+    /// Installs a flow whose removal would be notified, then restarts.
+    fn connected_switch_with_notifying_flow() -> Switch {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        let fm = OfMessage::FlowMod(FlowMod {
+            flags: attain_openflow::FlowModFlags(attain_openflow::FlowModFlags::SEND_FLOW_REM),
+            idle_timeout: 5,
+            ..FlowMod::add(
+                Match::exact_in_port(PortNo(1)),
+                vec![Action::Output {
+                    port: PortNo(2),
+                    max_len: 0,
+                }],
+            )
+        });
+        s.handle_control(ConnId(0), &fm.encode(3), SimTime::ZERO, &mut fx);
+        assert_eq!(s.table.len(), 1);
+        s
+    }
+
+    #[test]
+    fn restart_wipes_table_without_flow_removed() {
+        let mut s = connected_switch_with_notifying_flow();
+        s.table.lookup_count = 9;
+        s.table.matched_count = 4;
+        let mut fx = Vec::new();
+        s.handle_frame(PortNo(3), frame(9, 1), SimTime::ZERO, &mut fx);
+        assert!(!s.buffers.is_empty());
+        fx.clear();
+        s.restart(SimTime::from_secs(10), &mut fx);
+        assert_eq!(s.table.len(), 0, "flow table must be wiped");
+        assert_eq!(s.table.lookup_count, 0, "table counters must be zeroed");
+        assert_eq!(s.table.matched_count, 0);
+        assert!(
+            s.buffers.is_empty(),
+            "buffered packets died with the process"
+        );
+        assert!(s.mac_table.is_empty());
+        assert_eq!(s.restarts, 1);
+        // No FLOW_REMOVED may escape, even though the entry asked for
+        // notification: the process that owed it is gone.
+        assert!(
+            !fx.iter().any(|e| matches!(
+                e,
+                Effect::Control { bytes, .. }
+                    if matches!(OfMessage::decode(bytes), Ok((OfMessage::FlowRemoved(_), _)))
+            )),
+            "restart must not notify for wiped entries"
+        );
+    }
+
+    #[test]
+    fn restart_schedules_reconnect_and_replays_handshake() {
+        let mut s = connected_switch_with_notifying_flow();
+        let mut fx = Vec::new();
+        s.restart(SimTime::from_secs(10), &mut fx);
+        assert!(!s.is_connected());
+        // A Connect timer per connection, due immediately.
+        let connects: Vec<_> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Timer {
+                    at,
+                    token: TimerToken::Connect { conn },
+                } => Some((*at, *conn)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(connects, vec![(SimTime::from_secs(10), ConnId(0))]);
+        // Drive the replayed handshake: HELLO goes out afresh with a
+        // reset xid counter, and FEATURES_REQUEST completes it.
+        fx.clear();
+        s.start_connect(ConnId(0), SimTime::from_secs(10), &mut fx);
+        let hello = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Control { bytes, .. } => Some(OfMessage::decode(bytes).unwrap()),
+                _ => None,
+            })
+            .expect("restarted switch re-sends HELLO");
+        assert_eq!(hello.0, OfMessage::Hello);
+        assert_eq!(hello.1, 1, "xid counter must reset with the process");
+        let mut fx = Vec::new();
+        s.handle_control(
+            ConnId(0),
+            &OfMessage::Hello.encode(1),
+            SimTime::from_secs(10),
+            &mut fx,
+        );
+        s.handle_control(
+            ConnId(0),
+            &OfMessage::FeaturesRequest.encode(2),
+            SimTime::from_secs(10),
+            &mut fx,
+        );
+        assert!(s.is_connected(), "handshake must complete after restart");
+    }
+
+    #[test]
+    fn restart_honours_fail_secure_until_reconnected() {
+        let mut s = connected_switch_with_notifying_flow();
+        let mut fx = Vec::new();
+        s.restart(SimTime::from_secs(10), &mut fx);
+        fx.clear();
+        // The wiped rule would have matched this; while down, fail-secure
+        // drops it instead.
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::from_secs(10), &mut fx);
+        assert!(!fx.iter().any(|e| matches!(e, Effect::Frame { .. })));
+        assert_eq!(s.secure_drops, 1);
+    }
+
+    #[test]
+    fn restart_honours_fail_safe_standalone_while_down() {
+        let mut s = Switch::new(NodeId(0), "s1".into(), DatapathId(1), FailMode::Safe);
+        s.add_port(PortNo(1));
+        s.add_port(PortNo(2));
+        s.add_conn(ConnId(0));
+        connect(&mut s);
+        let mut fx = Vec::new();
+        s.restart(SimTime::from_secs(10), &mut fx);
+        fx.clear();
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::from_secs(10), &mut fx);
+        assert!(
+            fx.iter().any(|e| matches!(e, Effect::Frame { .. })),
+            "fail-safe must forward standalone while down"
+        );
+        assert_eq!(s.standalone_forwards, 1);
+    }
+
+    #[test]
+    fn garbage_control_bytes_are_traced() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        s.handle_control(ConnId(0), &[0xde, 0xad, 0xbe, 0xef], SimTime::ZERO, &mut fx);
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Trace(TraceKind::DecodeFailure {
+                conn: ConnId(0),
+                direction: Direction::ControllerToSwitch,
+            })
+        )));
+        // And the usual ERROR reply still goes out.
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::Control { bytes, .. }
+                if matches!(OfMessage::decode(bytes), Ok((OfMessage::Error(_), _)))
+        )));
     }
 }

@@ -57,6 +57,30 @@ pub enum TraceKind {
         /// Why.
         reason: &'static str,
     },
+    /// An environment-fault transition was applied (link down/up/degrade,
+    /// loss/corruption rate change, controller crash/restart, switch
+    /// restart).
+    Fault {
+        /// The fault's target, rendered (`link s1-s2`, `controller c1`).
+        target: String,
+        /// What happened to it (`down`, `up`, `crash`, `restart`, …).
+        what: String,
+    },
+    /// A peer delivered bytes that did not decode as OpenFlow.
+    DecodeFailure {
+        /// The connection they arrived on.
+        conn: ConnId,
+        /// The direction they were travelling.
+        direction: Direction,
+    },
+    /// A connection was dropped after too many consecutive undecodable
+    /// messages (a corrupted-stream peer must not stay "up" forever).
+    ConnectionReset {
+        /// The connection.
+        conn: ConnId,
+        /// Consecutive decode failures that triggered the reset.
+        failures: u32,
+    },
     /// A free-form marker (e.g. experiment phase boundaries).
     Marker(String),
 }

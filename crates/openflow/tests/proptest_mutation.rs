@@ -1,0 +1,125 @@
+//! Decoder robustness against *mutations of valid frames* — the byte
+//! errors the simulator's corruption fault injects (single flipped
+//! bits), plus truncations and extensions. Complements the
+//! arbitrary-bytes property in `proptest_roundtrip.rs`: mutated valid
+//! frames exercise much deeper decoder paths than random noise, because
+//! the header is usually still plausible.
+
+use attain_openflow::{
+    Action, ErrorMsg, ErrorType, FlowMod, Match, OfMessage, PacketIn, PacketInReason, PacketOut,
+    PortNo, StatsBody,
+};
+use proptest::prelude::*;
+
+/// A representative valid frame of every interesting shape the switch
+/// and controllers exchange.
+fn valid_frames() -> Vec<Vec<u8>> {
+    let flow_mod = FlowMod {
+        priority: 100,
+        idle_timeout: 5,
+        actions: vec![
+            Action::Output {
+                port: PortNo(2),
+                max_len: 0,
+            },
+            Action::SetNwSrc(0x0a000001),
+        ],
+        ..FlowMod::add(Match::exact_in_port(PortNo(1)), vec![])
+    };
+    let packet_in = PacketIn {
+        buffer_id: Some(7),
+        total_len: 64,
+        in_port: PortNo(1),
+        reason: PacketInReason::NoMatch,
+        data: vec![0xAA; 60],
+    };
+    let packet_out = PacketOut {
+        buffer_id: None,
+        in_port: PortNo(1),
+        actions: vec![Action::Output {
+            port: PortNo::FLOOD,
+            max_len: 0,
+        }],
+        data: vec![0x55; 60],
+    };
+    let error = ErrorMsg {
+        error_type: ErrorType::BadRequest,
+        code: 1,
+        data: vec![1, 2, 3, 4],
+    };
+    let stats = StatsBody::Flow {
+        r#match: Match::all(),
+        table_id: 0xff,
+        out_port: PortNo::NONE,
+    };
+    vec![
+        OfMessage::Hello.encode(1),
+        OfMessage::EchoRequest(vec![9, 9, 9]).encode(2),
+        OfMessage::FeaturesRequest.encode(3),
+        OfMessage::FlowMod(flow_mod).encode(4),
+        OfMessage::PacketIn(packet_in).encode(5),
+        OfMessage::PacketOut(packet_out).encode(6),
+        OfMessage::Error(error).encode(7),
+        OfMessage::StatsRequest(stats).encode(8),
+        OfMessage::BarrierRequest.encode(9),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// A single flipped bit — exactly what the corruption fault does —
+    /// must never panic the decoder, and a successful decode must
+    /// re-encode without panicking.
+    #[test]
+    fn bit_flipped_frames_never_panic(frame_idx in 0usize..9, bit in 0usize..512) {
+        let frame = valid_frames().swap_remove(frame_idx);
+        let bit = bit % (frame.len() * 8);
+        let mut mutated = frame;
+        mutated[bit / 8] ^= 1 << (bit % 8);
+        if let Ok((msg, xid)) = OfMessage::decode(&mutated) {
+            let _ = msg.try_encode(xid);
+        }
+    }
+
+    /// Multi-byte stomps (burst errors) must never panic either.
+    #[test]
+    fn byte_stomped_frames_never_panic(
+        frame_idx in 0usize..9,
+        offset in 0usize..128,
+        junk in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let frame = valid_frames().swap_remove(frame_idx);
+        let offset = offset % frame.len();
+        let mut mutated = frame;
+        for (i, b) in junk.iter().enumerate() {
+            if let Some(slot) = mutated.get_mut(offset + i) {
+                *slot = *b;
+            }
+        }
+        if let Ok((msg, xid)) = OfMessage::decode(&mutated) {
+            let _ = msg.try_encode(xid);
+        }
+    }
+
+    /// Truncations and extensions break the declared-length framing
+    /// invariant, so they must be rejected — and must not panic.
+    #[test]
+    fn truncated_and_extended_frames_are_rejected(frame_idx in 0usize..9, delta in 1usize..32) {
+        let frame = valid_frames().swap_remove(frame_idx);
+        let cut = frame.len().saturating_sub(delta);
+        prop_assert!(OfMessage::decode(&frame[..cut]).is_err());
+        let mut extended = frame;
+        extended.extend(std::iter::repeat_n(0u8, delta));
+        prop_assert!(OfMessage::decode(&extended).is_err());
+    }
+
+    /// Unchanged frames round-trip bit for bit: decode must be the
+    /// exact inverse of encode on every representative frame.
+    #[test]
+    fn unmutated_frames_roundtrip_exactly(frame_idx in 0usize..9) {
+        let frame = valid_frames().swap_remove(frame_idx);
+        let (msg, xid) = OfMessage::decode(&frame).expect("valid frame decodes");
+        prop_assert_eq!(msg.encode(xid), frame);
+    }
+}

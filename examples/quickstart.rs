@@ -96,5 +96,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         exec.log().events().len(),
         exec.log().rule_fires("strike")
     );
+    println!("link stats:");
+    for l in sim.link_stats() {
+        println!("  {l}");
+    }
     Ok(())
 }

@@ -16,4 +16,8 @@ cargo build --release --workspace
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== environment-fault suite (incl. trace determinism)"
+cargo test -q -p attain-netsim --test faults
+cargo test -q -p attain-netsim --test faults same_seed_same_trace_different_seed_may_differ
+
 echo "all checks passed"

@@ -1,0 +1,81 @@
+//! The campaign's attack inventory: every shipped `attacks/*.atk`.
+//!
+//! Sources are embedded at compile time so the campaign binary and the
+//! conformance tests run from any working directory; a tier-1 test
+//! (`tests/atk_files.rs`) separately pins the on-disk files to the
+//! bundled sources.
+
+use attain_core::scenario;
+
+/// How an attack description binds to a system model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Compiled against the §VII enterprise scenario and run on the
+    /// case-study network (Figure 8/9).
+    Enterprise,
+    /// A self-contained document carrying its own `system` and
+    /// `capabilities` blocks; run on the topology it declares.
+    SelfContained,
+}
+
+/// One campaign attack: a named `.atk` source plus its scope.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackDef {
+    /// The attack's file stem (`attacks/<name>.atk`), used in cell names.
+    pub name: &'static str,
+    /// The DSL source text.
+    pub source: &'static str,
+    /// Enterprise-scenario attack or self-contained document.
+    pub scope: Scope,
+}
+
+/// Every shipped attack, in matrix order: the eight enterprise attacks
+/// in their `scenario::attacks::ALL` order, then the self-contained
+/// demo document.
+pub fn all() -> Vec<AttackDef> {
+    let mut v: Vec<AttackDef> = scenario::attacks::ALL
+        .iter()
+        .map(|&(name, source)| AttackDef {
+            name,
+            source,
+            scope: Scope::Enterprise,
+        })
+        .collect();
+    v.push(AttackDef {
+        name: "self_contained_demo",
+        source: include_str!("../../../attacks/self_contained_demo.atk"),
+        scope: Scope::SelfContained,
+    });
+    v
+}
+
+/// Looks up an attack by name.
+pub fn by_name(name: &str) -> Option<AttackDef> {
+    all().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_covers_every_shipped_atk_file() {
+        let names: Vec<_> = all().iter().map(|a| a.name).collect();
+        assert_eq!(names.len(), 9, "expected the nine shipped attacks");
+        assert_eq!(names[0], "trivial_pass", "baseline attack leads the matrix");
+        assert!(names.contains(&"self_contained_demo"));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(
+            by_name("flow_mod_suppression").unwrap().scope,
+            Scope::Enterprise
+        );
+        assert_eq!(
+            by_name("self_contained_demo").unwrap().scope,
+            Scope::SelfContained
+        );
+        assert!(by_name("no_such_attack").is_none());
+    }
+}

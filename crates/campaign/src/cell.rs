@@ -1,0 +1,283 @@
+//! Running one matrix cell: an isolated simulator scenario driving a
+//! fixed workload, with or without the cell's attack interposed.
+//!
+//! Each cell is strictly single-threaded and seeded, so a cell's
+//! [`CellOutcome`] is a pure function of `(attack, controller,
+//! fail_mode, seed)` — the property the thread-count-invariance test
+//! pins down. Wall-clock time is measured but excluded from the
+//! report's canonical bytes.
+
+use crate::attacks::{AttackDef, Scope};
+use attain_controllers::ControllerKind;
+use attain_core::dsl;
+use attain_core::exec::AttackExecutor;
+use attain_injector::harness::{attach_attack, build_case_study, build_simulation};
+use attain_injector::SimInjector;
+use attain_netsim::{DetRng, Direction, FailMode, HostCommand, SimTime, Simulation, TraceDigest};
+use attain_openflow::OfType;
+
+/// One ping run's observable result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PingRow {
+    /// The workload label (`w1`, `w2`, `trigger`, `probe`).
+    pub label: String,
+    /// Echo requests sent.
+    pub transmitted: u32,
+    /// Echo replies received.
+    pub received: u32,
+    /// Mean round-trip time over the successful trials, if any.
+    pub avg_rtt_ms: Option<f64>,
+}
+
+/// Everything a cell run exposes to the oracles and the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// FNV-1a digest over the rendered control-plane trace + counters.
+    pub digest: TraceDigest,
+    /// `PACKET_IN`s observed at the proxy.
+    pub packet_ins: u64,
+    /// `FLOW_MOD`s the controller emitted (pre-interposition).
+    pub flow_mods: u64,
+    /// All control-plane messages observed at the proxy.
+    pub control_total: u64,
+    /// Data-plane frames dropped (fail-secure lockdown, dead links…).
+    pub frames_dropped: u64,
+    /// Every workload ping run, in schedule order.
+    pub pings: Vec<PingRow>,
+    /// The attack state the executor ended in (`None` for baselines).
+    pub final_state: Option<String>,
+    /// Per-rule fire counts, in rule-name order (empty for baselines).
+    pub rule_fires: Vec<(String, u64)>,
+    /// Host wall-clock spent running the cell, in milliseconds.
+    pub wall_ms: u64,
+}
+
+/// Workload start-time jitter in milliseconds, derived from the seed.
+///
+/// The fault RNG streams are only consulted when a fault plan arms
+/// them, so without this jitter every seed would replay byte-identical
+/// traces and the seed axis would be vacuous.
+fn jitter_ms(seed: u64) -> u64 {
+    DetRng::new(seed).next_u64() % 400
+}
+
+fn schedule_ping(
+    sim: &mut Simulation,
+    at: SimTime,
+    host: &str,
+    dst_ip: &str,
+    count: u32,
+    label: &str,
+) {
+    let host = sim.node_id(host).expect("workload host exists");
+    sim.schedule_command(
+        at,
+        HostCommand::Ping {
+            host,
+            dst: dst_ip.parse().expect("valid workload address"),
+            count,
+            interval: SimTime::from_secs(1),
+            label: label.into(),
+        },
+    );
+}
+
+/// Schedules the enterprise workload (all times jittered by the seed):
+/// `t≈10` the primary h1→h6 window, `t≈20` the Table II trigger
+/// traffic h2→h3 (which also probes unauthorized access), `t≈42` a
+/// second h1→h6 window after any interruption fallout has landed,
+/// `t≈44` a late h2→h3 probe for post-failover access.
+fn enterprise_workload(sim: &mut Simulation, seed: u64) -> SimTime {
+    let j = jitter_ms(seed) as f64 / 1000.0;
+    let at = |base: u64| SimTime::from_secs_f64(base as f64 + j);
+    schedule_ping(sim, at(10), "h1", "10.0.0.6", 8, "w1");
+    schedule_ping(sim, at(20), "h2", "10.0.0.3", 10, "trigger");
+    schedule_ping(sim, at(42), "h1", "10.0.0.6", 6, "w2");
+    schedule_ping(sim, at(44), "h2", "10.0.0.3", 6, "probe");
+    SimTime::from_secs(65)
+}
+
+/// Schedules the self-contained-document workload: two ping windows
+/// between the document's first two hosts (the demo's `web → db`),
+/// the second one measuring post-engagement service.
+fn document_workload(
+    sim: &mut Simulation,
+    system: &attain_core::model::SystemModel,
+    seed: u64,
+) -> SimTime {
+    let hosts: Vec<_> = system.hosts().map(|(_, h)| h.clone()).collect();
+    assert!(
+        hosts.len() >= 2,
+        "self-contained campaign documents need two hosts for the ping workload"
+    );
+    let src = &hosts[0].name;
+    let dst = hosts[1].ip.expect("campaign hosts have IPs").to_string();
+    let j = jitter_ms(seed) as f64 / 1000.0;
+    let at = |base: u64| SimTime::from_secs_f64(base as f64 + j);
+    schedule_ping(sim, at(10), src, &dst, 8, "w1");
+    schedule_ping(sim, at(25), src, &dst, 6, "w2");
+    SimTime::from_secs(40)
+}
+
+struct ExecHandleOutcome {
+    final_state: Option<String>,
+    rule_fires: Vec<(String, u64)>,
+}
+
+fn collect(sim: &Simulation, exec: ExecHandleOutcome, wall_ms: u64) -> CellOutcome {
+    CellOutcome {
+        digest: sim.trace().digest(),
+        packet_ins: sim
+            .trace()
+            .control_message_count(OfType::PacketIn, Direction::SwitchToController),
+        flow_mods: sim
+            .trace()
+            .control_message_count(OfType::FlowMod, Direction::ControllerToSwitch),
+        control_total: sim.trace().control_message_total(),
+        frames_dropped: sim.frames_dropped,
+        pings: sim
+            .ping_stats()
+            .iter()
+            .map(|s| PingRow {
+                label: s.label.clone(),
+                transmitted: s.transmitted(),
+                received: s.received(),
+                avg_rtt_ms: s.avg_rtt_ms(),
+            })
+            .collect(),
+        final_state: exec.final_state,
+        rule_fires: exec.rule_fires,
+        wall_ms,
+    }
+}
+
+fn run(
+    attack: &AttackDef,
+    kind: ControllerKind,
+    fail_mode: FailMode,
+    seed: u64,
+    attach: bool,
+) -> CellOutcome {
+    let started = std::time::Instant::now();
+    let (mut sim, handle, horizon) = match attack.scope {
+        Scope::Enterprise => {
+            let mut sim = build_case_study(kind, fail_mode);
+            let handle = attach.then(|| attach_attack(&mut sim, attack.source));
+            sim.set_fault_seed(seed);
+            let horizon = enterprise_workload(&mut sim, seed);
+            (sim, handle, horizon)
+        }
+        Scope::SelfContained => {
+            let doc = dsl::compile_document(attack.source)
+                .unwrap_or_else(|e| panic!("{}: document does not compile: {e}", attack.name));
+            let mut sim = build_simulation(&doc.system, fail_mode, |_| kind.instantiate());
+            let handle = attach.then(|| {
+                let compiled = &doc.attacks[0];
+                let exec = AttackExecutor::new(
+                    doc.system.clone(),
+                    doc.attack_model.clone(),
+                    compiled.attack.clone(),
+                )
+                .unwrap_or_else(|e| panic!("{}: attack does not validate: {e}", attack.name));
+                let (injector, handle) = SimInjector::new(exec, &doc.system, &sim);
+                sim.set_interposer(Box::new(injector));
+                handle
+            });
+            sim.set_fault_seed(seed);
+            let horizon = document_workload(&mut sim, &doc.system, seed);
+            (sim, handle, horizon)
+        }
+    };
+    sim.run_until(horizon);
+    let exec = match handle {
+        Some(handle) => {
+            let exec = handle.lock();
+            ExecHandleOutcome {
+                final_state: Some(exec.current_state_name().to_string()),
+                rule_fires: exec
+                    .log()
+                    .rule_fire_counts()
+                    .map(|(name, n)| (name.to_string(), n))
+                    .collect(),
+            }
+        }
+        None => ExecHandleOutcome {
+            final_state: None,
+            rule_fires: Vec::new(),
+        },
+    };
+    collect(&sim, exec, started.elapsed().as_millis() as u64)
+}
+
+/// Runs one attacked cell to completion.
+pub fn run_cell(
+    attack: &AttackDef,
+    kind: ControllerKind,
+    fail_mode: FailMode,
+    seed: u64,
+) -> CellOutcome {
+    run(attack, kind, fail_mode, seed, true)
+}
+
+/// Runs the cell's differential baseline: the identical topology,
+/// workload, and seed with **no interposer at all**. A pass-through
+/// interposition is timing-transparent (`pass` re-schedules at the
+/// connection's own latency), so `trivial_pass` cells must classify as
+/// Silent against this baseline — the campaign's proxy-transparency
+/// invariant.
+pub fn run_baseline(
+    attack: &AttackDef,
+    kind: ControllerKind,
+    fail_mode: FailMode,
+    seed: u64,
+) -> CellOutcome {
+    run(attack, kind, fail_mode, seed, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks;
+
+    #[test]
+    fn same_cell_twice_is_byte_identical() {
+        let a = attacks::by_name("trivial_pass").unwrap();
+        let x = run_cell(&a, ControllerKind::Pox, FailMode::Secure, 1);
+        let y = run_cell(&a, ControllerKind::Pox, FailMode::Secure, 1);
+        assert_eq!(x.digest, y.digest);
+        assert_eq!(x.pings, y.pings);
+    }
+
+    #[test]
+    fn seeds_differentiate_traces() {
+        let a = attacks::by_name("trivial_pass").unwrap();
+        let x = run_cell(&a, ControllerKind::Floodlight, FailMode::Secure, 1);
+        let y = run_cell(&a, ControllerKind::Floodlight, FailMode::Secure, 2);
+        assert_ne!(
+            x.digest, y.digest,
+            "seed must jitter the workload into a distinct trace"
+        );
+    }
+
+    #[test]
+    fn pass_through_interposition_is_transparent() {
+        let a = attacks::by_name("trivial_pass").unwrap();
+        let attacked = run_cell(&a, ControllerKind::Ryu, FailMode::Safe, 3);
+        let baseline = run_baseline(&a, ControllerKind::Ryu, FailMode::Safe, 3);
+        assert_eq!(attacked.digest, baseline.digest);
+        assert_eq!(attacked.pings, baseline.pings);
+    }
+
+    #[test]
+    fn self_contained_demo_engages_on_flow_timeouts() {
+        let a = attacks::by_name("self_contained_demo").unwrap();
+        let pox = run_cell(&a, ControllerKind::Pox, FailMode::Secure, 1);
+        assert_eq!(pox.final_state.as_deref(), Some("degrade"));
+        let ryu = run_cell(&a, ControllerKind::Ryu, FailMode::Secure, 1);
+        assert_eq!(
+            ryu.final_state.as_deref(),
+            Some("observe"),
+            "Ryu's timeout-free flow mods must never satisfy the engage guard"
+        );
+    }
+}

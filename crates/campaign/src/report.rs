@@ -1,0 +1,289 @@
+//! The campaign report: machine-readable JSON plus the golden-digest
+//! file format backing the golden-trace oracle.
+//!
+//! Two byte-level guarantees:
+//!
+//! * [`CampaignReport::canonical_json`] (wall-times zeroed) is
+//!   byte-identical for the same matrix regardless of `--jobs` — the
+//!   thread-count-invariance contract.
+//! * [`CampaignReport::golden_digests`] is the exact content of
+//!   `tests/golden/campaign/*.txt`; [`diff_golden`] renders a
+//!   cell-naming diff when a checked-in file drifts.
+
+use crate::cell::CellOutcome;
+use crate::matrix::{fail_slug, Matrix};
+use crate::oracle::Observed;
+use attain_controllers::ControllerKind;
+use attain_netsim::FailMode;
+use std::fmt::Write as _;
+
+/// One classified cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// `attack/controller/failmode/sN`.
+    pub name: String,
+    /// Attack file stem.
+    pub attack: String,
+    /// Controller application.
+    pub controller: ControllerKind,
+    /// Fail mode.
+    pub fail_mode: FailMode,
+    /// Seed.
+    pub seed: u64,
+    /// Everything the run exposed.
+    pub outcome: CellOutcome,
+    /// The differential oracle's classification.
+    pub observed: Observed,
+    /// The expectations-table entry for this cell.
+    pub expected: &'static [Observed],
+    /// `observed ∈ expected`.
+    pub pass: bool,
+}
+
+/// A whole campaign run, in matrix order.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The matrix that was run (post-filter).
+    pub matrix: Matrix,
+    /// One report per cell, in matrix order.
+    pub cells: Vec<CellReport>,
+    /// Total wall-clock for the run, in milliseconds.
+    pub wall_ms_total: u64,
+    /// Worker threads used (informational; must not affect canonical
+    /// bytes).
+    pub jobs: usize,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    // Shortest stable rendering; Rust's f64 Display round-trips.
+    format!("{v}")
+}
+
+impl CampaignReport {
+    /// How many cells passed both oracles' differential half.
+    pub fn passed(&self) -> usize {
+        self.cells.iter().filter(|c| c.pass).count()
+    }
+
+    /// The failing cells, if any.
+    pub fn failures(&self) -> Vec<&CellReport> {
+        self.cells.iter().filter(|c| !c.pass).collect()
+    }
+
+    /// Renders the report as JSON. With `include_timing` false, every
+    /// wall-time is zeroed and the `jobs` field omitted, producing the
+    /// canonical bytes compared across thread counts.
+    pub fn to_json(&self, include_timing: bool) -> String {
+        let mut s = String::with_capacity(self.cells.len() * 512);
+        s.push_str("{\n  \"matrix\": {\n    \"attacks\": [");
+        for (i, a) in self.matrix.attacks.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\"", json_escape(a.name));
+        }
+        s.push_str("],\n    \"controllers\": [");
+        for (i, c) in self.matrix.controllers.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\"", c.slug());
+        }
+        s.push_str("],\n    \"fail_modes\": [");
+        for (i, m) in self.matrix.fail_modes.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "\"{}\"", fail_slug(*m));
+        }
+        s.push_str("],\n    \"seeds\": [");
+        for (i, seed) in self.matrix.seeds.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{seed}");
+        }
+        s.push_str("]\n  },\n  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str(",\n");
+            }
+            let o = &c.outcome;
+            let _ = write!(
+                s,
+                "    {{\"cell\": \"{}\", \"attack\": \"{}\", \"controller\": \"{}\", \
+                 \"fail_mode\": \"{}\", \"seed\": {}, \"verdict\": \"{}\", \
+                 \"observed\": \"{}\", \"expected\": [",
+                json_escape(&c.name),
+                json_escape(&c.attack),
+                c.controller.slug(),
+                fail_slug(c.fail_mode),
+                c.seed,
+                if c.pass { "pass" } else { "fail" },
+                c.observed.slug(),
+            );
+            for (j, e) in c.expected.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "\"{}\"", e.slug());
+            }
+            let _ = write!(
+                s,
+                "], \"digest\": \"{}\", \"packet_ins\": {}, \"flow_mods\": {}, \
+                 \"control_total\": {}, \"frames_dropped\": {}",
+                o.digest, o.packet_ins, o.flow_mods, o.control_total, o.frames_dropped
+            );
+            if let Some(state) = &o.final_state {
+                let _ = write!(s, ", \"final_state\": \"{}\"", json_escape(state));
+            }
+            s.push_str(", \"rule_fires\": {");
+            for (j, (rule, n)) in o.rule_fires.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "\"{}\": {}", json_escape(rule), n);
+            }
+            s.push_str("}, \"pings\": [");
+            for (j, p) in o.pings.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"label\": \"{}\", \"sent\": {}, \"recv\": {}",
+                    json_escape(&p.label),
+                    p.transmitted,
+                    p.received
+                );
+                if let Some(rtt) = p.avg_rtt_ms {
+                    let _ = write!(s, ", \"avg_rtt_ms\": {}", json_f64(rtt));
+                }
+                s.push('}');
+            }
+            let wall = if include_timing { o.wall_ms } else { 0 };
+            let _ = write!(s, "], \"wall_ms\": {wall}}}");
+        }
+        let total = if include_timing {
+            self.wall_ms_total
+        } else {
+            0
+        };
+        let _ = write!(
+            s,
+            "\n  ],\n  \"summary\": {{\"cells\": {}, \"pass\": {}, \"fail\": {}, \
+             \"wall_ms_total\": {total}",
+            self.cells.len(),
+            self.passed(),
+            self.cells.len() - self.passed(),
+        );
+        if include_timing {
+            let _ = write!(s, ", \"jobs\": {}", self.jobs);
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// The canonical bytes: timing-free JSON, identical across `--jobs`.
+    pub fn canonical_json(&self) -> String {
+        self.to_json(false)
+    }
+
+    /// The golden-digest file: one `cell-name digest observed` line per
+    /// cell, in matrix order.
+    pub fn golden_digests(&self) -> String {
+        let mut s = String::new();
+        for c in &self.cells {
+            let _ = writeln!(s, "{} {} {}", c.name, c.outcome.digest, c.observed.slug());
+        }
+        s
+    }
+}
+
+/// Diffs freshly computed golden lines against a checked-in file,
+/// returning a human-readable, cell-naming report — or `None` when the
+/// files agree byte-for-byte.
+pub fn diff_golden(checked_in: &str, fresh: &str) -> Option<String> {
+    if checked_in == fresh {
+        return None;
+    }
+    let parse = |s: &str| -> Vec<(String, String)> {
+        s.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| {
+                let mut it = l.splitn(2, ' ');
+                let name = it.next().unwrap_or("").to_string();
+                let rest = it.next().unwrap_or("").to_string();
+                (name, rest)
+            })
+            .collect()
+    };
+    let old = parse(checked_in);
+    let new = parse(fresh);
+    let mut out = String::from("golden campaign digests drifted:\n");
+    for (name, fresh_rest) in &new {
+        match old.iter().find(|(n, _)| n == name) {
+            None => {
+                let _ = writeln!(out, "  + {name}: new cell ({fresh_rest})");
+            }
+            Some((_, old_rest)) if old_rest != fresh_rest => {
+                let _ = writeln!(
+                    out,
+                    "  ! {name}: checked in `{old_rest}`, got `{fresh_rest}`"
+                );
+            }
+            _ => {}
+        }
+    }
+    for (name, old_rest) in &old {
+        if !new.iter().any(|(n, _)| n == name) {
+            let _ = writeln!(out, "  - {name}: cell vanished (was `{old_rest}`)");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  (run with UPDATE_GOLDEN=1 to accept intentional semantic changes)"
+    );
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_diff_names_the_drifted_cell() {
+        let old =
+            "a/pox/secure/s1 0000000000000001 silent\nb/ryu/safe/s2 0000000000000002 denial\n";
+        let new =
+            "a/pox/secure/s1 0000000000000001 silent\nb/ryu/safe/s2 00000000000000ff degraded\n";
+        let d = diff_golden(old, new).expect("drift detected");
+        assert!(d.contains("b/ryu/safe/s2"), "{d}");
+        assert!(d.contains("UPDATE_GOLDEN=1"), "{d}");
+        assert!(diff_golden(old, old).is_none());
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

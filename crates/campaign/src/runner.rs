@@ -1,0 +1,147 @@
+//! The worker pool: executes every cell (and each distinct baseline
+//! exactly once) across `jobs` threads, then merges results back in
+//! matrix order.
+//!
+//! Determinism argument: each unit is a single-threaded seeded
+//! simulation (a pure function of its coordinates), workers only race
+//! for *which* unit to run next (an atomic cursor), and assembly
+//! iterates the matrix — never the completion order. Hence the report
+//! is byte-identical for any `jobs ≥ 1`.
+
+use crate::attacks::{AttackDef, Scope};
+use crate::cell::{run_baseline, run_cell, CellOutcome};
+use crate::matrix::{fail_slug, Matrix};
+use crate::oracle;
+use crate::report::{CampaignReport, CellReport};
+use attain_controllers::ControllerKind;
+use attain_netsim::FailMode;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct UnitSpec {
+    attack: AttackDef,
+    controller: ControllerKind,
+    fail_mode: FailMode,
+    seed: u64,
+    attacked: bool,
+}
+
+/// Baselines are shared per topology: every enterprise attack diffs
+/// against the one enterprise baseline for its (controller, fail,
+/// seed); each self-contained document has its own topology and so its
+/// own baseline.
+fn topology_key(attack: &AttackDef) -> &'static str {
+    match attack.scope {
+        Scope::Enterprise => "enterprise",
+        Scope::SelfContained => attack.name,
+    }
+}
+
+fn run_pool(units: &[UnitSpec], jobs: usize) -> Vec<CellOutcome> {
+    let run_unit = |u: &UnitSpec| {
+        if u.attacked {
+            run_cell(&u.attack, u.controller, u.fail_mode, u.seed)
+        } else {
+            run_baseline(&u.attack, u.controller, u.fail_mode, u.seed)
+        }
+    };
+    if jobs <= 1 || units.len() <= 1 {
+        return units.iter().map(run_unit).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<CellOutcome>>> = Mutex::new(vec![None; units.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(units.len()) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= units.len() {
+                    break;
+                }
+                let outcome = run_unit(&units[i]);
+                results.lock().expect("result store poisoned")[i] = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("result store poisoned")
+        .into_iter()
+        .map(|o| o.expect("every unit completed"))
+        .collect()
+}
+
+/// Runs the whole campaign on `jobs` worker threads.
+pub fn run(matrix: &Matrix, jobs: usize) -> CampaignReport {
+    let started = Instant::now();
+    let cells = matrix.cells();
+
+    // One baseline unit per distinct (topology, controller, fail,
+    // seed), then every attacked cell in matrix order.
+    let mut units: Vec<UnitSpec> = Vec::new();
+    let mut baseline_slot: BTreeMap<(&str, &str, &str, u64), usize> = BTreeMap::new();
+    for cell in &cells {
+        let attack = matrix.attacks[cell.attack];
+        let key = (
+            topology_key(&attack),
+            cell.controller.slug(),
+            fail_slug(cell.fail_mode),
+            cell.seed,
+        );
+        baseline_slot.entry(key).or_insert_with(|| {
+            units.push(UnitSpec {
+                attack,
+                controller: cell.controller,
+                fail_mode: cell.fail_mode,
+                seed: cell.seed,
+                attacked: false,
+            });
+            units.len() - 1
+        });
+    }
+    let first_cell_unit = units.len();
+    for cell in &cells {
+        units.push(UnitSpec {
+            attack: matrix.attacks[cell.attack],
+            controller: cell.controller,
+            fail_mode: cell.fail_mode,
+            seed: cell.seed,
+            attacked: true,
+        });
+    }
+
+    let results = run_pool(&units, jobs);
+
+    let mut reports = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        let attack = &matrix.attacks[cell.attack];
+        let key = (
+            topology_key(attack),
+            cell.controller.slug(),
+            fail_slug(cell.fail_mode),
+            cell.seed,
+        );
+        let outcome = results[first_cell_unit + i].clone();
+        let baseline = &results[baseline_slot[&key]];
+        let observed = oracle::classify(&outcome, baseline);
+        let expected = oracle::expected(attack.name, cell.controller, cell.fail_mode);
+        reports.push(CellReport {
+            name: matrix.cell_name(cell),
+            attack: attack.name.to_string(),
+            controller: cell.controller,
+            fail_mode: cell.fail_mode,
+            seed: cell.seed,
+            outcome,
+            observed,
+            expected,
+            pass: expected.contains(&observed),
+        });
+    }
+    CampaignReport {
+        matrix: matrix.clone(),
+        cells: reports,
+        wall_ms_total: started.elapsed().as_millis() as u64,
+        jobs: jobs.max(1),
+    }
+}

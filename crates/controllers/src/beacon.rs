@@ -1,0 +1,195 @@
+//! The Beacon v1.0.4 `LearningSwitch` bundle model.
+
+use crate::learning::{L2Table, MatchStyle};
+use crate::traits::{Controller, ControllerKind, Outbox};
+use attain_openflow::{
+    packet, Action, DatapathId, FlowMod, FlowModCommand, FlowModFlags, OfMessage, PacketIn,
+    PacketOut, PortNo, SwitchFeatures,
+};
+
+/// Beacon v1.0.4 `LearningSwitch` (the JVM controller Floodlight forked
+/// from).
+///
+/// Behavioural fingerprint:
+/// * flow mods carry an **exact 12-tuple** match (Beacon builds its match
+///   with `OFMatch.loadFromPacket`, like POX's `from_packet`);
+/// * idle timeout 5 s, no hard timeout;
+/// * the flow mod carries **`buffer_id`** itself — like POX, the buffered
+///   packet is released only when the flow mod applies, so suppressing
+///   flow mods deadlocks the data plane;
+/// * JVM runtime: fast per-message dispatch.
+///
+/// In the campaign matrix Beacon therefore pairs POX's
+/// deadlock-under-suppression with Floodlight's short idle timeout — a
+/// combination neither paper controller exhibits.
+#[derive(Debug, Default)]
+pub struct Beacon {
+    table: L2Table,
+}
+
+/// Beacon `LearningSwitch`'s idle timeout.
+const IDLE_TIMEOUT: u16 = 5;
+
+impl Beacon {
+    /// Creates a fresh instance with an empty MAC table.
+    pub fn new() -> Beacon {
+        Beacon::default()
+    }
+}
+
+impl Controller for Beacon {
+    fn kind(&self) -> ControllerKind {
+        ControllerKind::Beacon
+    }
+
+    fn on_switch_connect(
+        &mut self,
+        _dpid: DatapathId,
+        _features: &SwitchFeatures,
+        _out: &mut Outbox,
+    ) {
+    }
+
+    fn on_packet_in(&mut self, dpid: DatapathId, pi: &PacketIn, out: &mut Outbox) {
+        let key = packet::flow_key(&pi.data, pi.in_port);
+        self.table.learn(dpid, key.dl_src, pi.in_port);
+
+        let dst_port = if key.dl_dst.is_multicast() {
+            None
+        } else {
+            self.table.lookup(dpid, key.dl_dst)
+        };
+        match dst_port {
+            Some(port) if port != pi.in_port => {
+                // Known destination: one flow mod, buffer attached.
+                out.send(
+                    dpid,
+                    OfMessage::FlowMod(FlowMod {
+                        r#match: MatchStyle::FullExact.build(&key),
+                        cookie: 0,
+                        command: FlowModCommand::Add,
+                        idle_timeout: IDLE_TIMEOUT,
+                        hard_timeout: 0,
+                        priority: 0x8000,
+                        buffer_id: pi.buffer_id,
+                        out_port: PortNo::NONE,
+                        flags: FlowModFlags::default(),
+                        actions: vec![Action::Output { port, max_len: 0 }],
+                    }),
+                );
+                if pi.buffer_id.is_none() {
+                    out.send(
+                        dpid,
+                        OfMessage::PacketOut(PacketOut {
+                            buffer_id: None,
+                            in_port: pi.in_port,
+                            actions: vec![Action::Output { port, max_len: 0 }],
+                            data: pi.data.clone(),
+                        }),
+                    );
+                }
+            }
+            _ => {
+                // Unknown destination (or apparent hairpin): flood.
+                out.send(
+                    dpid,
+                    OfMessage::PacketOut(PacketOut {
+                        buffer_id: pi.buffer_id,
+                        in_port: pi.in_port,
+                        actions: vec![Action::Output {
+                            port: PortNo::FLOOD,
+                            max_len: 0,
+                        }],
+                        data: if pi.buffer_id.is_none() {
+                            pi.data.clone()
+                        } else {
+                            vec![]
+                        },
+                    }),
+                );
+            }
+        }
+    }
+
+    fn on_switch_disconnect(&mut self, dpid: DatapathId) {
+        self.table.forget_switch(dpid);
+    }
+
+    fn reset(&mut self) {
+        self.table.clear();
+    }
+
+    fn processing_delay_us(&self) -> u64 {
+        // JVM with a leaner pipeline than Floodlight's service chain.
+        250
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attain_openflow::{MacAddr, PacketInReason, Wildcards};
+
+    fn packet_in(src: u64, dst: u64, in_port: u16, buffer: Option<u32>) -> PacketIn {
+        let frame = packet::icmp_echo_request(
+            MacAddr::from_low(src),
+            MacAddr::from_low(dst),
+            format!("10.0.0.{src}").parse().unwrap(),
+            format!("10.0.0.{dst}").parse().unwrap(),
+            1,
+            1,
+            vec![0; 16],
+        );
+        PacketIn {
+            buffer_id: buffer,
+            total_len: frame.wire_len() as u16,
+            in_port: PortNo(in_port),
+            reason: PacketInReason::NoMatch,
+            data: frame.encode(),
+        }
+    }
+
+    #[test]
+    fn known_destination_attaches_buffer_to_exact_match_flow_mod() {
+        let mut c = Beacon::new();
+        let mut out = Outbox::new();
+        c.on_packet_in(DatapathId(1), &packet_in(2, 1, 2, None), &mut out);
+        out.drain();
+        c.on_packet_in(DatapathId(1), &packet_in(1, 2, 1, Some(5)), &mut out);
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 1);
+        let OfMessage::FlowMod(fm) = &msgs[0].1 else {
+            panic!("expected flow mod");
+        };
+        assert_eq!(fm.buffer_id, Some(5));
+        assert_eq!(fm.idle_timeout, 5);
+        assert_eq!(fm.hard_timeout, 0);
+        assert_eq!(fm.r#match.wildcards, Wildcards::NONE);
+    }
+
+    #[test]
+    fn unknown_destination_floods() {
+        let mut c = Beacon::new();
+        let mut out = Outbox::new();
+        c.on_packet_in(DatapathId(1), &packet_in(1, 2, 1, Some(3)), &mut out);
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 1);
+        let OfMessage::PacketOut(po) = &msgs[0].1 else {
+            panic!("expected packet out");
+        };
+        assert_eq!(po.buffer_id, Some(3));
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut c = Beacon::new();
+        let mut out = Outbox::new();
+        c.on_packet_in(DatapathId(1), &packet_in(2, 1, 2, None), &mut out);
+        out.drain();
+        c.reset();
+        c.on_packet_in(DatapathId(1), &packet_in(1, 2, 1, None), &mut out);
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 1); // floods again: table wiped
+        assert!(matches!(&msgs[0].1, OfMessage::PacketOut(_)));
+    }
+}

@@ -96,8 +96,11 @@ impl MatchStyle {
     pub fn for_kind(kind: ControllerKind) -> MatchStyle {
         match kind {
             ControllerKind::Floodlight => MatchStyle::L3Aware,
-            ControllerKind::Pox => MatchStyle::FullExact,
-            ControllerKind::Ryu => MatchStyle::L2Only,
+            ControllerKind::Pox | ControllerKind::Beacon => MatchStyle::FullExact,
+            // The hub never builds flow mods of its own; if a policy
+            // module on top of it must, an L2 match is all the state a
+            // hub-style application keeps.
+            ControllerKind::Ryu | ControllerKind::Hub => MatchStyle::L2Only,
         }
     }
 }

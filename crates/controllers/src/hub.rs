@@ -1,0 +1,108 @@
+//! A static flooding hub (POX `forwarding.hub` style).
+
+use crate::traits::{Controller, ControllerKind, Outbox};
+use attain_openflow::{Action, DatapathId, OfMessage, PacketIn, PacketOut, PortNo, SwitchFeatures};
+
+/// A hub: every `PACKET_IN` is answered with a flooding `PACKET_OUT`;
+/// no state is learned and no flow entries are ever installed.
+///
+/// The hub is the campaign's degenerate corner of the controller space.
+/// Because it never sends a `FLOW_MOD`, attacks that key on flow
+/// modifications (`flow_mod_suppression`, `counted_suppression`,
+/// `replay_flow_mods`, the interruption trigger `φ2`) have nothing to
+/// match — the expectation table predicts those cells stay silent, and
+/// the differential oracle verifies it. The price is permanent
+/// control-plane load: every data-plane packet round-trips through the
+/// controller forever.
+#[derive(Debug, Default)]
+pub struct Hub;
+
+impl Hub {
+    /// Creates a hub.
+    pub fn new() -> Hub {
+        Hub
+    }
+}
+
+impl Controller for Hub {
+    fn kind(&self) -> ControllerKind {
+        ControllerKind::Hub
+    }
+
+    fn on_switch_connect(
+        &mut self,
+        _dpid: DatapathId,
+        _features: &SwitchFeatures,
+        _out: &mut Outbox,
+    ) {
+    }
+
+    fn on_packet_in(&mut self, dpid: DatapathId, pi: &PacketIn, out: &mut Outbox) {
+        out.send(
+            dpid,
+            OfMessage::PacketOut(PacketOut {
+                buffer_id: pi.buffer_id,
+                in_port: pi.in_port,
+                actions: vec![Action::Output {
+                    port: PortNo::FLOOD,
+                    max_len: 0,
+                }],
+                data: if pi.buffer_id.is_none() {
+                    pi.data.clone()
+                } else {
+                    vec![]
+                },
+            }),
+        );
+    }
+
+    fn processing_delay_us(&self) -> u64 {
+        // CPython, but the handler is a one-liner.
+        800
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attain_openflow::{packet, MacAddr, PacketInReason};
+
+    #[test]
+    fn every_packet_floods_and_none_installs_flows() {
+        let mut c = Hub::new();
+        let mut out = Outbox::new();
+        let frame = packet::icmp_echo_request(
+            MacAddr::from_low(1),
+            MacAddr::from_low(2),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            1,
+            1,
+            vec![0; 16],
+        );
+        for buffer in [Some(1), Some(2), None] {
+            let pi = PacketIn {
+                buffer_id: buffer,
+                total_len: frame.wire_len() as u16,
+                in_port: PortNo(1),
+                reason: PacketInReason::NoMatch,
+                data: frame.encode(),
+            };
+            c.on_packet_in(DatapathId(1), &pi, &mut out);
+        }
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 3);
+        for (_, msg) in &msgs {
+            let OfMessage::PacketOut(po) = msg else {
+                panic!("hub must only send packet outs");
+            };
+            assert_eq!(
+                po.actions,
+                vec![Action::Output {
+                    port: PortNo::FLOOD,
+                    max_len: 0
+                }]
+            );
+        }
+    }
+}

@@ -30,20 +30,44 @@
 //! The crate also provides [`DmzFirewall`], a policy wrapper for the case
 //! study's DMZ switch `s2`, and the [`Controller`] trait through which the
 //! network simulator (or any other harness) hosts a controller.
+//!
+//! Beyond the paper's three, two further applications widen the
+//! behavioural space the conformance campaign sweeps
+//! ([`ControllerKind::CAMPAIGN`]): [`Beacon`] v1.0.4's `LearningSwitch`
+//! (exact-match like POX, 5 s idle timeout like Floodlight, buffer
+//! released by the flow mod) and a static flooding [`Hub`] (no learning,
+//! no flow mods at all).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod beacon;
 mod firewall;
 mod floodlight;
+mod hub;
 mod learning;
 mod pox;
 mod ryu;
 mod traits;
 
+pub use beacon::Beacon;
 pub use firewall::{DmzFirewall, DmzPolicy};
 pub use floodlight::Floodlight;
+pub use hub::Hub;
 pub use learning::{L2Table, MatchStyle};
 pub use pox::Pox;
 pub use ryu::Ryu;
 pub use traits::{Controller, ControllerKind, Outbox};
+
+impl ControllerKind {
+    /// Instantiates a fresh (bare, un-wrapped) application of this kind.
+    pub fn instantiate(&self) -> Box<dyn Controller> {
+        match self {
+            ControllerKind::Floodlight => Box::new(Floodlight::new()),
+            ControllerKind::Pox => Box::new(Pox::new()),
+            ControllerKind::Ryu => Box::new(Ryu::new()),
+            ControllerKind::Beacon => Box::new(Beacon::new()),
+            ControllerKind::Hub => Box::new(Hub::new()),
+        }
+    }
+}

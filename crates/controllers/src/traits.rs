@@ -6,8 +6,11 @@ use std::fmt;
 /// Which controller implementation a value models.
 ///
 /// Used by experiment harnesses to iterate over the paper's three
-/// controllers and label results.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// controllers and label results. The campaign harness additionally
+/// sweeps two non-paper applications ([`Beacon`](crate::Beacon) and
+/// [`Hub`](crate::Hub)) that widen the behavioural space attacks are
+/// regressed against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ControllerKind {
     /// Floodlight v1.2, `Forwarding` module.
     Floodlight,
@@ -15,6 +18,11 @@ pub enum ControllerKind {
     Pox,
     /// Ryu v4.5, `simple_switch`.
     Ryu,
+    /// Beacon v1.0.4, `LearningSwitch` bundle.
+    Beacon,
+    /// A static flooding hub (POX `forwarding.hub` style): never learns,
+    /// never installs flows.
+    Hub,
 }
 
 impl ControllerKind {
@@ -24,6 +32,75 @@ impl ControllerKind {
         ControllerKind::Pox,
         ControllerKind::Ryu,
     ];
+
+    /// The five controller applications the conformance campaign sweeps:
+    /// the paper's three plus Beacon and the hub.
+    pub const CAMPAIGN: [ControllerKind; 5] = [
+        ControllerKind::Floodlight,
+        ControllerKind::Pox,
+        ControllerKind::Ryu,
+        ControllerKind::Beacon,
+        ControllerKind::Hub,
+    ];
+
+    /// A lowercase machine-readable label (campaign cell names, CLI
+    /// filters, golden-file keys).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            ControllerKind::Floodlight => "floodlight",
+            ControllerKind::Pox => "pox",
+            ControllerKind::Ryu => "ryu",
+            ControllerKind::Beacon => "beacon",
+            ControllerKind::Hub => "hub",
+        }
+    }
+
+    /// Parses a [`slug`](ControllerKind::slug) back to a kind.
+    pub fn from_slug(s: &str) -> Option<ControllerKind> {
+        ControllerKind::CAMPAIGN.into_iter().find(|k| k.slug() == s)
+    }
+
+    // ---- behavioural predicates -------------------------------------
+    //
+    // The campaign's expectation table is derived from these rather than
+    // hard-coded per cell: each predicate names the implementation
+    // detail that makes an attack manifest (or stay silent) against a
+    // given controller, mirroring the paper's §VII analysis.
+
+    /// Whether the application installs flow entries at all. The hub
+    /// forwards every packet by `PACKET_OUT`, so attacks that target
+    /// `FLOW_MOD`s have nothing to bite on.
+    pub fn installs_flows(&self) -> bool {
+        !matches!(self, ControllerKind::Hub)
+    }
+
+    /// Whether buffered packets are released only by the `FLOW_MOD`
+    /// itself (`buffer_id` attached). Suppressing flow mods then
+    /// deadlocks the data plane — the paper's POX asterisk in Figure 11.
+    pub fn releases_buffer_via_flow_mod(&self) -> bool {
+        matches!(self, ControllerKind::Pox | ControllerKind::Beacon)
+    }
+
+    /// Whether the flow mods this application (and the DMZ firewall
+    /// module running on it) construct expose a concrete `nw_src` — the
+    /// field the connection-interruption attack's rule `φ2` reads.
+    /// Ryu's L2-only matches wildcard it, which is why the paper's §VII-C
+    /// attack never fires against Ryu; the hub sends no flow mods at all.
+    pub fn flow_mod_exposes_nw_src(&self) -> bool {
+        matches!(
+            self,
+            ControllerKind::Floodlight | ControllerKind::Pox | ControllerKind::Beacon
+        )
+    }
+
+    /// Whether installed flows are permanent (no idle/hard timeout).
+    /// Ryu's timeout-free entries mean a suppression that arms *after*
+    /// the first installs never gets another `FLOW_MOD` to matter for
+    /// the steady workload — and timeout-guarded attacks (matching
+    /// `idle_timeout > 0`) never trigger at all.
+    pub fn installs_permanent_flows(&self) -> bool {
+        matches!(self, ControllerKind::Ryu)
+    }
 }
 
 impl fmt::Display for ControllerKind {
@@ -32,6 +109,8 @@ impl fmt::Display for ControllerKind {
             ControllerKind::Floodlight => "Floodlight",
             ControllerKind::Pox => "POX",
             ControllerKind::Ryu => "Ryu",
+            ControllerKind::Beacon => "Beacon",
+            ControllerKind::Hub => "Hub",
         };
         f.write_str(s)
     }

@@ -3,9 +3,7 @@
 //! and collects the metrics behind Figure 11 and Table II.
 
 use crate::sim::{SharedExecutor, SimInjector};
-use attain_controllers::{
-    Controller, ControllerKind, DmzFirewall, DmzPolicy, Floodlight, Pox, Ryu,
-};
+use attain_controllers::{Controller, ControllerKind, DmzFirewall, DmzPolicy};
 use attain_core::exec::AttackExecutor;
 use attain_core::{dsl, scenario};
 use attain_netsim::{
@@ -51,11 +49,7 @@ impl Fidelity {
 /// DMZ firewall policy for switch `s2` (dpid 1-based: switches are added
 /// after the six hosts, so `s2` is the second switch → dpid 2).
 pub fn case_study_controller(kind: ControllerKind) -> Box<dyn Controller> {
-    let inner: Box<dyn Controller> = match kind {
-        ControllerKind::Floodlight => Box::new(Floodlight::new()),
-        ControllerKind::Pox => Box::new(Pox::new()),
-        ControllerKind::Ryu => Box::new(Ryu::new()),
-    };
+    let inner: Box<dyn Controller> = kind.instantiate();
     let policy = DmzPolicy {
         firewall_dpid: DatapathId(2),
         external_port: PortNo(1),

@@ -12,7 +12,7 @@ use crate::time::SimTime;
 use std::fmt;
 
 /// Which way a control-plane message is travelling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Direction {
     /// From the switch (client) toward the controller (server).
     SwitchToController,

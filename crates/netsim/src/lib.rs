@@ -90,4 +90,4 @@ pub use link::{Link, LinkEnd, TxOutcome};
 pub use sim::{ConnInfo, Simulation};
 pub use switch::{ApplyOutcome, FailMode, FlowEntry, FlowModError, FlowTable, Switch};
 pub use time::SimTime;
-pub use trace::{Trace, TraceEvent, TraceKind};
+pub use trace::{Trace, TraceDigest, TraceEvent, TraceKind};

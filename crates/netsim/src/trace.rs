@@ -8,7 +8,7 @@ use crate::engine::ConnId;
 use crate::interpose::Direction;
 use crate::time::SimTime;
 use attain_openflow::OfType;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// What a trace record describes.
@@ -100,13 +100,60 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// A 64-bit digest of a trace — the golden-trace oracle's unit of
+/// comparison. Two runs with the same digest recorded the same events in
+/// the same order at the same virtual times, and accumulated identical
+/// control-plane counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceDigest(pub u64);
+
+impl fmt::Display for TraceDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl TraceDigest {
+    /// Parses the 16-hex-digit rendering back to a digest.
+    pub fn parse(s: &str) -> Option<TraceDigest> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceDigest)
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms —
+/// all the golden oracle needs (collision resistance against adversaries
+/// is not a requirement; drift detection is).
+#[derive(Debug, Clone)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Fnv1a {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
 /// The simulation's event log plus aggregate control-plane counters.
 #[derive(Debug, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     /// Per `(connection, direction, type)` message counts — the paper's
-    /// "increased control plane traffic" metric.
-    counts: HashMap<(ConnId, Direction, Option<OfType>), u64>,
+    /// "increased control plane traffic" metric. A `BTreeMap` so every
+    /// iteration (reports, digests) is deterministically ordered without
+    /// a sort at each call site.
+    counts: BTreeMap<(ConnId, Direction, Option<OfType>), u64>,
     /// When `false`, only counters are kept (for long benchmark runs).
     pub record_events: bool,
 }
@@ -162,19 +209,33 @@ impl Trace {
     /// All counters, deterministically ordered by `(connection,
     /// direction, type)` — the monitors' raw aggregate view.
     pub fn counters(&self) -> Vec<(ConnId, Direction, Option<OfType>, u64)> {
-        let mut out: Vec<_> = self
-            .counts
+        self.counts
             .iter()
             .map(|(&(conn, dir, ty), &n)| (conn, dir, ty, n))
-            .collect();
-        out.sort_by_key(|&(conn, dir, ty, _)| {
-            (
-                conn.0,
-                matches!(dir, Direction::ControllerToSwitch) as u8,
-                ty.map(|t| t as u8 + 1).unwrap_or(0),
-            )
-        });
-        out
+            .collect()
+    }
+
+    /// Digests the full trace: every recorded event (rendered, in
+    /// order) followed by every counter (in key order).
+    ///
+    /// The digest is the campaign's golden-trace oracle: any semantic
+    /// drift in the codec, classifier, controller applications, executor,
+    /// or fault engine shifts an event's content, order, or virtual time
+    /// and therefore the digest. Runs that disable event recording still
+    /// digest their counters.
+    pub fn digest(&self) -> TraceDigest {
+        let mut h = Fnv1a::new();
+        for e in &self.events {
+            h.update(e.to_string().as_bytes());
+            h.update(b"\n");
+        }
+        for (&(conn, dir, ty), &n) in &self.counts {
+            h.update(&(conn.0 as u64).to_be_bytes());
+            h.update(&[matches!(dir, Direction::ControllerToSwitch) as u8]);
+            h.update(&[ty.map(|t| t as u8 + 1).unwrap_or(0)]);
+            h.update(&n.to_be_bytes());
+        }
+        TraceDigest(h.0)
     }
 
     /// Messages observed on one connection, any type or direction.
@@ -242,6 +303,56 @@ mod tests {
         );
         assert!(t.events().is_empty());
         assert_eq!(t.control_message_total(), 1);
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let msg = |conn: usize, len: usize| TraceKind::ControlMessage {
+            conn: ConnId(conn),
+            direction: Direction::SwitchToController,
+            of_type: Some(OfType::PacketIn),
+            len,
+        };
+        let mut a = Trace::new();
+        a.push(SimTime::from_secs(1), msg(0, 100));
+        a.push(SimTime::from_secs(2), msg(1, 100));
+        let mut b = Trace::new();
+        b.push(SimTime::from_secs(1), msg(0, 100));
+        b.push(SimTime::from_secs(2), msg(1, 100));
+        assert_eq!(a.digest(), b.digest());
+        // Different order → different digest.
+        let mut c = Trace::new();
+        c.push(SimTime::from_secs(1), msg(1, 100));
+        c.push(SimTime::from_secs(2), msg(0, 100));
+        assert_ne!(a.digest(), c.digest());
+        // Different content (length) → different digest.
+        let mut d = Trace::new();
+        d.push(SimTime::from_secs(1), msg(0, 101));
+        d.push(SimTime::from_secs(2), msg(1, 100));
+        assert_ne!(a.digest(), d.digest());
+        // Digest renders as 16 hex digits and parses back.
+        let rendered = a.digest().to_string();
+        assert_eq!(rendered.len(), 16);
+        assert_eq!(TraceDigest::parse(&rendered), Some(a.digest()));
+        assert_eq!(TraceDigest::parse("xyz"), None);
+    }
+
+    #[test]
+    fn counterless_digest_still_covers_counters() {
+        let mut t = Trace::new();
+        t.record_events = false;
+        let empty = t.digest();
+        t.push(
+            SimTime::ZERO,
+            TraceKind::ControlMessage {
+                conn: ConnId(0),
+                direction: Direction::ControllerToSwitch,
+                of_type: Some(OfType::FlowMod),
+                len: 80,
+            },
+        );
+        assert!(t.events().is_empty());
+        assert_ne!(t.digest(), empty);
     }
 
     #[test]

@@ -1,16 +1,12 @@
 //! End-to-end simulator tests: handshake, learning-switch forwarding,
 //! workload realism, fail modes, and determinism.
 
-use attain_controllers::{Controller, ControllerKind, Floodlight, Pox, Ryu};
+use attain_controllers::{Controller, ControllerKind};
 use attain_netsim::{Direction, FailMode, HostCommand, NetworkBuilder, SimTime, Simulation};
 use attain_openflow::OfType;
 
 fn controller_box(kind: ControllerKind) -> Box<dyn Controller> {
-    match kind {
-        ControllerKind::Floodlight => Box::new(Floodlight::new()),
-        ControllerKind::Pox => Box::new(Pox::new()),
-        ControllerKind::Ryu => Box::new(Ryu::new()),
-    }
+    kind.instantiate()
 }
 
 /// Two hosts, two switches in a line, one controller.

@@ -2,17 +2,13 @@
 //! seeded loss determinism, controller crash → fail-mode behaviour →
 //! restart reconvergence, switch power-cycles, and trace determinism.
 
-use attain_controllers::{Controller, ControllerKind, Floodlight, Pox, Ryu};
+use attain_controllers::{Controller, ControllerKind};
 use attain_netsim::{
     FailMode, FaultPlan, HostCommand, NetworkBuilder, SimTime, Simulation, TraceKind,
 };
 
 fn controller_box(kind: ControllerKind) -> Box<dyn Controller> {
-    match kind {
-        ControllerKind::Floodlight => Box::new(Floodlight::new()),
-        ControllerKind::Pox => Box::new(Pox::new()),
-        ControllerKind::Ryu => Box::new(Ryu::new()),
-    }
+    kind.instantiate()
 }
 
 /// Two hosts, two switches in a line, one controller; `s1`/`s2` in

@@ -1,0 +1,134 @@
+//! Property coverage for the L2–L4 packet codec (`packet` module):
+//! every frame the builders can produce encodes → decodes → re-encodes
+//! byte-identically, and no truncation or mutation of those bytes can
+//! panic the decoder or the lenient `flow_key` extractor.
+
+use attain_openflow::packet::{
+    arp_reply, arp_request, flow_key, icmp_echo_reply, icmp_echo_request, tcp_segment,
+    udp_datagram, Ethernet, TcpFlags,
+};
+use attain_openflow::{MacAddr, PortNo};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn mac() -> impl Strategy<Value = MacAddr> {
+    any::<u16>().prop_map(|n| MacAddr::from_low(n as u64))
+}
+
+fn ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn payload() -> impl Strategy<Value = Vec<u8>> {
+    vec(any::<u8>(), 0..128)
+}
+
+/// Any frame a simulated host can emit.
+fn frame() -> impl Strategy<Value = Ethernet> {
+    prop_oneof![
+        (mac(), ip(), ip()).prop_map(|(m, s, t)| arp_request(m, s, t)),
+        (mac(), ip(), mac(), ip()).prop_map(|(sm, si, tm, ti)| arp_reply(sm, si, tm, ti)),
+        (
+            mac(),
+            mac(),
+            ip(),
+            ip(),
+            any::<u16>(),
+            any::<u16>(),
+            payload()
+        )
+            .prop_map(|(sm, dm, si, di, id, seq, p)| icmp_echo_request(sm, dm, si, di, id, seq, p)),
+        (
+            mac(),
+            mac(),
+            ip(),
+            ip(),
+            any::<u16>(),
+            any::<u16>(),
+            payload()
+        )
+            .prop_map(|(sm, dm, si, di, id, seq, p)| icmp_echo_reply(sm, dm, si, di, id, seq, p)),
+        (
+            (mac(), mac(), ip(), ip()),
+            (
+                any::<u16>(),
+                any::<u16>(),
+                any::<u32>(),
+                any::<u32>(),
+                any::<u8>()
+            ),
+            payload()
+        )
+            .prop_map(|((sm, dm, si, di), (sp, dp, seq, ack, fl), p)| tcp_segment(
+                sm,
+                dm,
+                si,
+                di,
+                sp,
+                dp,
+                seq,
+                ack,
+                // Only six flag bits exist on the wire (FIN…URG).
+                TcpFlags(fl & 0x3f),
+                p
+            )),
+        (
+            mac(),
+            mac(),
+            ip(),
+            ip(),
+            any::<u16>(),
+            any::<u16>(),
+            payload()
+        )
+            .prop_map(|(sm, dm, si, di, sp, dp, p)| udp_datagram(sm, dm, si, di, sp, dp, p)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode → encode is the identity on bytes.
+    #[test]
+    fn frames_roundtrip_byte_identically(f in frame()) {
+        let bytes = f.encode();
+        let decoded = Ethernet::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &f);
+        prop_assert_eq!(decoded.encode(), bytes);
+    }
+
+    /// Truncating a valid frame anywhere must error, never panic —
+    /// and never still claim success with trailing fields missing.
+    #[test]
+    fn truncation_never_panics(f in frame(), cut in 0usize..1514) {
+        let bytes = f.encode();
+        let cut = cut.min(bytes.len());
+        let _ = Ethernet::decode(&bytes[..cut]);
+        // The lenient extractor must classify, not crash.
+        let _ = flow_key(&bytes[..cut], PortNo(1));
+    }
+
+    /// Arbitrary byte soup: the strict decoder errors or produces a
+    /// frame; the lenient flow-key extractor always produces a key.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = Ethernet::decode(&bytes);
+        let _ = flow_key(&bytes, PortNo(7));
+    }
+
+    /// Single-byte corruption of a valid frame: decode may fail or
+    /// succeed, but a successful decode must re-encode without panic.
+    #[test]
+    fn mutated_frames_never_panic(f in frame(), pos in any::<u16>(), val in any::<u8>()) {
+        let mut bytes = f.encode();
+        let pos = pos as usize % bytes.len().max(1);
+        if !bytes.is_empty() {
+            bytes[pos] = val;
+        }
+        if let Ok(decoded) = Ethernet::decode(&bytes) {
+            let _ = decoded.encode();
+        }
+        let _ = flow_key(&bytes, PortNo(3));
+    }
+}

@@ -20,4 +20,10 @@ echo "== environment-fault suite (incl. trace determinism)"
 cargo test -q -p attain-netsim --test faults
 cargo test -q -p attain-netsim --test faults same_seed_same_trace_different_seed_may_differ
 
+echo "== conformance campaign (smoke matrix + golden digests)"
+cargo run --release --bin campaign -- --smoke --jobs 2 \
+  --out target/CAMPAIGN_smoke_report.json
+cargo test -q -p attain --test campaign_conformance
+cargo test -q -p attain --test dsl_roundtrip
+
 echo "all checks passed"

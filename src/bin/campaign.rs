@@ -1,0 +1,129 @@
+//! The conformance campaign driver: every `attacks/*.atk` × five
+//! controller applications × both fail modes × a seed set, judged by
+//! the differential and golden-trace oracles.
+//!
+//! Usage:
+//!   cargo run --release --bin campaign [options]
+//!
+//! Options:
+//!   --jobs N        worker threads (default: available parallelism)
+//!   --seeds N       seeds 1..=N instead of the default set
+//!   --smoke         the reduced CI matrix (3 attacks × 5 × 2 × 1 seed)
+//!   --only SPEC     attack=…,controller=…,fail=…,seed=… (any subset)
+//!   --out PATH      report path (default CAMPAIGN_report.json)
+//!   --update-golden rewrite tests/golden/campaign/ from this run
+//!   --golden PATH   golden digests file to verify/update
+//!
+//! The report's canonical bytes (wall-times zeroed) are byte-identical
+//! for any `--jobs`; exit status is non-zero if any cell fails its
+//! expectation or the golden digests drifted.
+
+use attain::campaign::{diff_golden, Filter, Matrix};
+use std::process::ExitCode;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let update_golden = args.iter().any(|a| a == "--update-golden");
+    let jobs = arg_value(&args, "--jobs")
+        .map(|s| s.parse().expect("--jobs takes an integer"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "CAMPAIGN_report.json".into());
+    let golden_path = arg_value(&args, "--golden").unwrap_or_else(|| {
+        format!(
+            "tests/golden/campaign/{}.txt",
+            if smoke { "smoke" } else { "full" }
+        )
+    });
+
+    let mut matrix = if smoke {
+        Matrix::smoke()
+    } else {
+        Matrix::full()
+    };
+    if let Some(n) = arg_value(&args, "--seeds") {
+        let n: u64 = n.parse().expect("--seeds takes an integer");
+        matrix.seeds = (1..=n).collect();
+    }
+    if let Some(spec) = arg_value(&args, "--only") {
+        match Filter::parse(&spec) {
+            Ok(f) => f.apply(&mut matrix),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let n_cells = matrix.cells().len();
+    eprintln!(
+        "campaign: {} attacks × {} controllers × {} fail modes × {} seeds = {} cells on {} jobs",
+        matrix.attacks.len(),
+        matrix.controllers.len(),
+        matrix.fail_modes.len(),
+        matrix.seeds.len(),
+        n_cells,
+        jobs
+    );
+
+    let report = attain::campaign::run(&matrix, jobs);
+    std::fs::write(&out, report.to_json(true)).expect("report written");
+    eprintln!(
+        "{}/{} cells pass ({} ms); report: {out}",
+        report.passed(),
+        report.cells.len(),
+        report.wall_ms_total
+    );
+
+    let mut ok = true;
+    for f in report.failures() {
+        ok = false;
+        eprintln!(
+            "FAIL {}: observed {}, expected one of [{}]",
+            f.name,
+            f.observed,
+            f.expected
+                .iter()
+                .map(|e| e.slug())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    let fresh = report.golden_digests();
+    if update_golden {
+        if let Some(dir) = std::path::Path::new(&golden_path).parent() {
+            std::fs::create_dir_all(dir).expect("golden dir created");
+        }
+        std::fs::write(&golden_path, &fresh).expect("golden file written");
+        eprintln!("golden digests updated: {golden_path}");
+    } else {
+        match std::fs::read_to_string(&golden_path) {
+            Ok(checked_in) => {
+                if let Some(diff) = diff_golden(&checked_in, &fresh) {
+                    ok = false;
+                    eprintln!("{diff}");
+                }
+            }
+            Err(e) => {
+                eprintln!("note: no golden file at {golden_path} ({e}); run with --update-golden");
+            }
+        }
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -22,7 +22,9 @@
 //! wire codec ([`openflow`]), an Open vSwitch–style switch model with
 //! fail-safe/fail-secure modes, `ping`/`iperf`-style workload applications,
 //! and models of the Floodlight, POX, and Ryu learning-switch controllers
-//! ([`controllers`]).
+//! ([`controllers`]). On top sits the conformance [`campaign`]: every
+//! shipped attack × five controller applications × both fail modes,
+//! judged against differential and golden-trace oracles.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@
 //!
 //! See `examples/` for end-to-end runs of both case-study attacks.
 
+pub use attain_campaign as campaign;
 pub use attain_controllers as controllers;
 pub use attain_core as core;
 pub use attain_injector as injector;

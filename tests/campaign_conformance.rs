@@ -1,0 +1,127 @@
+//! The conformance campaign as a tier-1 regression surface.
+//!
+//! Three contracts:
+//!
+//! * **Golden-trace oracle** — the full matrix's per-cell trace digests
+//!   match `tests/golden/campaign/full.txt` (and the CI smoke subset
+//!   matches `smoke.txt`). Any semantic drift in the DSL pipeline, the
+//!   injector, a controller model, or the simulator fails here with a
+//!   diff that names the drifted cell. Regenerate intentionally with
+//!   `UPDATE_GOLDEN=1 cargo test campaign` (or the `campaign` binary's
+//!   `--update-golden`).
+//! * **Thread-count invariance** — the canonical report bytes are
+//!   identical for `--jobs 1` and `--jobs N`.
+//! * **Baseline convergence** — in no-attack cells every controller
+//!   application converges the ping workload, under both fail modes.
+
+use attain::campaign::{attacks, cell, diff_golden, Matrix};
+use attain::controllers::ControllerKind;
+use attain::netsim::FailMode;
+use std::path::Path;
+
+fn check_golden(path: &str, fresh: &str) {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(Path::new(path).parent().unwrap()).unwrap();
+        std::fs::write(path, fresh).unwrap();
+        return;
+    }
+    let checked_in = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("{path} missing ({e}); generate it with UPDATE_GOLDEN=1 cargo test campaign")
+    });
+    if let Some(diff) = diff_golden(&checked_in, fresh) {
+        panic!("{path}: {diff}");
+    }
+}
+
+#[test]
+fn full_matrix_matches_golden_digests_and_expectations() {
+    let matrix = Matrix::full();
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let report = attain::campaign::run(&matrix, jobs);
+    let failures: Vec<String> = report
+        .failures()
+        .iter()
+        .map(|f| {
+            format!(
+                "{}: observed {}, expected {:?}",
+                f.name, f.observed, f.expected
+            )
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "differential oracle failures:\n{}",
+        failures.join("\n")
+    );
+    check_golden("tests/golden/campaign/full.txt", &report.golden_digests());
+}
+
+#[test]
+fn smoke_report_is_byte_identical_across_thread_counts() {
+    let matrix = Matrix::smoke();
+    let serial = attain::campaign::run(&matrix, 1);
+    let parallel = attain::campaign::run(&matrix, 4);
+    assert_eq!(
+        serial.canonical_json(),
+        parallel.canonical_json(),
+        "canonical report bytes must not depend on the worker count"
+    );
+    assert_eq!(serial.passed(), serial.cells.len());
+    check_golden("tests/golden/campaign/smoke.txt", &serial.golden_digests());
+}
+
+#[test]
+fn every_controller_converges_the_baseline_workload() {
+    // Satellite invariant: with no attack interposed, all five
+    // applications deliver the primary windows in full under both fail
+    // modes — and the DMZ firewall still blocks the external probes.
+    let trivial = attacks::by_name("trivial_pass").unwrap();
+    for kind in ControllerKind::CAMPAIGN {
+        for fail_mode in [FailMode::Safe, FailMode::Secure] {
+            let outcome = cell::run_baseline(&trivial, kind, fail_mode, 1);
+            for row in &outcome.pings {
+                let ctx = format!("{kind}/{fail_mode:?}/{}", row.label);
+                if row.label.starts_with('w') {
+                    assert_eq!(
+                        row.received, row.transmitted,
+                        "{ctx}: baseline workload must converge"
+                    );
+                } else {
+                    assert_eq!(
+                        row.received, 0,
+                        "{ctx}: the DMZ firewall must block external probes"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn only_filter_projects_the_matrix() {
+    use attain::campaign::Filter;
+    let mut matrix = Matrix::full();
+    Filter::parse("attack=connection_interruption,controller=ryu,fail=secure,seed=2")
+        .unwrap()
+        .apply(&mut matrix);
+    let report = attain::campaign::run(&matrix, 2);
+    assert_eq!(report.cells.len(), 1);
+    let cell = &report.cells[0];
+    assert_eq!(cell.name, "connection_interruption/ryu/secure/s2");
+    assert!(cell.pass);
+    // The Ryu anomaly, pinned: the interruption never arms.
+    assert_eq!(cell.outcome.final_state.as_deref(), Some("sigma2"));
+    // The filtered cell's digest matches its full-matrix golden line.
+    let golden = std::fs::read_to_string("tests/golden/campaign/full.txt").unwrap();
+    let line = golden
+        .lines()
+        .find(|l| l.starts_with("connection_interruption/ryu/secure/s2 "))
+        .expect("cell present in golden file");
+    assert_eq!(
+        line.split_whitespace().nth(1).unwrap(),
+        cell.outcome.digest.to_string(),
+        "a filtered run must reproduce the full matrix's digest"
+    );
+}

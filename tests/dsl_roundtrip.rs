@@ -1,0 +1,79 @@
+//! Golden roundtrip coverage for every shipped `attacks/*.atk`: each
+//! description parses, compiles, renders back to canonical text, and
+//! that canonical form is a **fixed point** (reparse → recompile →
+//! rerender is byte-identical). The canonical forms are snapshotted
+//! under `tests/golden/dsl/` so any compiler/renderer drift fails
+//! tier-1 with a named file; regenerate intentionally with
+//! `UPDATE_GOLDEN=1 cargo test dsl_snapshots`.
+
+use attain::core::dsl;
+use attain::core::model::{AttackModel, SystemModel};
+use attain::core::scenario;
+
+/// Compiles `source` against `(system, model)`, renders the canonical
+/// form, and proves it a fixed point. Returns the canonical text.
+fn canonical_fixed_point(
+    name: &str,
+    source: &str,
+    system: &SystemModel,
+    model: &AttackModel,
+) -> String {
+    let compiled = dsl::compile(source, system, model)
+        .unwrap_or_else(|e| panic!("{name}: does not compile: {e}"));
+    let rendered = dsl::render(&compiled.attack, system)
+        .unwrap_or_else(|e| panic!("{name}: does not render: {e}"));
+    let recompiled = dsl::compile(&rendered, system, model)
+        .unwrap_or_else(|e| panic!("{name}: canonical form does not reparse: {e}\n{rendered}"));
+    assert_eq!(
+        recompiled.attack, compiled.attack,
+        "{name}: reparse must reproduce the compiled attack"
+    );
+    let rerendered = dsl::render(&recompiled.attack, system)
+        .unwrap_or_else(|e| panic!("{name}: canonical form does not rerender: {e}"));
+    assert_eq!(
+        rerendered, rendered,
+        "{name}: canonical text must be a render fixed point"
+    );
+    rendered
+}
+
+fn check_snapshot(name: &str, canonical: &str) {
+    let path = format!("tests/golden/dsl/{name}.atkc");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden/dsl").unwrap();
+        std::fs::write(&path, canonical).unwrap();
+        return;
+    }
+    let checked_in = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("{path} missing ({e}); generate with UPDATE_GOLDEN=1 cargo test dsl_snapshots")
+    });
+    assert_eq!(
+        checked_in, canonical,
+        "{path}: compiled form drifted; regenerate with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn dsl_snapshots_every_shipped_attack_is_a_render_fixed_point() {
+    let sc = scenario::enterprise_network();
+    for (name, _) in scenario::attacks::ALL {
+        let path = format!("attacks/{name}.atk");
+        let source =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path} missing: {e}"));
+        let canonical = canonical_fixed_point(name, &source, &sc.system, &sc.attack_model);
+        check_snapshot(name, &canonical);
+    }
+
+    // The self-contained demo compiles as a document against its own
+    // system block; its attack roundtrips against that system.
+    let source =
+        std::fs::read_to_string("attacks/self_contained_demo.atk").expect("demo file present");
+    let doc = dsl::compile_document(&source).expect("demo compiles");
+    let canonical = canonical_fixed_point(
+        "self_contained_demo",
+        &dsl::render(&doc.attacks[0].attack, &doc.system).expect("demo renders"),
+        &doc.system,
+        &doc.attack_model,
+    );
+    check_snapshot("self_contained_demo", &canonical);
+}

@@ -2,7 +2,7 @@
 //! self-contained DSL document to a running attacked network, through
 //! the facade crate's public API.
 
-use attain::controllers::{ControllerKind, Floodlight, Pox, Ryu};
+use attain::controllers::{ControllerKind, Floodlight, Pox};
 use attain::core::dsl;
 use attain::core::exec::AttackExecutor;
 use attain::core::scenario;
@@ -144,11 +144,7 @@ fn facade_reexports_cover_the_paper_pipeline() {
 fn all_three_controller_models_run_under_the_generic_builder() {
     let doc = dsl::compile_document(DOCUMENT).expect("document compiles");
     for kind in ControllerKind::ALL {
-        let mut sim = build_simulation(&doc.system, FailMode::Secure, |_| match kind {
-            ControllerKind::Floodlight => Box::new(Floodlight::new()),
-            ControllerKind::Pox => Box::new(Pox::new()),
-            ControllerKind::Ryu => Box::new(Ryu::new()),
-        });
+        let mut sim = build_simulation(&doc.system, FailMode::Secure, |_| kind.instantiate());
         let h1 = sim.node_id("h1").expect("document declares h1");
         sim.schedule_command(
             SimTime::from_secs(5),

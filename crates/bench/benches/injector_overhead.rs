@@ -6,7 +6,7 @@
 use attain_core::exec::{AttackExecutor, InjectorInput};
 use attain_core::model::ConnectionId;
 use attain_core::{dsl, scenario};
-use attain_openflow::{FlowMod, Match, OfMessage};
+use attain_openflow::{FlowMod, Frame, Match, OfMessage};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn executor(source: &str) -> AttackExecutor {
@@ -16,7 +16,7 @@ fn executor(source: &str) -> AttackExecutor {
 }
 
 fn bench_injector_overhead(c: &mut Criterion) {
-    let flow_mod = OfMessage::FlowMod(FlowMod::add(Match::all(), vec![])).encode(1);
+    let flow_mod = Frame::new(OfMessage::FlowMod(FlowMod::add(Match::all(), vec![])).encode(1));
     let mut group = c.benchmark_group("injector_overhead");
     group.throughput(Throughput::Elements(1));
     let cases = [
@@ -43,7 +43,7 @@ fn bench_injector_overhead(c: &mut Criterion) {
                 exec.on_message(InjectorInput {
                     conn: ConnectionId(0),
                     to_controller: false,
-                    bytes: &flow_mod,
+                    frame: flow_mod.clone(),
                     now_ns: now,
                 })
             });

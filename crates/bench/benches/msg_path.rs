@@ -1,0 +1,259 @@
+//! End-to-end control-plane message-path cost: allocations and time per
+//! message on the interposed proxy pipeline (§VI-C's hot loop).
+//!
+//! Three workloads, each measured for wall-clock ns/message and — via a
+//! counting global allocator — heap allocations and allocated bytes per
+//! message:
+//!
+//! * `executor_pass` — the §VI-D sweep executor (64 non-matching rules)
+//!   passing an `ECHO_REQUEST` through unchanged: the pure pass-through
+//!   path every interposed message pays.
+//! * `executor_duplicate` — a single always-firing `DUPLICATEMESSAGE`
+//!   rule: the replay/duplication path the `Frame` refactor turns into a
+//!   refcount bump.
+//! * `sim_e2e` — the full §VII case-study network (4 switches, 6 hosts,
+//!   DMZ firewall controller) with the trivial pass-all attack
+//!   interposed, driven by a ping workload; cost is amortized over every
+//!   control-plane message the proxy saw.
+//!
+//! A full run (not under `cargo test`) writes `BENCH_msg_path.json` at
+//! the workspace root with a `baseline` section (the pre-`Frame`
+//! `Vec<u8>` message path, captured once and kept as constants here) and
+//! a `current` section (this build), so the allocation delta of the
+//! refactor stays visible across revisions.
+
+use attain_bench::{bench_message, rule_sweep_executor, timing, tiny_system};
+use attain_controllers::ControllerKind;
+use attain_core::exec::{AttackExecutor, InjectorInput};
+use attain_core::lang::{Attack, AttackAction, AttackState, Expr, Property, Rule, Value};
+use attain_core::model::{CapabilitySet, ConnectionId};
+use attain_core::scenario;
+use attain_injector::harness::{attach_attack, build_case_study};
+use attain_netsim::{FailMode, HostCommand, SimTime};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------------
+// Counting allocator
+// ---------------------------------------------------------------------------
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Wraps the system allocator, counting every allocation and its size.
+/// Deallocations are not counted: the metric of interest is how much
+/// fresh heap the message path requests per message.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Point {
+    name: &'static str,
+    ns_per_msg: f64,
+    allocs_per_msg: f64,
+    alloc_bytes_per_msg: f64,
+}
+
+/// An attack whose single rule always fires and duplicates the message.
+fn duplicate_executor() -> AttackExecutor {
+    let (system, model) = tiny_system();
+    let attack = Attack {
+        name: "dup".into(),
+        states: vec![AttackState {
+            name: "s".into(),
+            rules: vec![Rule {
+                name: "phi0".into(),
+                connections: vec![ConnectionId(0)],
+                required: CapabilitySet::no_tls(),
+                condition: Expr::Ge(
+                    Box::new(Expr::Prop(Property::Length)),
+                    Box::new(Expr::Lit(Value::Int(0))),
+                ),
+                actions: vec![AttackAction::Duplicate],
+            }],
+        }],
+        start: 0,
+    };
+    AttackExecutor::new(system, model, attack).expect("duplicate attack validates")
+}
+
+/// Measures one executor workload: allocation counting over a fixed
+/// batch, then wall-clock timing (counted separately so timing noise
+/// cannot perturb the deterministic allocation numbers).
+fn measure_executor(name: &'static str, mut exec: AttackExecutor, iters: u64) -> Point {
+    let msg = bench_message();
+    let run_one = |exec: &mut AttackExecutor, now: &mut u64| {
+        *now += 1_000;
+        let out = exec.on_message(InjectorInput {
+            conn: ConnectionId(0),
+            to_controller: true,
+            frame: msg.clone(),
+            now_ns: *now,
+        });
+        black_box(out);
+    };
+    // Warm up (executor log buffers etc. reach steady state).
+    let mut now = 0u64;
+    for _ in 0..64 {
+        run_one(&mut exec, &mut now);
+    }
+    let (calls0, bytes0) = alloc_snapshot();
+    for _ in 0..iters {
+        run_one(&mut exec, &mut now);
+    }
+    let (calls1, bytes1) = alloc_snapshot();
+    let ns = timing::measure_ns(|| run_one(&mut exec, &mut now));
+    Point {
+        name,
+        ns_per_msg: ns,
+        allocs_per_msg: (calls1 - calls0) as f64 / iters as f64,
+        alloc_bytes_per_msg: (bytes1 - bytes0) as f64 / iters as f64,
+    }
+}
+
+/// The end-to-end pipeline: the §VII case study with the trivial
+/// pass-all attack interposed, a 30-trial ping workload, costs amortized
+/// over every control-plane message that crossed the proxy.
+fn measure_sim_e2e() -> Point {
+    let build = || {
+        let mut sim = build_case_study(ControllerKind::Floodlight, FailMode::Secure);
+        let _exec = attach_attack(&mut sim, scenario::attacks::TRIVIAL_PASS);
+        let h1 = sim.node_id("h1").expect("case study has h1");
+        sim.schedule_command(
+            SimTime::from_secs(1),
+            HostCommand::Ping {
+                host: h1,
+                dst: "10.0.0.6".parse().expect("valid address"),
+                count: 30,
+                interval: SimTime::from_secs(1),
+                label: "bench ping".into(),
+            },
+        );
+        sim
+    };
+    // Allocation pass: count only the run, not construction.
+    let mut sim = build();
+    let (calls0, bytes0) = alloc_snapshot();
+    let t = std::time::Instant::now();
+    sim.run_until(SimTime::from_secs(40));
+    let wall_ns = t.elapsed().as_nanos() as f64;
+    let (calls1, bytes1) = alloc_snapshot();
+    let msgs = sim.trace().control_message_total();
+    assert!(msgs > 0, "e2e bench saw no control-plane traffic");
+    Point {
+        name: "sim_e2e",
+        ns_per_msg: wall_ns / msgs as f64,
+        allocs_per_msg: (calls1 - calls0) as f64 / msgs as f64,
+        alloc_bytes_per_msg: (bytes1 - bytes0) as f64 / msgs as f64,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// The pre-`Frame` baseline: the same three workloads measured at the
+/// commit before the message path moved from owned `Vec<u8>` hops to
+/// shared `Frame`s. Kept as constants so every future run of this bench
+/// reports the refactor's delta. `None` until captured.
+///
+/// Captured on the pre-refactor tree (commit after PR 4):
+/// `(name, ns_per_msg, allocs_per_msg, alloc_bytes_per_msg)`. The
+/// allocation columns are deterministic; the ns column is indicative.
+const BASELINE: Option<[(&str, f64, f64, f64); 3]> = Some([
+    ("executor_pass", 2926.9, 3.000, 128.0),
+    ("executor_duplicate", 461.6, 8.001, 648.9),
+    ("sim_e2e", 2665.2, 26.417, 2817.0),
+]);
+
+fn json_point(name: &str, ns: f64, allocs: f64, bytes: f64) -> String {
+    format!(
+        "    {{\"name\": \"{name}\", \"ns_per_msg\": {ns:.1}, \"allocs_per_msg\": {allocs:.3}, \"alloc_bytes_per_msg\": {bytes:.1}}}"
+    )
+}
+
+fn emit_report(points: &[Point]) {
+    let mut out = String::from("{\n  \"bench\": \"msg_path\",\n");
+    out.push_str("  \"baseline\": [\n");
+    if let Some(base) = BASELINE {
+        let rendered: Vec<String> = base
+            .iter()
+            .map(|(n, ns, a, b)| json_point(n, *ns, *a, *b))
+            .collect();
+        out.push_str(&rendered.join(",\n"));
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"current\": [\n");
+    let rendered: Vec<String> = points
+        .iter()
+        .map(|p| {
+            json_point(
+                p.name,
+                p.ns_per_msg,
+                p.allocs_per_msg,
+                p.alloc_bytes_per_msg,
+            )
+        })
+        .collect();
+    out.push_str(&rendered.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_msg_path.json");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    // Under `cargo test` the harness-less bench binary gets `--test`:
+    // run a one-message smoke of each workload and exit fast.
+    if std::env::args().any(|a| a == "--test") {
+        let p = measure_executor("executor_pass", rule_sweep_executor(64, false), 1);
+        assert!(p.allocs_per_msg >= 0.0);
+        return;
+    }
+    let points = vec![
+        measure_executor("executor_pass", rule_sweep_executor(64, false), 10_000),
+        measure_executor("executor_duplicate", duplicate_executor(), 10_000),
+        measure_sim_e2e(),
+    ];
+    for p in &points {
+        println!(
+            "{:<20} {:>10.1} ns/msg {:>8.3} allocs/msg {:>10.1} B/msg",
+            p.name, p.ns_per_msg, p.allocs_per_msg, p.alloc_bytes_per_msg
+        );
+    }
+    emit_report(&points);
+}

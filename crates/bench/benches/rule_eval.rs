@@ -20,7 +20,7 @@ fn bench_rule_eval(c: &mut Criterion) {
                     exec.on_message(InjectorInput {
                         conn: ConnectionId(0),
                         to_controller: true,
-                        bytes: &msg,
+                        frame: msg.clone(),
                         now_ns: now,
                     })
                 });

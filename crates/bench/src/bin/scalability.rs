@@ -21,7 +21,7 @@ fn measure_ns_per_message(rules: usize, all_match: bool) -> f64 {
         exec.on_message(InjectorInput {
             conn: ConnectionId(0),
             to_controller: true,
-            bytes: &msg,
+            frame: msg.clone(),
             now_ns: i,
         });
     }
@@ -30,7 +30,7 @@ fn measure_ns_per_message(rules: usize, all_match: bool) -> f64 {
         exec.on_message(InjectorInput {
             conn: ConnectionId(0),
             to_controller: true,
-            bytes: &msg,
+            frame: msg.clone(),
             now_ns: i,
         });
     }

@@ -127,9 +127,11 @@ pub fn rule_sweep_executor(n: usize, all_match: bool) -> AttackExecutor {
 }
 
 /// A representative message workload for executor benches: one encoded
-/// `ECHO_REQUEST` (the length no sweep rule matches).
-pub fn bench_message() -> Vec<u8> {
-    attain_openflow::OfMessage::EchoRequest(vec![7u8; 32]).encode(1)
+/// `ECHO_REQUEST` (the length no sweep rule matches), as a shared
+/// [`Frame`](attain_openflow::Frame) so benches feed the executor the
+/// same way the proxies do — a refcount bump per message.
+pub fn bench_message() -> attain_openflow::Frame {
+    attain_openflow::Frame::new(attain_openflow::OfMessage::EchoRequest(vec![7u8; 32]).encode(1))
 }
 
 /// Human-readable OF type histogram line from counts.
@@ -284,7 +286,7 @@ mod tests {
             let out = exec.on_message(InjectorInput {
                 conn: ConnectionId(0),
                 to_controller: true,
-                bytes: &msg,
+                frame: msg.clone(),
                 now_ns: 0,
             });
             assert_eq!(out.deliveries.len(), 1); // default pass either way

@@ -83,7 +83,7 @@ pub fn compile_all(
         ));
     }
     doc.attacks
-        .iter()
+        .into_iter()
         .map(|a| compile_attack(a, system, model))
         .collect()
 }
@@ -106,7 +106,7 @@ pub fn compile_document(source: &str) -> Result<CompiledDocument, DslError> {
     };
     let attacks = doc
         .attacks
-        .iter()
+        .into_iter()
         .map(|a| compile_attack(a, &system, &attack_model))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(CompiledDocument {
@@ -277,7 +277,7 @@ fn compile_capabilities(
 // ---------------------------------------------------------------------------
 
 fn compile_attack(
-    block: &AttackBlock,
+    block: AttackBlock,
     system: &SystemModel,
     model: &AttackModel,
 ) -> Result<CompiledAttack, DslError> {
@@ -310,18 +310,21 @@ fn compile_attack(
             ))
         }
     };
-    let state_index = |name: &str, line: u32| {
-        block
-            .states
+    // `goto` resolution outlives the move of each state below, so the
+    // name table is captured up front (the only per-state copy left —
+    // everything else in the AST is moved into the compiled attack).
+    let state_names: Vec<String> = block.states.iter().map(|s| s.name.clone()).collect();
+    let state_index = move |name: &str, line: u32| {
+        state_names
             .iter()
-            .position(|s| s.name == name)
+            .position(|s| s == name)
             .ok_or_else(|| DslError::new(line, format!("unknown state `{name}`")))
     };
 
     let mut states = Vec::with_capacity(block.states.len());
-    for decl in &block.states {
+    for decl in block.states {
         let mut rules = Vec::with_capacity(decl.rules.len());
-        for rd in &decl.rules {
+        for rd in decl.rules {
             let connections: Vec<ConnectionId> = match &rd.connections {
                 ConnSpec::All => system.connections().map(|(id, _, _)| id).collect(),
                 ConnSpec::List(list) => list
@@ -342,14 +345,14 @@ fn compile_attack(
                     format!("rule {} watches no connections", rd.name),
                 ));
             }
-            let condition = compile_expr(&rd.condition, system, rd.line)?;
+            let condition = compile_expr(rd.condition, system, rd.line)?;
             let actions = rd
                 .actions
-                .iter()
+                .into_iter()
                 .map(|a| compile_action(a, system, &state_index, rd.line))
                 .collect::<Result<Vec<_>, _>>()?;
             let mut rule = Rule {
-                name: rd.name.clone(),
+                name: rd.name,
                 connections,
                 required: CapabilitySet::EMPTY,
                 condition,
@@ -362,12 +365,12 @@ fn compile_attack(
             rules.push(rule);
         }
         states.push(AttackState {
-            name: decl.name.clone(),
+            name: decl.name,
             rules,
         });
     }
     let attack = Attack {
-        name: block.name.clone(),
+        name: block.name,
         states,
         start,
     };
@@ -377,27 +380,27 @@ fn compile_attack(
     Ok(CompiledAttack { attack, graph })
 }
 
-fn compile_expr(ast: &ExprAst, system: &SystemModel, line: u32) -> Result<Expr, DslError> {
+fn compile_expr(ast: ExprAst, system: &SystemModel, line: u32) -> Result<Expr, DslError> {
     Ok(match ast {
-        ExprAst::Int(i) => Expr::Lit(Value::Int(*i)),
-        ExprAst::Float(x) => Expr::Lit(Value::Float(*x)),
-        ExprAst::Str(s) => Expr::Lit(Value::Str(s.clone())),
-        ExprAst::Ip(ip) => Expr::Lit(Value::Ip(*ip)),
-        ExprAst::Bool(b) => Expr::Lit(Value::Bool(*b)),
+        ExprAst::Int(i) => Expr::Lit(Value::Int(i)),
+        ExprAst::Float(x) => Expr::Lit(Value::Float(x)),
+        ExprAst::Str(s) => Expr::Lit(Value::Str(s)),
+        ExprAst::Ip(ip) => Expr::Lit(Value::Ip(ip)),
+        ExprAst::Bool(b) => Expr::Lit(Value::Bool(b)),
         ExprAst::NoneLit => Expr::Lit(Value::None),
         ExprAst::MacLit(text, line) => {
             Expr::Lit(Value::Mac(text.parse().map_err(|_| {
-                DslError::new(*line, format!("invalid MAC address {text:?}"))
+                DslError::new(line, format!("invalid MAC address {text:?}"))
             })?))
         }
         ExprAst::Name(name, line) => {
-            if let Some(t) = OfType::from_spec_name(name) {
+            if let Some(t) = OfType::from_spec_name(&name) {
                 Expr::Lit(Value::MsgType(t))
-            } else if let Some(node) = system.resolve(name) {
+            } else if let Some(node) = system.resolve(&name) {
                 Expr::Lit(Value::Addr(node))
             } else {
                 return Err(DslError::new(
-                    *line,
+                    line,
                     format!("`{name}` is neither a component nor an OpenFlow message type"),
                 ));
             }
@@ -412,31 +415,31 @@ fn compile_expr(ast: &ExprAst, system: &SystemModel, line: u32) -> Result<Expr, 
             "entropy" => Property::Entropy,
             other => {
                 return Err(DslError::new(
-                    *line,
+                    line,
                     format!(
                         "unknown message property `{other}` (use msg[\"path\"] for type options)"
                     ),
                 ))
             }
         }),
-        ExprAst::MsgOption(path) => Expr::Prop(Property::TypeOption(path.clone())),
+        ExprAst::MsgOption(path) => Expr::Prop(Property::TypeOption(path)),
         ExprAst::DequeFn { func, deque } => match func.as_str() {
             "front" => Expr::DequeRead {
-                deque: deque.clone(),
+                deque,
                 end: DequeEnd::Front,
             },
             "back" => Expr::DequeRead {
-                deque: deque.clone(),
+                deque,
                 end: DequeEnd::End,
             },
-            "len" => Expr::DequeLen(deque.clone()),
+            "len" => Expr::DequeLen(deque),
             _ => unreachable!("parser only yields front/back/len"),
         },
-        ExprAst::Not(e) => Expr::Not(Box::new(compile_expr(e, system, line)?)),
+        ExprAst::Not(e) => Expr::Not(Box::new(compile_expr(*e, system, line)?)),
         ExprAst::Bin { op, lhs, rhs } => {
-            let l = Box::new(compile_expr(lhs, system, line)?);
-            let r = Box::new(compile_expr(rhs, system, line)?);
-            match *op {
+            let l = Box::new(compile_expr(*lhs, system, line)?);
+            let r = Box::new(compile_expr(*rhs, system, line)?);
+            match op {
                 "&&" => Expr::And(l, r),
                 "||" => Expr::Or(l, r),
                 "==" => Expr::Eq(l, r),
@@ -451,9 +454,9 @@ fn compile_expr(ast: &ExprAst, system: &SystemModel, line: u32) -> Result<Expr, 
             }
         }
         ExprAst::In(needle, items) => Expr::In(
-            Box::new(compile_expr(needle, system, line)?),
+            Box::new(compile_expr(*needle, system, line)?),
             items
-                .iter()
+                .into_iter()
                 .map(|i| compile_expr(i, system, line))
                 .collect::<Result<_, _>>()?,
         ),
@@ -475,7 +478,7 @@ fn decode_hex(text: &str, line: u32) -> Result<Vec<u8>, DslError> {
 }
 
 fn compile_action(
-    ast: &ActionAst,
+    ast: ActionAst,
     system: &SystemModel,
     state_index: &impl Fn(&str, u32) -> Result<usize, DslError>,
     line: u32,
@@ -488,72 +491,66 @@ fn compile_action(
         ActionAst::ReadMetadata => AttackAction::ReadMetadata,
         ActionAst::Delay(e) => AttackAction::Delay(compile_expr(e, system, line)?),
         ActionAst::Modify(field, e) => AttackAction::Modify {
-            field: field.clone(),
+            field,
             value: compile_expr(e, system, line)?,
         },
         ActionAst::ModifyMetadata(field, e) => AttackAction::ModifyMetadata {
-            field: field.clone(),
+            field,
             value: compile_expr(e, system, line)?,
         },
-        ActionAst::Fuzz(flips) => AttackAction::Fuzz { flips: *flips },
+        ActionAst::Fuzz(flips) => AttackAction::Fuzz { flips },
         ActionAst::Inject {
             conn: (c, s),
             to_controller,
             hex,
             line,
         } => {
-            let conn = system.connection_by_names(c, s).ok_or_else(|| {
+            let conn = system.connection_by_names(&c, &s).ok_or_else(|| {
                 DslError::new(
-                    *line,
+                    line,
                     format!("({c}, {s}) is not a control plane connection"),
                 )
             })?;
             AttackAction::Inject {
                 conn,
-                to_controller: *to_controller,
-                bytes: decode_hex(hex, *line)?,
+                to_controller,
+                frame: attain_openflow::Frame::new(decode_hex(&hex, line)?),
             }
         }
         ActionAst::Append { deque, value } => match value {
             Some(e) => AttackAction::Append {
-                deque: deque.clone(),
+                deque,
                 value: compile_expr(e, system, line)?,
             },
             None => AttackAction::StoreMessage {
-                deque: deque.clone(),
+                deque,
                 front: false,
             },
         },
         ActionAst::Prepend { deque, value } => match value {
             Some(e) => AttackAction::Prepend {
-                deque: deque.clone(),
+                deque,
                 value: compile_expr(e, system, line)?,
             },
-            None => AttackAction::StoreMessage {
-                deque: deque.clone(),
-                front: true,
-            },
+            None => AttackAction::StoreMessage { deque, front: true },
         },
-        ActionAst::Shift(d) => AttackAction::Shift(d.clone()),
-        ActionAst::Pop(d) => AttackAction::Pop(d.clone()),
+        ActionAst::Shift(d) => AttackAction::Shift(d),
+        ActionAst::Pop(d) => AttackAction::Pop(d),
         ActionAst::EmitFront(d) => AttackAction::EmitStored {
-            deque: d.clone(),
+            deque: d,
             end: DequeEnd::Front,
         },
         ActionAst::EmitBack(d) => AttackAction::EmitStored {
-            deque: d.clone(),
+            deque: d,
             end: DequeEnd::End,
         },
-        ActionAst::Goto(target, line) => AttackAction::GoToState(state_index(target, *line)?),
+        ActionAst::Goto(target, line) => AttackAction::GoToState(state_index(&target, line)?),
         ActionAst::Sleep(e) => AttackAction::Sleep(compile_expr(e, system, line)?),
         ActionAst::SysCmd { host, cmd, line } => {
-            if system.resolve(host).is_none() {
-                return Err(DslError::new(*line, format!("unknown host `{host}`")));
+            if system.resolve(&host).is_none() {
+                return Err(DslError::new(line, format!("unknown host `{host}`")));
             }
-            AttackAction::SysCmd {
-                host: host.clone(),
-                cmd: cmd.clone(),
-            }
+            AttackAction::SysCmd { host, cmd }
         }
         ActionAst::Fault { spec, line } => {
             // Shallow validation: the full grammar lives with the
@@ -561,7 +558,7 @@ fn compile_action(
             // here and a typo should fail at compile time, not silently
             // no-op at run time.
             let toks: Vec<&str> = spec.split_whitespace().collect();
-            let err = |msg: String| Err(DslError::new(*line, msg));
+            let err = |msg: String| Err(DslError::new(line, msg));
             match toks.as_slice() {
                 ["link", ab, _, ..] => {
                     let Some((a, b)) = ab.split_once('-') else {
@@ -585,7 +582,7 @@ fn compile_action(
                     ));
                 }
             }
-            AttackAction::Fault { spec: spec.clone() }
+            AttackAction::Fault { spec }
         }
     })
 }
@@ -771,10 +768,13 @@ mod tests {
             }
         "#;
         let atk = compile(source, &doc.system, &doc.attack_model).unwrap();
-        let AttackAction::Inject { bytes, .. } = &atk.attack.states[0].rules[0].actions[0] else {
+        let AttackAction::Inject { frame, .. } = &atk.attack.states[0].rules[0].actions[0] else {
             panic!("expected inject");
         };
-        assert_eq!(bytes, &[0x01, 0x04, 0x00, 0x08, 0x00, 0x00, 0x00, 0x63]);
+        assert_eq!(
+            frame.bytes(),
+            &[0x01, 0x04, 0x00, 0x08, 0x00, 0x00, 0x00, 0x63]
+        );
         // Malformed hex:
         let bad = source.replace("00 63", "00 6");
         assert!(compile(&bad, &doc.system, &doc.attack_model).is_err());

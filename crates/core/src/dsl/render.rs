@@ -142,9 +142,9 @@ fn render_action(
         AttackAction::Inject {
             conn,
             to_controller,
-            bytes,
+            frame,
         } => {
-            let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+            let hex: String = frame.bytes().iter().map(|b| format!("{b:02x}")).collect();
             format!(
                 "inject({}, {}, hex({:?}));",
                 conn_name(system, *conn)?,
@@ -316,7 +316,7 @@ mod tests {
                     condition: Expr::Lit(Value::Message(StoredMessage {
                         conn: 0,
                         to_controller: true,
-                        bytes: vec![],
+                        frame: attain_openflow::Frame::new(vec![]),
                     })),
                     actions: vec![],
                 }],

@@ -8,7 +8,7 @@ use crate::lang::{AttackAction, DequeEnd, DequeStore, MessageView, StoredMessage
 use crate::model::AttackModel;
 use crate::model::Capability;
 use crate::model::{ConnectionId, NodeRef, SystemModel};
-use attain_openflow::OfMessage;
+use attain_openflow::Frame;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -16,14 +16,17 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A message entering the proxy, as presented to the executor.
-#[derive(Debug, Clone, Copy)]
-pub struct InjectorInput<'a> {
+///
+/// Holds a shared [`Frame`]; the executor's pass-through path forwards
+/// the same allocation it was handed.
+#[derive(Debug, Clone)]
+pub struct InjectorInput {
     /// The connection the message is on.
     pub conn: ConnectionId,
     /// `true` when travelling switch→controller.
     pub to_controller: bool,
     /// Encoded message.
-    pub bytes: &'a [u8],
+    pub frame: Frame,
     /// Arrival time at the proxy in nanoseconds.
     pub now_ns: u64,
 }
@@ -35,8 +38,9 @@ pub struct OutMessage {
     pub conn: ConnectionId,
     /// `true` to deliver toward the controller.
     pub to_controller: bool,
-    /// Encoded message.
-    pub bytes: Vec<u8>,
+    /// Encoded message, shared with the input frame unless a mutating
+    /// action (`MODIFYMESSAGE`/`FUZZMESSAGE`) rewrote it copy-on-write.
+    pub frame: Frame,
     /// Extra delay before delivery, in nanoseconds.
     pub extra_delay_ns: u64,
     /// Executor-assigned emission sequence number, strictly increasing
@@ -174,7 +178,7 @@ fn entropy_for(seed: u64, id: u64) -> f64 {
 struct HeldMessage {
     conn: ConnectionId,
     to_controller: bool,
-    bytes: Vec<u8>,
+    frame: Frame,
     id: u64,
 }
 
@@ -282,17 +286,17 @@ impl AttackExecutor {
 
     /// Algorithm 1, lines 4–21: processes one asynchronous incoming
     /// message and returns the outgoing message list plus side effects.
-    pub fn on_message(&mut self, input: InjectorInput<'_>) -> ExecOutput {
+    pub fn on_message(&mut self, input: InjectorInput) -> ExecOutput {
         let id = self.next_msg_id;
         self.next_msg_id += 1;
         // SLEEP semantics: messages arriving while asleep are held and
-        // replayed, in order, at wake time.
+        // replayed, in order, at wake time. Holding is a refcount bump.
         if let Some(until) = self.sleep_until_ns {
             if input.now_ns < until {
                 self.held.push_back(HeldMessage {
                     conn: input.conn,
                     to_controller: input.to_controller,
-                    bytes: input.bytes.to_vec(),
+                    frame: input.frame,
                     id,
                 });
                 self.log.push(input.now_ns, LogKind::Held { msg_id: id });
@@ -306,7 +310,7 @@ impl AttackExecutor {
         self.process(
             input.conn,
             input.to_controller,
-            input.bytes,
+            &input.frame,
             input.now_ns,
             id,
         )
@@ -324,7 +328,7 @@ impl AttackExecutor {
             self.sleep_until_ns = None;
         }
         while let Some(held) = self.held.pop_front() {
-            let out = self.process(held.conn, held.to_controller, &held.bytes, now_ns, held.id);
+            let out = self.process(held.conn, held.to_controller, &held.frame, now_ns, held.id);
             total.deliveries.extend(out.deliveries);
             total.commands.extend(out.commands);
             total.faults.extend(out.faults);
@@ -341,15 +345,15 @@ impl AttackExecutor {
         &mut self,
         conn: ConnectionId,
         to_controller: bool,
-        bytes: &[u8],
+        frame: &Frame,
         now_ns: u64,
         id: u64,
     ) -> ExecOutput {
-        // Line 5: msg_out ← [msg_in].
+        // Line 5: msg_out ← [msg_in] — a shared handle, not a copy.
         let mut out = vec![OutMessage {
             conn,
             to_controller,
-            bytes: bytes.to_vec(),
+            frame: frame.clone(),
             extra_delay_ns: 0,
             seq: 0,
             derived: true,
@@ -358,7 +362,6 @@ impl AttackExecutor {
         let mut faults = Vec::new();
         let mut wakeup = None;
 
-        let decoded = OfMessage::decode(bytes).ok();
         let (source, destination) = self.endpoints(conn, to_controller);
 
         // Line 6: σ_previous ← σ_current — rules are evaluated against
@@ -377,8 +380,7 @@ impl AttackExecutor {
                 destination,
                 timestamp_ns: now_ns,
                 id,
-                bytes,
-                decoded: decoded.as_ref().map(|(m, _)| m),
+                frame,
                 granted: rule.required,
                 entropy: entropy_for(self.entropy_seed, id),
             };
@@ -490,7 +492,7 @@ impl AttackExecutor {
                     out.push(OutMessage {
                         conn: view.conn,
                         to_controller: matches!(view.source, NodeRef::Switch(_)),
-                        bytes: view.bytes.to_vec(),
+                        frame: view.frame.clone(),
                         extra_delay_ns: 0,
                         seq: 0,
                         derived: true,
@@ -510,6 +512,8 @@ impl AttackExecutor {
                 Err(e) => log_err(&mut self.log, e.to_string()),
             },
             AttackAction::Duplicate => {
+                // Cloning an OutMessage shares its frame: DUPLICATEMESSAGE
+                // is a refcount bump, not a buffer copy.
                 let template =
                     out.iter()
                         .rev()
@@ -518,7 +522,7 @@ impl AttackExecutor {
                         .unwrap_or(OutMessage {
                             conn: view.conn,
                             to_controller: matches!(view.source, NodeRef::Switch(_)),
-                            bytes: view.bytes.to_vec(),
+                            frame: view.frame.clone(),
                             extra_delay_ns: 0,
                             seq: 0,
                             derived: true,
@@ -531,7 +535,7 @@ impl AttackExecutor {
                     view.conn.0,
                     self.system.name_of(view.source),
                     self.system.name_of(view.destination),
-                    view.bytes.len(),
+                    view.frame.len(),
                     view.timestamp_ns as f64 / 1e9,
                 );
                 self.log.push(
@@ -543,7 +547,7 @@ impl AttackExecutor {
                 );
             }
             AttackAction::Read => {
-                let summary = match view.decoded {
+                let summary = match view.frame.message() {
                     Some(m) => {
                         let s = format!("{m:?}");
                         s.chars().take(200).collect()
@@ -600,14 +604,18 @@ impl AttackExecutor {
                 }
             }
             AttackAction::Fuzz { flips } => {
+                // Copy-on-write: the shared frame stays intact; the
+                // mutated copy becomes a fresh frame.
                 for m in out.iter_mut().filter(|m| m.derived) {
-                    if m.bytes.is_empty() {
+                    if m.frame.is_empty() {
                         continue;
                     }
+                    let mut bytes = m.frame.to_vec();
                     for _ in 0..*flips {
-                        let bit = self.fuzz_rng.gen_range(0..m.bytes.len() * 8);
-                        m.bytes[bit / 8] ^= 1 << (bit % 8);
+                        let bit = self.fuzz_rng.gen_range(0..bytes.len() * 8);
+                        bytes[bit / 8] ^= 1 << (bit % 8);
                     }
+                    m.frame = Frame::new(bytes);
                 }
             }
             AttackAction::Modify { field, value } => {
@@ -615,9 +623,10 @@ impl AttackExecutor {
                     Ok(v) => v,
                     Err(e) => return log_err(&mut self.log, e.to_string()),
                 };
+                // Copy-on-write, as for FUZZMESSAGE.
                 for m in out.iter_mut().filter(|m| m.derived) {
-                    match modifier::set_field(&m.bytes, field, &v) {
-                        Ok(b) => m.bytes = b,
+                    match modifier::set_field(m.frame.bytes(), field, &v) {
+                        Ok(b) => m.frame = Frame::new(b),
                         Err(e) => log_err(&mut self.log, e.to_string()),
                     }
                 }
@@ -625,12 +634,12 @@ impl AttackExecutor {
             AttackAction::Inject {
                 conn,
                 to_controller,
-                bytes,
+                frame,
             } => {
                 out.push(OutMessage {
                     conn: *conn,
                     to_controller: *to_controller,
-                    bytes: bytes.clone(),
+                    frame: frame.clone(),
                     extra_delay_ns: 0,
                     seq: 0,
                     derived: false,
@@ -655,7 +664,7 @@ impl AttackExecutor {
                 let stored = Value::Message(StoredMessage {
                     conn: view.conn.0,
                     to_controller: matches!(view.source, NodeRef::Switch(_)),
-                    bytes: view.bytes.to_vec(),
+                    frame: view.frame.clone(),
                 });
                 if *front {
                     self.deques.prepend(deque, stored);
@@ -672,7 +681,7 @@ impl AttackExecutor {
                     Value::Message(m) => out.push(OutMessage {
                         conn: ConnectionId(m.conn),
                         to_controller: m.to_controller,
-                        bytes: m.bytes,
+                        frame: m.frame,
                         extra_delay_ns: 0,
                         seq: 0,
                         derived: false,

@@ -52,8 +52,9 @@ pub enum AttackAction {
         conn: ConnectionId,
         /// `true` to deliver switch→controller.
         to_controller: bool,
-        /// Pre-encoded message bytes.
-        bytes: Vec<u8>,
+        /// Pre-encoded message, shared across every firing of the rule
+        /// (each injection is a refcount bump on the compiled frame).
+        frame: attain_openflow::Frame,
     },
     /// `PREPEND(δ, value)`.
     Prepend {
@@ -226,8 +227,8 @@ mod tests {
             .contains(Capability::ReadMessage));
         assert!(AttackAction::Inject {
             conn: ConnectionId(0),
-            to_controller: false,
-            bytes: vec![],
+            to_controller: true,
+            frame: attain_openflow::Frame::new(vec![]),
         }
         .required_capabilities()
         .contains(Capability::InjectNewMessage));

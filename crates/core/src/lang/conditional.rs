@@ -257,21 +257,19 @@ mod tests {
     use crate::model::{ConnectionId, ControllerId, NodeRef, SwitchId};
     use attain_openflow::{FlowMod, Match, OfMessage, OfType};
 
-    fn make_msg() -> (OfMessage, Vec<u8>) {
+    fn make_msg() -> attain_openflow::Frame {
         let msg = OfMessage::FlowMod(FlowMod::add(Match::all(), vec![]));
-        let bytes = msg.encode(7);
-        (msg, bytes)
+        attain_openflow::Frame::from_message(msg, 7)
     }
 
-    fn view<'a>(msg: &'a OfMessage, bytes: &'a [u8]) -> MessageView<'a> {
+    fn view(frame: &attain_openflow::Frame) -> MessageView<'_> {
         MessageView {
             conn: ConnectionId(0),
             source: NodeRef::Controller(ControllerId(0)),
             destination: NodeRef::Switch(SwitchId(1)),
             timestamp_ns: 0,
             id: 1,
-            bytes,
-            decoded: Some(msg),
+            frame,
             granted: CapabilitySet::no_tls(),
             entropy: 0.5,
         }
@@ -279,8 +277,8 @@ mod tests {
 
     #[test]
     fn type_and_source_conjunction_like_figure_10() {
-        let (msg, bytes) = make_msg();
-        let v = view(&msg, &bytes);
+        let frame = make_msg();
+        let v = view(&frame);
         let d = DequeStore::new();
         // λ = (msg.type == FLOW_MOD) ∧ (msg.source == c1)
         let cond = Expr::and(
@@ -304,8 +302,8 @@ mod tests {
 
     #[test]
     fn membership_like_figure_12_phi2() {
-        let (msg, bytes) = make_msg();
-        let v = view(&msg, &bytes);
+        let frame = make_msg();
+        let v = view(&frame);
         let d = DequeStore::new();
         // destination ∈ {s1, s2}
         let cond = Expr::In(
@@ -320,8 +318,8 @@ mod tests {
 
     #[test]
     fn short_circuit_protects_capability_checks() {
-        let (msg, bytes) = make_msg();
-        let mut v = view(&msg, &bytes);
+        let frame = make_msg();
+        let mut v = view(&frame);
         v.granted = CapabilitySet::tls(); // no payload reads
         let d = DequeStore::new();
         // length > 10_000 ∧ type == FLOW_MOD: left side false, right side
@@ -353,8 +351,8 @@ mod tests {
 
     #[test]
     fn counter_condition_from_section_viii_b() {
-        let (msg, bytes) = make_msg();
-        let v = view(&msg, &bytes);
+        let frame = make_msg();
+        let v = view(&frame);
         let mut d = DequeStore::new();
         d.prepend("counter", Value::Int(3));
         // EXAMINEFRONT(counter) == 3
@@ -401,8 +399,8 @@ mod tests {
 
     #[test]
     fn comparison_type_errors_are_reported() {
-        let (msg, bytes) = make_msg();
-        let v = view(&msg, &bytes);
+        let frame = make_msg();
+        let v = view(&frame);
         let d = DequeStore::new();
         let cond = Expr::Lt(
             Box::new(Expr::Lit(Value::Str("a".into()))),
@@ -416,8 +414,8 @@ mod tests {
 
     #[test]
     fn not_and_or() {
-        let (msg, bytes) = make_msg();
-        let v = view(&msg, &bytes);
+        let frame = make_msg();
+        let v = view(&frame);
         let d = DequeStore::new();
         let t = Expr::Lit(Value::Bool(true));
         let f = Expr::Lit(Value::Bool(false));

@@ -4,7 +4,7 @@
 use crate::lang::value::Value;
 use crate::model::{Capability, CapabilitySet};
 use crate::model::{ConnectionId, NodeRef};
-use attain_openflow::{OfMessage, StatsBody, StatsReplyBody};
+use attain_openflow::{Frame, OfMessage, StatsBody, StatsReplyBody};
 use std::fmt;
 
 /// A message property an attack conditional may read (§V-A).
@@ -82,10 +82,11 @@ pub struct MessageView<'a> {
     pub timestamp_ns: u64,
     /// The injector's sequential message id.
     pub id: u64,
-    /// Raw encoded bytes.
-    pub bytes: &'a [u8],
-    /// Decoded message, when the bytes parse (fuzzed messages may not).
-    pub decoded: Option<&'a OfMessage>,
+    /// The in-flight message. Payload property reads go through the
+    /// frame's memoized decode, so parsing happens at most once per
+    /// frame no matter how many rules inspect it — and not at all for
+    /// rules that only touch metadata.
+    pub frame: &'a Frame,
     /// The capabilities granted on `conn` — reads beyond them fail.
     pub granted: CapabilitySet,
     /// Deterministic per-message entropy in `[0, 1)` (see
@@ -143,15 +144,15 @@ impl MessageView<'_> {
             Property::Source => Ok(Value::Addr(self.source)),
             Property::Destination => Ok(Value::Addr(self.destination)),
             Property::Timestamp => Ok(Value::Float(self.timestamp_ns as f64 / 1e9)),
-            Property::Length => Ok(Value::Int(self.bytes.len() as i64)),
+            Property::Length => Ok(Value::Int(self.frame.len() as i64)),
             Property::Id => Ok(Value::Int(self.id as i64)),
             Property::Entropy => Ok(Value::Float(self.entropy)),
             Property::Type => {
-                let msg = self.decoded.ok_or(PropertyError::Unparseable)?;
+                let msg = self.frame.message().ok_or(PropertyError::Unparseable)?;
                 Ok(Value::MsgType(msg.of_type()))
             }
             Property::TypeOption(path) => {
-                let msg = self.decoded.ok_or(PropertyError::Unparseable)?;
+                let msg = self.frame.message().ok_or(PropertyError::Unparseable)?;
                 type_option(msg, path).ok_or_else(|| PropertyError::NoSuchField(path.clone()))
             }
         }
@@ -324,15 +325,14 @@ mod tests {
         })
     }
 
-    fn view<'a>(msg: &'a OfMessage, bytes: &'a [u8], granted: CapabilitySet) -> MessageView<'a> {
+    fn view(frame: &Frame, granted: CapabilitySet) -> MessageView<'_> {
         MessageView {
             conn: ConnectionId(0),
             source: NodeRef::Controller(ControllerId(0)),
             destination: NodeRef::Switch(SwitchId(0)),
             timestamp_ns: 1_500_000_000,
             id: 42,
-            bytes,
-            decoded: Some(msg),
+            frame,
             granted,
             entropy: 0.5,
         }
@@ -341,20 +341,20 @@ mod tests {
     #[test]
     fn metadata_reads_need_metadata_capability() {
         let msg = flow_mod_with_nw_src();
-        let bytes = msg.encode(1);
-        let v = view(&msg, &bytes, CapabilitySet::EMPTY);
+        let frame = Frame::from_message(msg, 1);
+        let v = view(&frame, CapabilitySet::EMPTY);
         assert!(matches!(
             v.read(&Property::Source),
             Err(PropertyError::CapabilityDenied { .. })
         ));
-        let v = view(&msg, &bytes, CapabilitySet::tls());
+        let v = view(&frame, CapabilitySet::tls());
         assert_eq!(
             v.read(&Property::Source).unwrap(),
             Value::Addr(NodeRef::Controller(ControllerId(0)))
         );
         assert_eq!(
             v.read(&Property::Length).unwrap(),
-            Value::Int(bytes.len() as i64)
+            Value::Int(frame.len() as i64)
         );
         assert_eq!(v.read(&Property::Id).unwrap(), Value::Int(42));
         assert_eq!(v.read(&Property::Timestamp).unwrap(), Value::Float(1.5));
@@ -362,14 +362,13 @@ mod tests {
 
     #[test]
     fn payload_reads_are_denied_under_tls() {
-        let msg = flow_mod_with_nw_src();
-        let bytes = msg.encode(1);
-        let v = view(&msg, &bytes, CapabilitySet::tls());
+        let frame = Frame::from_message(flow_mod_with_nw_src(), 1);
+        let v = view(&frame, CapabilitySet::tls());
         assert!(matches!(
             v.read(&Property::Type),
             Err(PropertyError::CapabilityDenied { .. })
         ));
-        let v = view(&msg, &bytes, CapabilitySet::no_tls());
+        let v = view(&frame, CapabilitySet::no_tls());
         assert_eq!(
             v.read(&Property::Type).unwrap(),
             Value::MsgType(OfType::FlowMod)
@@ -423,15 +422,14 @@ mod tests {
 
     #[test]
     fn unparseable_payload_fails_payload_reads_only() {
-        let bytes = [0xffu8; 12];
+        let frame = Frame::new(vec![0xffu8; 12]);
         let v = MessageView {
             conn: ConnectionId(0),
             source: NodeRef::Switch(SwitchId(0)),
             destination: NodeRef::Controller(ControllerId(0)),
             timestamp_ns: 0,
             id: 1,
-            bytes: &bytes,
-            decoded: None,
+            frame: &frame,
             granted: CapabilitySet::no_tls(),
             entropy: 0.5,
         };

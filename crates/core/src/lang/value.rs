@@ -1,11 +1,14 @@
 //! Runtime values of the attack language.
 
 use crate::model::NodeRef;
-use attain_openflow::{MacAddr, OfType};
+use attain_openflow::{Frame, MacAddr, OfType};
 use std::fmt;
 use std::net::Ipv4Addr;
 
 /// A stored control-plane message (the unit of replay/reorder attacks).
+///
+/// Captures share the original [`Frame`]: storing and later replaying a
+/// message never copies its bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoredMessage {
     /// Connection index the message was captured on.
@@ -13,7 +16,7 @@ pub struct StoredMessage {
     /// `true` if it was travelling switch→controller.
     pub to_controller: bool,
     /// The encoded message.
-    pub bytes: Vec<u8>,
+    pub frame: Frame,
 }
 
 /// A value in the attack language: conditional results, deque elements,
@@ -109,7 +112,7 @@ impl fmt::Display for Value {
             Value::MsgType(t) => write!(f, "{t}"),
             Value::Ip(ip) => write!(f, "{ip}"),
             Value::Mac(m) => write!(f, "{m}"),
-            Value::Message(m) => write!(f, "message({} bytes)", m.bytes.len()),
+            Value::Message(m) => write!(f, "message({} bytes)", m.frame.len()),
             Value::None => write!(f, "none"),
         }
     }

@@ -26,7 +26,7 @@
 //! ```
 //! use attain_core::{dsl, exec::{AttackExecutor, InjectorInput}, scenario};
 //! use attain_core::model::ConnectionId;
-//! use attain_openflow::{FlowMod, Match, OfMessage};
+//! use attain_openflow::{FlowMod, Frame, Match, OfMessage};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let sc = scenario::enterprise_network();
@@ -35,21 +35,22 @@
 //! let mut exec = AttackExecutor::new(sc.system, sc.attack_model, attack.attack)?;
 //!
 //! // A FLOW_MOD from the controller is suppressed…
-//! let flow_mod = OfMessage::FlowMod(FlowMod::add(Match::all(), vec![])).encode(1);
+//! let flow_mod = Frame::from_message(
+//!     OfMessage::FlowMod(FlowMod::add(Match::all(), vec![])), 1);
 //! let out = exec.on_message(InjectorInput {
 //!     conn: ConnectionId(0),
 //!     to_controller: false,
-//!     bytes: &flow_mod,
+//!     frame: flow_mod,
 //!     now_ns: 0,
 //! });
 //! assert!(out.deliveries.is_empty());
 //!
 //! // …while anything else passes.
-//! let hello = OfMessage::Hello.encode(2);
+//! let hello = Frame::from_message(OfMessage::Hello, 2);
 //! let out = exec.on_message(InjectorInput {
 //!     conn: ConnectionId(0),
 //!     to_controller: true,
-//!     bytes: &hello,
+//!     frame: hello,
 //!     now_ns: 1,
 //! });
 //! assert_eq!(out.deliveries.len(), 1);

@@ -47,7 +47,7 @@ fn send(
     exec.on_message(InjectorInput {
         conn: ConnectionId(conn),
         to_controller,
-        bytes,
+        frame: attain_openflow::Frame::new(bytes.to_vec()),
         now_ns,
     })
 }
@@ -65,7 +65,7 @@ fn trivial_pass_forwards_everything_verbatim() {
     {
         let out = send(&mut exec, i % 4, i % 2 == 0, msg, i as u64);
         assert_eq!(out.deliveries.len(), 1);
-        assert_eq!(&out.deliveries[0].bytes, msg);
+        assert_eq!(out.deliveries[0].frame.bytes(), msg.as_slice());
         assert_eq!(out.deliveries[0].extra_delay_ns, 0);
     }
     assert!(exec.log().events().is_empty());
@@ -186,9 +186,9 @@ fn reorder_emits_stashed_packet_ins_in_reverse_order() {
     let out = send(&mut exec, 0, true, &m3, 2);
     // Third passes first, then the stack unwinds: m2, m1.
     assert_eq!(out.deliveries.len(), 3);
-    assert_eq!(out.deliveries[0].bytes, m3);
-    assert_eq!(out.deliveries[1].bytes, m2);
-    assert_eq!(out.deliveries[2].bytes, m1);
+    assert_eq!(out.deliveries[0].frame.bytes(), m3.as_slice());
+    assert_eq!(out.deliveries[1].frame.bytes(), m2.as_slice());
+    assert_eq!(out.deliveries[2].frame.bytes(), m1.as_slice());
 }
 
 #[test]
@@ -218,7 +218,7 @@ fn fuzz_corrupts_every_tenth_controller_message() {
         let bytes = OfMessage::EchoRequest(vec![0u8; 32]).encode(i as u32);
         let out = send(&mut exec, 0, false, &bytes, i);
         assert_eq!(out.deliveries.len(), 1);
-        if out.deliveries[0].bytes != bytes {
+        if out.deliveries[0].frame.bytes() != bytes.as_slice() {
             corrupted += 1;
         }
     }
@@ -261,7 +261,7 @@ fn sleep_holds_messages_and_replays_them_on_wakeup() {
     // Wakeup drains the held message through the (now current) state.
     let out = exec.on_wakeup(3_000_000_000);
     assert_eq!(out.deliveries.len(), 1);
-    assert_eq!(out.deliveries[0].bytes, m);
+    assert_eq!(out.deliveries[0].frame.bytes(), m.as_slice());
     assert!(exec
         .log()
         .events()
@@ -313,8 +313,7 @@ fn delay_and_duplicate_and_modify() {
     assert_eq!(out.deliveries.len(), 2);
     for d in &out.deliveries {
         assert_eq!(d.extra_delay_ns, 500_000_000);
-        let (msg, _) = OfMessage::decode(&d.bytes).unwrap();
-        let OfMessage::FlowMod(fm) = msg else {
+        let Some(OfMessage::FlowMod(fm)) = d.frame.message() else {
             panic!()
         };
         assert_eq!(fm.idle_timeout, 60);
@@ -330,7 +329,7 @@ fn executor_is_deterministic_across_runs() {
             let bytes = OfMessage::EchoRequest(vec![i as u8; 24]).encode(i as u32);
             let out = send(&mut exec, (i % 4) as usize, false, &bytes, i);
             for d in out.deliveries {
-                all_bytes.extend(d.bytes);
+                all_bytes.extend_from_slice(d.frame.bytes());
             }
         }
         all_bytes

@@ -106,15 +106,14 @@ fn eval_bool(e: &Expr, msg: &MessageView<'_>, deques: &DequeStore) -> bool {
         .truthy()
 }
 
-fn message_view(bytes: &[u8], id: u64) -> MessageView<'_> {
+fn message_view(frame: &attain_openflow::Frame, id: u64) -> MessageView<'_> {
     MessageView {
         conn: ConnectionId(0),
         source: NodeRef::Controller(ControllerId(0)),
         destination: NodeRef::Switch(SwitchId(0)),
         timestamp_ns: 0,
         id,
-        bytes,
-        decoded: None,
+        frame,
         granted: CapabilitySet::no_tls(),
         entropy: 0.5,
     }
@@ -129,8 +128,8 @@ proptest! {
         len in 0usize..128,
         id in 0u64..250,
     ) {
-        let bytes = vec![0u8; len];
-        let msg = message_view(&bytes, id);
+        let frame = attain_openflow::Frame::new(vec![0u8; len]);
+        let msg = message_view(&frame, id);
         let d = DequeStore::new();
 
         let va = eval_bool(&a, &msg, &d);
@@ -208,11 +207,11 @@ proptest! {
             let out = exec.on_message(InjectorInput {
                 conn: ConnectionId(*conn),
                 to_controller: *dir,
-                bytes,
+                frame: attain_openflow::Frame::new(bytes.clone()),
                 now_ns: i as u64,
             });
             prop_assert_eq!(out.deliveries.len(), 1);
-            prop_assert_eq!(&out.deliveries[0].bytes, bytes);
+            prop_assert_eq!(out.deliveries[0].frame.bytes(), bytes.as_slice());
             prop_assert_eq!(out.deliveries[0].conn, ConnectionId(*conn));
             prop_assert_eq!(out.deliveries[0].to_controller, *dir);
         }
@@ -229,7 +228,7 @@ proptest! {
             let out = exec.on_message(InjectorInput {
                 conn: ConnectionId(*conn),
                 to_controller: *dir,
-                bytes,
+                frame: attain_openflow::Frame::new(bytes.clone()),
                 now_ns: i as u64,
             });
             let decodes_as_flow_mod = attain_openflow::OfMessage::decode(bytes)
@@ -238,7 +237,7 @@ proptest! {
             if out.deliveries.is_empty() {
                 prop_assert!(decodes_as_flow_mod && !*dir, "dropped a non-flow-mod");
             } else {
-                prop_assert_eq!(&out.deliveries[0].bytes, bytes);
+                prop_assert_eq!(out.deliveries[0].frame.bytes(), bytes.as_slice());
             }
         }
     }

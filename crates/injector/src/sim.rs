@@ -101,7 +101,7 @@ impl SimInjector {
                 } else {
                     Direction::ControllerToSwitch
                 },
-                bytes: d.bytes,
+                frame: d.frame,
                 extra_delay: SimTime::from_nanos(d.extra_delay_ns),
             });
         }
@@ -139,7 +139,7 @@ impl Interposer for SimInjector {
             exec.on_message(InjectorInput {
                 conn: core_conn,
                 to_controller: msg.direction == Direction::SwitchToController,
-                bytes: msg.bytes,
+                frame: msg.frame.clone(),
                 now_ns: msg.now.as_nanos(),
             })
         };

@@ -43,7 +43,7 @@
 
 use attain_core::exec::{AttackExecutor, ExecOutput, InjectorInput};
 use attain_core::model::ConnectionId;
-use attain_openflow::OfMessage;
+use attain_openflow::{Frame, OfMessage};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
@@ -135,10 +135,12 @@ type Epoch = u64;
 /// One live proxied switch–controller connection pair.
 struct Session {
     epoch: Epoch,
-    /// Sink feeding the controller-side write loop.
-    ctrl_tx: Sender<Vec<u8>>,
+    /// Sink feeding the controller-side write loop. Queued frames share
+    /// their buffers with the executor's stores — enqueueing is a
+    /// refcount bump, not a byte copy.
+    ctrl_tx: Sender<Frame>,
     /// Sink feeding the switch-side write loop.
-    sw_tx: Sender<Vec<u8>>,
+    sw_tx: Sender<Frame>,
     /// Socket handles kept for severing: `shutdown()` here unblocks any
     /// loop parked in `read`/`write` on the same underlying socket.
     switch_sock: TcpStream,
@@ -146,7 +148,7 @@ struct Session {
 }
 
 impl Session {
-    fn sink(&self, to_controller: bool) -> &Sender<Vec<u8>> {
+    fn sink(&self, to_controller: bool) -> &Sender<Frame> {
         if to_controller {
             &self.ctrl_tx
         } else {
@@ -187,7 +189,7 @@ enum TimedEvent {
         conn: usize,
         to_controller: bool,
         epoch: Epoch,
-        bytes: Vec<u8>,
+        frame: Frame,
     },
     /// An executor `SLEEP` wakeup.
     Wakeup,
@@ -274,7 +276,7 @@ impl Shared {
         let _ = self.timer_tx.send(TimerCmd::Schedule(entry));
     }
 
-    /// Delivers `bytes` to `conn`'s session iff it is still the session
+    /// Delivers `frame` to `conn`'s session iff it is still the session
     /// of `epoch`. `blocking` selects the overflow policy: the message
     /// path blocks for backpressure, the timer path drops on overflow.
     fn deliver(
@@ -282,7 +284,7 @@ impl Shared {
         conn: usize,
         to_controller: bool,
         epoch: Epoch,
-        bytes: Vec<u8>,
+        frame: Frame,
         blocking: bool,
     ) {
         let sink = {
@@ -304,14 +306,14 @@ impl Shared {
             }
         };
         if blocking {
-            if sink.send(bytes).is_err() {
+            if sink.send(frame).is_err() {
                 // The session died between lookup and send.
                 self.counters
                     .stale_epoch_dropped
                     .fetch_add(1, Ordering::Relaxed);
             }
         } else {
-            match sink.try_send(bytes) {
+            match sink.try_send(frame) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
                     self.counters
@@ -348,7 +350,7 @@ impl Shared {
                 continue;
             };
             if d.extra_delay_ns == 0 {
-                self.deliver(d.conn.0, d.to_controller, epoch, d.bytes, blocking);
+                self.deliver(d.conn.0, d.to_controller, epoch, d.frame, blocking);
             } else {
                 self.schedule(
                     Instant::now() + Duration::from_nanos(d.extra_delay_ns),
@@ -357,7 +359,7 @@ impl Shared {
                         conn: d.conn.0,
                         to_controller: d.to_controller,
                         epoch,
-                        bytes: d.bytes,
+                        frame: d.frame,
                     },
                 );
             }
@@ -379,14 +381,14 @@ impl Shared {
         conn: ConnectionId,
         epoch: Epoch,
         to_controller: bool,
-        bytes: &[u8],
+        frame: Frame,
     ) {
         let out = {
             let mut exec = self.exec.lock();
             exec.on_message(InjectorInput {
                 conn,
                 to_controller,
-                bytes,
+                frame,
                 now_ns: self.now_ns(),
             })
         };
@@ -399,8 +401,8 @@ impl Shared {
                 conn,
                 to_controller,
                 epoch,
-                bytes,
-            } => self.deliver(conn, to_controller, epoch, bytes, false),
+                frame,
+            } => self.deliver(conn, to_controller, epoch, frame, false),
             TimedEvent::Wakeup => {
                 let out = {
                     let mut exec = self.exec.lock();
@@ -719,8 +721,8 @@ fn start_session(
         return;
     };
     let epoch = shared.next_epoch.fetch_add(1, Ordering::SeqCst);
-    let (ctrl_tx, ctrl_rx) = bounded::<Vec<u8>>(WRITE_QUEUE_CAP);
-    let (sw_tx, sw_rx) = bounded::<Vec<u8>>(WRITE_QUEUE_CAP);
+    let (ctrl_tx, ctrl_rx) = bounded::<Frame>(WRITE_QUEUE_CAP);
+    let (sw_tx, sw_rx) = bounded::<Frame>(WRITE_QUEUE_CAP);
     let session = Session {
         epoch,
         ctrl_tx,
@@ -779,12 +781,12 @@ fn start_session(
 fn write_loop(
     shared: Arc<Shared>,
     mut sock: TcpStream,
-    rx: Receiver<Vec<u8>>,
+    rx: Receiver<Frame>,
     conn: usize,
     epoch: Epoch,
 ) {
-    while let Ok(bytes) = rx.recv() {
-        if sock.write_all(&bytes).is_err() {
+    while let Ok(frame) = rx.recv() {
+        if sock.write_all(frame.bytes()).is_err() {
             // Socket is gone: tear the session down so the peer loops
             // unblock and the sinks unregister.
             shared.end_session(conn, epoch);
@@ -818,7 +820,8 @@ fn read_loop(
         loop {
             match OfMessage::frame_len(&buf[start..]) {
                 Ok(Some(len)) => {
-                    shared.on_message(conn, epoch, to_controller, &buf[start..start + len]);
+                    let frame = Frame::new(buf[start..start + len].to_vec());
+                    shared.on_message(conn, epoch, to_controller, frame);
                     start += len;
                 }
                 Ok(None) => break,

@@ -7,7 +7,7 @@ use crate::interpose::Direction;
 use crate::time::SimTime;
 use crate::trace::TraceKind;
 use attain_controllers::{Controller, Outbox};
-use attain_openflow::{DatapathId, OfMessage, Xid};
+use attain_openflow::{DatapathId, Frame, OfMessage, OfType, Xid};
 
 /// Controller-side silence threshold before a switch is declared gone.
 const DEAD_AFTER: SimTime = SimTime::from_secs(15);
@@ -40,7 +40,7 @@ struct CtrlConn {
 #[derive(Debug)]
 pub(crate) struct CtrlSend {
     pub conn: ConnId,
-    pub bytes: Vec<u8>,
+    pub frame: Frame,
     pub depart: SimTime,
 }
 
@@ -186,7 +186,7 @@ impl ControllerHost {
                 };
                 sends.push(CtrlSend {
                     conn,
-                    bytes: msg.encode(xid),
+                    frame: Frame::from_message(msg, xid),
                     depart,
                 });
             }
@@ -198,7 +198,7 @@ impl ControllerHost {
     pub(crate) fn handle_control(
         &mut self,
         conn: ConnId,
-        bytes: &[u8],
+        frame: &Frame,
         now: SimTime,
         traces: &mut Vec<TraceKind>,
     ) -> Vec<CtrlSend> {
@@ -210,7 +210,7 @@ impl ControllerHost {
             return Vec::new();
         };
         self.conns[i].last_rx = now;
-        let Ok((msg, _xid)) = OfMessage::decode(bytes) else {
+        let Some((msg, _xid)) = frame.decoded() else {
             // Garbled bytes at the controller: platforms log and drop —
             // but a persistently corrupted stream means the peer (or the
             // path) is broken, so after enough consecutive failures the
@@ -253,7 +253,7 @@ impl ControllerHost {
                     };
                     sends.push(CtrlSend {
                         conn,
-                        bytes: reply.encode(xid),
+                        frame: Frame::from_message(reply, xid),
                         depart,
                     });
                 }
@@ -265,12 +265,14 @@ impl ControllerHost {
                     let depart = self.depart_time(now);
                     let mut out = Outbox::new();
                     self.app
-                        .on_switch_connect(features.datapath_id, &features, &mut out);
+                        .on_switch_connect(features.datapath_id, features, &mut out);
                     self.drain_outbox(&mut out, depart, &mut sends);
                 }
             }
-            OfMessage::EchoRequest(body) => {
+            OfMessage::EchoRequest(_) => {
                 // Echo handling bypasses the application (platform duty).
+                // The reply is the request with the header's type and xid
+                // patched: same body, no decode→re-encode round trip.
                 let depart = self.depart_time(now);
                 let xid = {
                     let c = &mut self.conns[i];
@@ -278,11 +280,13 @@ impl ControllerHost {
                     c.next_xid += 1;
                     x
                 };
-                sends.push(CtrlSend {
-                    conn,
-                    bytes: OfMessage::EchoReply(body).encode(xid),
-                    depart,
-                });
+                if let Some(reply) = frame.patched_reply(OfType::EchoReply, xid) {
+                    sends.push(CtrlSend {
+                        conn,
+                        frame: reply,
+                        depart,
+                    });
+                }
             }
             OfMessage::EchoReply(_) => {}
             OfMessage::PacketIn(pi) => {
@@ -290,7 +294,7 @@ impl ControllerHost {
                     if let Some(dpid) = self.conns[i].dpid {
                         let depart = self.depart_time(now);
                         let mut out = Outbox::new();
-                        self.app.on_packet_in(dpid, &pi, &mut out);
+                        self.app.on_packet_in(dpid, pi, &mut out);
                         self.drain_outbox(&mut out, depart, &mut sends);
                     }
                 }
@@ -300,7 +304,7 @@ impl ControllerHost {
                     if let Some(dpid) = self.conns[i].dpid {
                         let depart = self.depart_time(now);
                         let mut out = Outbox::new();
-                        self.app.on_message(dpid, &other, &mut out);
+                        self.app.on_message(dpid, other, &mut out);
                         self.drain_outbox(&mut out, depart, &mut sends);
                     }
                 }
@@ -362,13 +366,13 @@ mod tests {
         let mut h = host();
         let sends = h.handle_control(
             ConnId(0),
-            &OfMessage::Hello.encode(1),
+            &Frame::from_message(OfMessage::Hello, 1),
             SimTime::ZERO,
             &mut Vec::new(),
         );
         let types: Vec<_> = sends
             .iter()
-            .map(|s| OfMessage::decode(&s.bytes).unwrap().0)
+            .map(|s| s.frame.message().unwrap().clone())
             .collect();
         assert_eq!(types[0], OfMessage::Hello);
         assert_eq!(types[1], OfMessage::FeaturesRequest);
@@ -380,13 +384,13 @@ mod tests {
         let mut h = host();
         h.handle_control(
             ConnId(0),
-            &OfMessage::Hello.encode(1),
+            &Frame::from_message(OfMessage::Hello, 1),
             SimTime::ZERO,
             &mut Vec::new(),
         );
         h.handle_control(
             ConnId(0),
-            &OfMessage::FeaturesReply(features(7)).encode(2),
+            &Frame::from_message(OfMessage::FeaturesReply(features(7)), 2),
             SimTime::from_millis(1),
             &mut Vec::new(),
         );
@@ -398,14 +402,14 @@ mod tests {
         let mut h = host();
         let sends = h.handle_control(
             ConnId(0),
-            &OfMessage::EchoRequest(vec![9]).encode(3),
+            &Frame::from_message(OfMessage::EchoRequest(vec![9]), 3),
             SimTime::ZERO,
             &mut Vec::new(),
         );
         assert_eq!(sends.len(), 1);
         assert_eq!(
-            OfMessage::decode(&sends[0].bytes).unwrap().0,
-            OfMessage::EchoReply(vec![9])
+            sends[0].frame.message(),
+            Some(&OfMessage::EchoReply(vec![9]))
         );
     }
 
@@ -414,13 +418,13 @@ mod tests {
         let mut h = host();
         h.handle_control(
             ConnId(0),
-            &OfMessage::Hello.encode(1),
+            &Frame::from_message(OfMessage::Hello, 1),
             SimTime::ZERO,
             &mut Vec::new(),
         );
         h.handle_control(
             ConnId(0),
-            &OfMessage::FeaturesReply(features(7)).encode(2),
+            &Frame::from_message(OfMessage::FeaturesReply(features(7)), 2),
             SimTime::ZERO,
             &mut Vec::new(),
         );
@@ -428,13 +432,13 @@ mod tests {
         // processing quantum apart.
         let s1 = h.handle_control(
             ConnId(0),
-            &OfMessage::EchoRequest(vec![1]).encode(3),
+            &Frame::from_message(OfMessage::EchoRequest(vec![1]), 3),
             SimTime::from_secs(1),
             &mut Vec::new(),
         );
         let s2 = h.handle_control(
             ConnId(0),
-            &OfMessage::EchoRequest(vec![2]).encode(4),
+            &Frame::from_message(OfMessage::EchoRequest(vec![2]), 4),
             SimTime::from_secs(1),
             &mut Vec::new(),
         );
@@ -448,13 +452,13 @@ mod tests {
         let mut h = host();
         h.handle_control(
             ConnId(0),
-            &OfMessage::Hello.encode(1),
+            &Frame::from_message(OfMessage::Hello, 1),
             SimTime::ZERO,
             &mut Vec::new(),
         );
         h.handle_control(
             ConnId(0),
-            &OfMessage::FeaturesReply(features(7)).encode(2),
+            &Frame::from_message(OfMessage::FeaturesReply(features(7)), 2),
             SimTime::ZERO,
             &mut Vec::new(),
         );
@@ -473,14 +477,24 @@ mod tests {
             reason: attain_openflow::PacketInReason::NoMatch,
             data: vec![],
         });
-        let sends = h.handle_control(ConnId(0), &pi.encode(9), SimTime::ZERO, &mut Vec::new());
+        let sends = h.handle_control(
+            ConnId(0),
+            &Frame::from_message(pi, 9),
+            SimTime::ZERO,
+            &mut Vec::new(),
+        );
         assert!(sends.is_empty());
     }
 
     #[test]
     fn garbage_bytes_are_dropped_silently() {
         let mut h = host();
-        let sends = h.handle_control(ConnId(0), &[0xde, 0xad], SimTime::ZERO, &mut Vec::new());
+        let sends = h.handle_control(
+            ConnId(0),
+            &Frame::new(vec![0xde, 0xad]),
+            SimTime::ZERO,
+            &mut Vec::new(),
+        );
         assert!(sends.is_empty());
     }
 }

@@ -3,7 +3,7 @@
 use crate::command::HostCommand;
 use crate::interpose::Direction;
 use crate::time::SimTime;
-use attain_openflow::PortNo;
+use attain_openflow::{Frame, PortNo};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -77,7 +77,7 @@ pub enum EventKind {
         /// Which way the message travels.
         direction: Direction,
         /// The encoded message.
-        bytes: Vec<u8>,
+        frame: Frame,
     },
     /// An encoded OpenFlow message is delivered to one end of a control
     /// connection.
@@ -87,7 +87,7 @@ pub enum EventKind {
         /// Which way the message travels (delivery is at the far end).
         direction: Direction,
         /// The encoded message.
-        bytes: Vec<u8>,
+        frame: Frame,
     },
     /// A timer owned by `node` fires.
     NodeTimer {
@@ -127,7 +127,7 @@ pub(crate) enum Effect {
         /// The connection.
         conn: ConnId,
         /// Encoded message.
-        bytes: Vec<u8>,
+        frame: Frame,
     },
     /// Arm a timer owned by the handling node.
     Timer {

@@ -9,6 +9,7 @@
 use crate::command::HostCommand;
 use crate::engine::ConnId;
 use crate::time::SimTime;
+use attain_openflow::Frame;
 use std::fmt;
 
 /// Which way a control-plane message is travelling.
@@ -46,8 +47,9 @@ pub struct ProxiedMessage<'a> {
     pub conn: ConnId,
     /// The direction of travel.
     pub direction: Direction,
-    /// The encoded OpenFlow message (header + body).
-    pub bytes: &'a [u8],
+    /// The encoded OpenFlow message (header + body); cloning the
+    /// [`Frame`] to keep or forward it is a refcount bump, not a copy.
+    pub frame: &'a Frame,
     /// Current virtual time (the message's arrival at the proxy).
     pub now: SimTime,
 }
@@ -61,7 +63,7 @@ pub struct Delivery {
     /// Delivery direction.
     pub direction: Direction,
     /// Encoded message to deliver.
-    pub bytes: Vec<u8>,
+    pub frame: Frame,
     /// Extra delay beyond the channel latency (`DELAYMESSAGE`).
     pub extra_delay: SimTime,
 }
@@ -83,13 +85,14 @@ impl InterposerActions {
         InterposerActions::default()
     }
 
-    /// Forward the triggering message unchanged.
+    /// Forward the triggering message unchanged (shares the frame's
+    /// buffer — no byte copy).
     pub fn pass(msg: &ProxiedMessage<'_>) -> InterposerActions {
         InterposerActions {
             deliveries: vec![Delivery {
                 conn: msg.conn,
                 direction: msg.direction,
-                bytes: msg.bytes.to_vec(),
+                frame: msg.frame.clone(),
                 extra_delay: SimTime::ZERO,
             }],
             commands: Vec::new(),
@@ -132,11 +135,11 @@ mod tests {
     #[test]
     fn pass_through_forwards_verbatim() {
         let mut p = PassThrough;
-        let bytes = [1u8, 2, 3];
+        let frame = Frame::new(vec![1u8, 2, 3]);
         let msg = ProxiedMessage {
             conn: ConnId(3),
             direction: Direction::SwitchToController,
-            bytes: &bytes,
+            frame: &frame,
             now: SimTime::from_secs(1),
         };
         let actions = p.on_message(msg);
@@ -144,7 +147,7 @@ mod tests {
         let d = &actions.deliveries[0];
         assert_eq!(d.conn, ConnId(3));
         assert_eq!(d.direction, Direction::SwitchToController);
-        assert_eq!(d.bytes, bytes);
+        assert_eq!(d.frame, frame);
         assert_eq!(d.extra_delay, SimTime::ZERO);
         assert!(actions.commands.is_empty());
         assert!(actions.wakeup.is_none());

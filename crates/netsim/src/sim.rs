@@ -15,7 +15,7 @@ use crate::switch::Switch;
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceKind};
 use crate::{IperfStats, PingStats};
-use attain_openflow::{OfMessage, PortNo};
+use attain_openflow::{Frame, PortNo};
 use std::collections::HashMap;
 
 /// A node: an end host or a switch.
@@ -370,18 +370,18 @@ impl Simulation {
             EventKind::ProxyIngress {
                 conn,
                 direction,
-                bytes,
-            } => self.proxy_ingress(conn, direction, bytes),
+                frame,
+            } => self.proxy_ingress(conn, direction, frame),
             EventKind::ControlDeliver {
                 conn,
                 direction,
-                bytes,
+                frame,
             } => match direction {
                 Direction::SwitchToController => {
                     let ctrl = self.connections[conn.0].controller;
                     let mut traces = Vec::new();
                     let sends =
-                        self.controllers[ctrl].handle_control(conn, &bytes, self.now, &mut traces);
+                        self.controllers[ctrl].handle_control(conn, &frame, self.now, &mut traces);
                     for kind in traces {
                         self.trace.push(self.now, kind);
                     }
@@ -391,7 +391,7 @@ impl Simulation {
                             EventKind::ProxyIngress {
                                 conn: s.conn,
                                 direction: Direction::ControllerToSwitch,
-                                bytes: s.bytes,
+                                frame: s.frame,
                             },
                         );
                     }
@@ -400,7 +400,7 @@ impl Simulation {
                     let node = self.connections[conn.0].switch;
                     let mut fx = Vec::new();
                     if let Node::Switch(s) = &mut self.nodes[node.0] {
-                        s.handle_control(conn, &bytes, self.now, &mut fx);
+                        s.handle_control(conn, &frame, self.now, &mut fx);
                     }
                     self.apply_effects(node, fx);
                 }
@@ -443,15 +443,14 @@ impl Simulation {
 
     /// The proxy point: every control-plane message lands here before
     /// delivery, and the interposer (if any) decides its fate.
-    fn proxy_ingress(&mut self, conn: ConnId, direction: Direction, bytes: Vec<u8>) {
-        let of_type = OfMessage::decode(&bytes).ok().map(|(m, _)| m.of_type());
+    fn proxy_ingress(&mut self, conn: ConnId, direction: Direction, frame: Frame) {
         self.trace.push(
             self.now,
             TraceKind::ControlMessage {
                 conn,
                 direction,
-                of_type,
-                len: bytes.len(),
+                of_type: frame.of_type(),
+                len: frame.len(),
             },
         );
         match self.interposer.take() {
@@ -459,7 +458,7 @@ impl Simulation {
                 let actions = ip.on_message(ProxiedMessage {
                     conn,
                     direction,
-                    bytes: &bytes,
+                    frame: &frame,
                     now: self.now,
                 });
                 self.interposer = Some(ip);
@@ -472,7 +471,7 @@ impl Simulation {
                     EventKind::ControlDeliver {
                         conn,
                         direction,
-                        bytes,
+                        frame,
                     },
                 );
             }
@@ -490,7 +489,7 @@ impl Simulation {
                 EventKind::ControlDeliver {
                     conn: d.conn,
                     direction: d.direction,
-                    bytes: d.bytes,
+                    frame: d.frame,
                 },
             );
         }
@@ -709,14 +708,14 @@ impl Simulation {
                         TxOutcome::Dropped => self.frames_dropped += 1,
                     }
                 }
-                Effect::Control { conn, bytes } => {
+                Effect::Control { conn, frame } => {
                     // Only switches emit Control effects: direction fixed.
                     self.queue.schedule(
                         self.now,
                         EventKind::ProxyIngress {
                             conn,
                             direction: Direction::SwitchToController,
-                            bytes,
+                            frame,
                         },
                     );
                 }

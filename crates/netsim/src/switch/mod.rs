@@ -12,8 +12,8 @@ use crate::trace::TraceKind;
 use attain_openflow::packet::{self, Ethernet, IpPayload, Payload};
 use attain_openflow::{
     bad_request, flow_mod_failed, Action, CodecError, DatapathId, ErrorMsg, ErrorType, FlowKey,
-    FlowRemoved, MacAddr, OfMessage, PacketIn, PacketInReason, PhyPort, PortNo, StatsBody,
-    StatsReplyBody, SwitchConfig, SwitchDesc, SwitchFeatures, Xid,
+    FlowRemoved, Frame, MacAddr, OfMessage, OfType, PacketIn, PacketInReason, PhyPort, PortNo,
+    StatsBody, StatsReplyBody, SwitchConfig, SwitchDesc, SwitchFeatures, Xid,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -166,20 +166,43 @@ impl Switch {
         self.conns.iter_mut().find(|c| c.conn == conn)
     }
 
+    /// Allocates the next xid on `conn`, or `None` for an unknown conn.
+    fn take_xid(&mut self, conn: ConnId) -> Option<Xid> {
+        let c = self.conn_mut(conn)?;
+        let x = c.next_xid;
+        c.next_xid += 1;
+        Some(x)
+    }
+
     fn send(&mut self, conn: ConnId, msg: OfMessage, fx: &mut Vec<Effect>) {
-        let xid = {
-            let c = match self.conn_mut(conn) {
-                Some(c) => c,
-                None => return,
-            };
-            let x = c.next_xid;
-            c.next_xid += 1;
-            x
+        let Some(xid) = self.take_xid(conn) else {
+            return;
         };
         fx.push(Effect::Control {
             conn,
-            bytes: msg.encode(xid),
+            frame: Frame::from_message(msg, xid),
         });
+    }
+
+    /// Sends `msg` on every connection that is up. Each connection gets
+    /// its own xid (so its own encoding), but the message itself is
+    /// moved into the final send rather than cloned for it.
+    fn send_to_up(&mut self, msg: OfMessage, fx: &mut Vec<Effect>) {
+        let up: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|c| c.phase == ConnPhase::Up)
+            .map(|c| c.conn)
+            .collect();
+        let mut msg = Some(msg);
+        for (i, conn) in up.iter().enumerate() {
+            let m = if i + 1 == up.len() {
+                msg.take().expect("message still held")
+            } else {
+                msg.as_ref().expect("message still held").clone()
+            };
+            self.send(*conn, m, fx);
+        }
     }
 
     /// Begins (or retries) the OpenFlow handshake on `conn`.
@@ -307,15 +330,7 @@ impl Switch {
             reason: PacketInReason::NoMatch,
             data,
         });
-        let up: Vec<ConnId> = self
-            .conns
-            .iter()
-            .filter(|c| c.phase == ConnPhase::Up)
-            .map(|c| c.conn)
-            .collect();
-        for conn in up {
-            self.send(conn, msg.clone(), fx);
-        }
+        self.send_to_up(msg, fx);
     }
 
     fn standalone_forward(
@@ -379,15 +394,7 @@ impl Switch {
                             reason: PacketInReason::Action,
                             data,
                         });
-                        let up: Vec<ConnId> = self
-                            .conns
-                            .iter()
-                            .filter(|c| c.phase == ConnPhase::Up)
-                            .map(|c| c.conn)
-                            .collect();
-                        for conn in up {
-                            self.send(conn, msg.clone(), fx);
-                        }
+                        self.send_to_up(msg, fx);
                     }
                     PortNo::NORMAL => {
                         let key = packet::flow_key(&frame, in_port);
@@ -409,40 +416,47 @@ impl Switch {
     pub(crate) fn handle_control(
         &mut self,
         conn: ConnId,
-        bytes: &[u8],
+        frame: &Frame,
         now: SimTime,
         fx: &mut Vec<Effect>,
     ) {
         if let Some(c) = self.conn_mut(conn) {
             c.last_rx = now;
         }
-        let (msg, xid) = match OfMessage::decode(bytes) {
-            Ok(ok) => ok,
-            Err(e) => {
-                // Fuzzed/garbled message: answer with an ERROR, as a real
-                // switch would, and carry on.
-                fx.push(Effect::Trace(TraceKind::DecodeFailure {
-                    conn,
-                    direction: Direction::ControllerToSwitch,
-                }));
-                self.send(
-                    conn,
-                    OfMessage::Error(ErrorMsg {
-                        error_type: ErrorType::BadRequest,
-                        code: match e {
-                            CodecError::BadVersion(_) => bad_request::BAD_VERSION,
-                            _ => bad_request::BAD_TYPE,
-                        },
-                        data: bytes[..bytes.len().min(64)].to_vec(),
-                    }),
-                    fx,
-                );
-                return;
-            }
+        let Some((msg, xid)) = frame.decoded() else {
+            // Fuzzed/garbled message: answer with an ERROR, as a real
+            // switch would, and carry on.
+            let e = frame.decode_error().expect("decode just failed");
+            fx.push(Effect::Trace(TraceKind::DecodeFailure {
+                conn,
+                direction: Direction::ControllerToSwitch,
+            }));
+            self.send(
+                conn,
+                OfMessage::Error(ErrorMsg {
+                    error_type: ErrorType::BadRequest,
+                    code: match e {
+                        CodecError::BadVersion(_) => bad_request::BAD_VERSION,
+                        _ => bad_request::BAD_TYPE,
+                    },
+                    data: frame.bytes()[..frame.len().min(64)].to_vec(),
+                }),
+                fx,
+            );
+            return;
         };
+        let xid = *xid;
         match msg {
             OfMessage::Hello => {}
-            OfMessage::EchoRequest(body) => self.send(conn, OfMessage::EchoReply(body), fx),
+            OfMessage::EchoRequest(_) => {
+                // The reply is the request with the header's type and xid
+                // patched: same body, no decode→re-encode round trip.
+                if let Some(reply_xid) = self.take_xid(conn) {
+                    if let Some(reply) = frame.patched_reply(OfType::EchoReply, reply_xid) {
+                        fx.push(Effect::Control { conn, frame: reply });
+                    }
+                }
+            }
             OfMessage::EchoReply(_) => {}
             OfMessage::FeaturesRequest => {
                 let features = self.features();
@@ -451,7 +465,7 @@ impl Switch {
                 let reply = OfMessage::FeaturesReply(features);
                 fx.push(Effect::Control {
                     conn,
-                    bytes: reply.encode(xid),
+                    frame: Frame::from_message(reply, xid),
                 });
                 if let Some(c) = self.conn_mut(conn) {
                     if c.phase != ConnPhase::Up {
@@ -465,18 +479,18 @@ impl Switch {
                 let reply = OfMessage::GetConfigReply(self.config);
                 fx.push(Effect::Control {
                     conn,
-                    bytes: reply.encode(xid),
+                    frame: Frame::from_message(reply, xid),
                 });
             }
-            OfMessage::SetConfig(cfg) => self.config = cfg,
+            OfMessage::SetConfig(cfg) => self.config = *cfg,
             OfMessage::BarrierRequest => {
                 fx.push(Effect::Control {
                     conn,
-                    bytes: OfMessage::BarrierReply.encode(xid),
+                    frame: Frame::from_message(OfMessage::BarrierReply, xid),
                 });
             }
             OfMessage::PacketOut(po) => {
-                let (frame, in_port) = match po.buffer_id {
+                let (pkt, in_port) = match po.buffer_id {
                     Some(id) => match self.take_buffer(id) {
                         Some(b) => (b.frame, b.in_port),
                         None => {
@@ -485,7 +499,7 @@ impl Switch {
                                 OfMessage::Error(ErrorMsg {
                                     error_type: ErrorType::BadRequest,
                                     code: bad_request::BUFFER_UNKNOWN,
-                                    data: bytes[..bytes.len().min(64)].to_vec(),
+                                    data: frame.bytes()[..frame.len().min(64)].to_vec(),
                                 }),
                                 fx,
                             );
@@ -494,7 +508,7 @@ impl Switch {
                     },
                     None => (po.data.clone(), po.in_port),
                 };
-                if !frame.is_empty() {
+                if !pkt.is_empty() {
                     // For buffered releases the stored ingress port governs
                     // FLOOD/IN_PORT semantics; otherwise the message's.
                     let effective_in_port = if po.buffer_id.is_some() {
@@ -502,11 +516,11 @@ impl Switch {
                     } else {
                         po.in_port
                     };
-                    self.execute_actions(&po.actions, frame, effective_in_port, now, fx);
+                    self.execute_actions(&po.actions, pkt, effective_in_port, now, fx);
                 }
             }
             OfMessage::FlowMod(fm) => {
-                match self.table.apply(&fm, now) {
+                match self.table.apply(fm, now) {
                     Ok(outcome) => {
                         if outcome.added {
                             fx.push(Effect::Trace(TraceKind::FlowInstalled {
@@ -544,7 +558,7 @@ impl Switch {
                             OfMessage::Error(ErrorMsg {
                                 error_type: ErrorType::FlowModFailed,
                                 code,
-                                data: bytes[..bytes.len().min(64)].to_vec(),
+                                data: frame.bytes()[..frame.len().min(64)].to_vec(),
                             }),
                             fx,
                         );
@@ -552,20 +566,22 @@ impl Switch {
                 }
             }
             OfMessage::StatsRequest(body) => {
-                let reply = self.stats_reply(&body, now);
+                let reply = self.stats_reply(body, now);
                 fx.push(Effect::Control {
                     conn,
-                    bytes: OfMessage::StatsReply(reply).encode(xid),
+                    frame: Frame::from_message(OfMessage::StatsReply(reply), xid),
                 });
             }
             OfMessage::QueueGetConfigRequest { port } => {
                 fx.push(Effect::Control {
                     conn,
-                    bytes: OfMessage::QueueGetConfigReply {
-                        port,
-                        queues: vec![],
-                    }
-                    .encode(xid),
+                    frame: Frame::from_message(
+                        OfMessage::QueueGetConfigReply {
+                            port: *port,
+                            queues: vec![],
+                        },
+                        xid,
+                    ),
                 });
             }
             OfMessage::PortMod(_) | OfMessage::Vendor { .. } => {}
@@ -576,7 +592,7 @@ impl Switch {
                 OfMessage::Error(ErrorMsg {
                     error_type: ErrorType::BadRequest,
                     code: bad_request::BAD_TYPE,
-                    data: bytes[..bytes.len().min(64)].to_vec(),
+                    data: frame.bytes()[..frame.len().min(64)].to_vec(),
                 }),
                 fx,
             ),
@@ -607,15 +623,7 @@ impl Switch {
             packet_count: e.packet_count,
             byte_count: e.byte_count,
         });
-        let up: Vec<ConnId> = self
-            .conns
-            .iter()
-            .filter(|c| c.phase == ConnPhase::Up)
-            .map(|c| c.conn)
-            .collect();
-        for conn in up {
-            self.send(conn, msg.clone(), fx);
-        }
+        self.send_to_up(msg, fx);
     }
 
     /// The 1 Hz housekeeping sweep: flow expiry and liveness probing.
@@ -842,13 +850,13 @@ mod tests {
         s.start_connect(ConnId(0), SimTime::ZERO, &mut fx);
         s.handle_control(
             ConnId(0),
-            &OfMessage::Hello.encode(1),
+            &Frame::from_message(OfMessage::Hello, 1),
             SimTime::ZERO,
             &mut fx,
         );
         s.handle_control(
             ConnId(0),
-            &OfMessage::FeaturesRequest.encode(2),
+            &Frame::from_message(OfMessage::FeaturesRequest, 2),
             SimTime::ZERO,
             &mut fx,
         );
@@ -871,7 +879,7 @@ mod tests {
         let controls: Vec<_> = fx
             .iter()
             .filter_map(|e| match e {
-                Effect::Control { bytes, .. } => Some(OfMessage::decode(bytes).unwrap().0),
+                Effect::Control { frame, .. } => Some(frame.message().unwrap().clone()),
                 _ => None,
             })
             .collect();
@@ -904,7 +912,12 @@ mod tests {
             }],
             data: vec![],
         });
-        s.handle_control(ConnId(0), &po.encode(5), SimTime::ZERO, &mut fx);
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(po, 5),
+            SimTime::ZERO,
+            &mut fx,
+        );
         assert!(s.buffers.is_empty());
         assert!(fx
             .iter()
@@ -922,11 +935,16 @@ mod tests {
             actions: vec![],
             data: vec![],
         });
-        s.handle_control(ConnId(0), &po.encode(5), SimTime::ZERO, &mut fx);
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(po, 5),
+            SimTime::ZERO,
+            &mut fx,
+        );
         let has_error = fx.iter().any(|e| match e {
-            Effect::Control { bytes, .. } => matches!(
-                OfMessage::decode(bytes).unwrap().0,
-                OfMessage::Error(ref em) if em.code == bad_request::BUFFER_UNKNOWN
+            Effect::Control { frame, .. } => matches!(
+                frame.message().unwrap(),
+                OfMessage::Error(em) if em.code == bad_request::BUFFER_UNKNOWN
             ),
             _ => false,
         });
@@ -951,7 +969,12 @@ mod tests {
                 }],
             )
         });
-        s.handle_control(ConnId(0), &fm.encode(6), SimTime::ZERO, &mut fx);
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(fm, 6),
+            SimTime::ZERO,
+            &mut fx,
+        );
         assert!(s.buffers.is_empty());
         assert!(fx
             .iter()
@@ -1030,10 +1053,9 @@ mod tests {
         // 6 s of silence: probe.
         s.tick(SimTime::from_secs(6), &mut fx);
         let probed = fx.iter().any(|e| match e {
-            Effect::Control { bytes, .. } => matches!(
-                OfMessage::decode(bytes).unwrap().0,
-                OfMessage::EchoRequest(_)
-            ),
+            Effect::Control { frame, .. } => {
+                matches!(frame.message().unwrap(), OfMessage::EchoRequest(_))
+            }
             _ => false,
         });
         assert!(probed);
@@ -1068,13 +1090,13 @@ mod tests {
         let mut fx = Vec::new();
         s.handle_control(
             ConnId(0),
-            &OfMessage::EchoRequest(vec![1, 2]).encode(9),
+            &Frame::from_message(OfMessage::EchoRequest(vec![1, 2]), 9),
             SimTime::ZERO,
             &mut fx,
         );
         let echoed = fx.iter().any(|e| match e {
-            Effect::Control { bytes, .. } => {
-                OfMessage::decode(bytes).unwrap().0 == OfMessage::EchoReply(vec![1, 2])
+            Effect::Control { frame, .. } => {
+                frame.message() == Some(&OfMessage::EchoReply(vec![1, 2]))
             }
             _ => false,
         });
@@ -1086,10 +1108,15 @@ mod tests {
         let mut s = switch();
         connect(&mut s);
         let mut fx = Vec::new();
-        s.handle_control(ConnId(0), &[0xff; 16], SimTime::ZERO, &mut fx);
+        s.handle_control(
+            ConnId(0),
+            &Frame::new(vec![0xff; 16]),
+            SimTime::ZERO,
+            &mut fx,
+        );
         let has_error = fx.iter().any(|e| match e {
-            Effect::Control { bytes, .. } => {
-                matches!(OfMessage::decode(bytes).unwrap().0, OfMessage::Error(_))
+            Effect::Control { frame, .. } => {
+                matches!(frame.message().unwrap(), OfMessage::Error(_))
             }
             _ => false,
         });
@@ -1108,19 +1135,29 @@ mod tests {
                 max_len: 0,
             }],
         ));
-        s.handle_control(ConnId(0), &fm.encode(3), SimTime::ZERO, &mut fx);
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(fm, 3),
+            SimTime::ZERO,
+            &mut fx,
+        );
         fx.clear();
         let req = OfMessage::StatsRequest(StatsBody::Flow {
             r#match: Match::all(),
             table_id: 0xff,
             out_port: PortNo::NONE,
         });
-        s.handle_control(ConnId(0), &req.encode(4), SimTime::from_secs(2), &mut fx);
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(req, 4),
+            SimTime::from_secs(2),
+            &mut fx,
+        );
         let reply = fx
             .iter()
             .find_map(|e| match e {
-                Effect::Control { bytes, .. } => match OfMessage::decode(bytes).unwrap().0 {
-                    OfMessage::StatsReply(StatsReplyBody::Flow(entries)) => Some(entries),
+                Effect::Control { frame, .. } => match frame.message().unwrap() {
+                    OfMessage::StatsReply(StatsReplyBody::Flow(entries)) => Some(entries.clone()),
                     _ => None,
                 },
                 _ => None,
@@ -1153,12 +1190,17 @@ mod tests {
         let mut fx = Vec::new();
         for port in [1u16, 2] {
             let fm = OfMessage::FlowMod(FlowMod::add(Match::exact_in_port(PortNo(port)), vec![]));
-            s.handle_control(ConnId(0), &fm.encode(port as u32), SimTime::ZERO, &mut fx);
+            s.handle_control(
+                ConnId(0),
+                &Frame::from_message(fm, port as u32),
+                SimTime::ZERO,
+                &mut fx,
+            );
         }
         let has_full = fx.iter().any(|e| match e {
-            Effect::Control { bytes, .. } => matches!(
-                OfMessage::decode(bytes).unwrap().0,
-                OfMessage::Error(ref em)
+            Effect::Control { frame, .. } => matches!(
+                frame.message().unwrap(),
+                OfMessage::Error(em)
                     if em.error_type == ErrorType::FlowModFailed
                         && em.code == flow_mod_failed::ALL_TABLES_FULL
             ),
@@ -1183,7 +1225,12 @@ mod tests {
                 }],
             )
         });
-        s.handle_control(ConnId(0), &fm.encode(3), SimTime::ZERO, &mut fx);
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(fm, 3),
+            SimTime::ZERO,
+            &mut fx,
+        );
         assert_eq!(s.table.len(), 1);
         s
     }
@@ -1212,8 +1259,8 @@ mod tests {
         assert!(
             !fx.iter().any(|e| matches!(
                 e,
-                Effect::Control { bytes, .. }
-                    if matches!(OfMessage::decode(bytes), Ok((OfMessage::FlowRemoved(_), _)))
+                Effect::Control { frame, .. }
+                    if matches!(frame.message(), Some(OfMessage::FlowRemoved(_)))
             )),
             "restart must not notify for wiped entries"
         );
@@ -1244,7 +1291,7 @@ mod tests {
         let hello = fx
             .iter()
             .find_map(|e| match e {
-                Effect::Control { bytes, .. } => Some(OfMessage::decode(bytes).unwrap()),
+                Effect::Control { frame, .. } => Some(frame.decoded().unwrap().clone()),
                 _ => None,
             })
             .expect("restarted switch re-sends HELLO");
@@ -1253,13 +1300,13 @@ mod tests {
         let mut fx = Vec::new();
         s.handle_control(
             ConnId(0),
-            &OfMessage::Hello.encode(1),
+            &Frame::from_message(OfMessage::Hello, 1),
             SimTime::from_secs(10),
             &mut fx,
         );
         s.handle_control(
             ConnId(0),
-            &OfMessage::FeaturesRequest.encode(2),
+            &Frame::from_message(OfMessage::FeaturesRequest, 2),
             SimTime::from_secs(10),
             &mut fx,
         );
@@ -1302,7 +1349,12 @@ mod tests {
         let mut s = switch();
         connect(&mut s);
         let mut fx = Vec::new();
-        s.handle_control(ConnId(0), &[0xde, 0xad, 0xbe, 0xef], SimTime::ZERO, &mut fx);
+        s.handle_control(
+            ConnId(0),
+            &Frame::new(vec![0xde, 0xad, 0xbe, 0xef]),
+            SimTime::ZERO,
+            &mut fx,
+        );
         assert!(fx.iter().any(|e| matches!(
             e,
             Effect::Trace(TraceKind::DecodeFailure {
@@ -1313,8 +1365,8 @@ mod tests {
         // And the usual ERROR reply still goes out.
         assert!(fx.iter().any(|e| matches!(
             e,
-            Effect::Control { bytes, .. }
-                if matches!(OfMessage::decode(bytes), Ok((OfMessage::Error(_), _)))
+            Effect::Control { frame, .. }
+                if matches!(frame.message(), Some(OfMessage::Error(_)))
         )));
     }
 }

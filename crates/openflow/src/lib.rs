@@ -52,6 +52,7 @@
 
 mod actions;
 mod error;
+pub mod frame;
 mod header;
 mod r#match;
 mod message;
@@ -62,6 +63,7 @@ mod wire;
 
 pub use actions::Action;
 pub use error::CodecError;
+pub use frame::{frame_decode_count, Frame};
 pub use header::{OfHeader, OfType, OFP_HEADER_LEN, OFP_VERSION};
 pub use message::OfMessage;
 pub use messages::{

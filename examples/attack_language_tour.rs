@@ -8,7 +8,7 @@
 use attain::core::exec::{AttackExecutor, InjectorInput};
 use attain::core::model::ConnectionId;
 use attain::core::{dsl, scenario};
-use attain::openflow::{FlowMod, Match, OfMessage};
+use attain::openflow::{FlowMod, Frame, Match, OfMessage};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sc = scenario::enterprise_network();
@@ -55,14 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &sc.attack_model,
     )?;
     let mut exec = AttackExecutor::new(sc.system, sc.attack_model, compiled.attack)?;
-    let flow_mod = OfMessage::FlowMod(FlowMod::add(Match::all(), vec![])).encode(1);
+    let flow_mod = Frame::new(OfMessage::FlowMod(FlowMod::add(Match::all(), vec![])).encode(1));
     let mut passed = 0;
     let mut dropped = 0;
     for i in 0..15 {
         let out = exec.on_message(InjectorInput {
             conn: ConnectionId(0),
             to_controller: false,
-            bytes: &flow_mod,
+            frame: flow_mod.clone(),
             now_ns: i,
         });
         if out.deliveries.is_empty() {

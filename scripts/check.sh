@@ -7,8 +7,8 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
-echo "== cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy (deny warnings, flag redundant clones)"
+cargo clippy --workspace --all-targets -- -D warnings -W clippy::redundant_clone
 
 echo "== cargo build --release"
 cargo build --release --workspace

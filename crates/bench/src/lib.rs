@@ -4,7 +4,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use attain_core::exec::AttackExecutor;
+use attain_core::exec::{AttackExecutor, DispatchMode};
 use attain_core::lang::AttackAction;
 use attain_core::lang::{Attack, AttackState, Expr, Property, Rule, Value};
 use attain_core::model::{AttackModel, CapabilitySet, ConnectionId, SystemModel};
@@ -121,9 +121,104 @@ pub fn rule_sweep_attack(n: usize, all_match: bool) -> Attack {
 /// Panics if the synthetic attack fails validation (a bug here, not in
 /// caller input).
 pub fn rule_sweep_executor(n: usize, all_match: bool) -> AttackExecutor {
+    rule_sweep_executor_mode(n, all_match, DispatchMode::default())
+}
+
+/// [`rule_sweep_executor`] pinned to an explicit [`DispatchMode`], for
+/// scan-vs-dispatch comparison sweeps.
+///
+/// # Panics
+///
+/// Panics if the synthetic attack fails validation (a bug here, not in
+/// caller input).
+pub fn rule_sweep_executor_mode(n: usize, all_match: bool, mode: DispatchMode) -> AttackExecutor {
     let (system, model) = tiny_system();
     AttackExecutor::new(system, model, rule_sweep_attack(n, all_match))
         .expect("synthetic sweep attack validates")
+        .with_dispatch_mode(mode)
+}
+
+/// The eight message types the mixed-type workload cycles through.
+const MIXED_TYPES: [OfType; 8] = [
+    OfType::Hello,
+    OfType::EchoRequest,
+    OfType::EchoReply,
+    OfType::FeaturesRequest,
+    OfType::GetConfigRequest,
+    OfType::BarrierRequest,
+    OfType::BarrierReply,
+    OfType::FlowMod,
+];
+
+/// Builds an attack whose `n` rules anchor on a type-equality guard —
+/// rule `i` watches `MIXED_TYPES[i % 8]` — followed by a length test no
+/// workload message satisfies. Against [`mixed_messages`], hash
+/// dispatch narrows each message to the ~`n/8` rules of its type
+/// instead of scanning all `n`; the residual length conjunct keeps
+/// every candidate a real (non-firing) evaluation.
+pub fn mixed_type_attack(n: usize) -> Attack {
+    let rules = (0..n)
+        .map(|i| Rule {
+            name: format!("phi{i}"),
+            connections: vec![ConnectionId(0)],
+            required: CapabilitySet::no_tls(),
+            condition: Expr::and(
+                Expr::eq(
+                    Expr::Prop(Property::Type),
+                    Expr::Lit(Value::MsgType(MIXED_TYPES[i % MIXED_TYPES.len()])),
+                ),
+                Expr::eq(
+                    Expr::Prop(Property::Length),
+                    Expr::Lit(Value::Int(1_000_000 + i as i64)),
+                ),
+            ),
+            actions: vec![AttackAction::ReadMetadata],
+        })
+        .collect();
+    Attack {
+        name: format!("mixed_{n}"),
+        states: vec![AttackState {
+            name: "s".into(),
+            rules,
+        }],
+        start: 0,
+    }
+}
+
+/// Builds an executor over [`tiny_system`] running [`mixed_type_attack`]
+/// in the given dispatch mode.
+///
+/// # Panics
+///
+/// Panics if the synthetic attack fails validation (a bug here, not in
+/// caller input).
+pub fn mixed_type_executor(n: usize, mode: DispatchMode) -> AttackExecutor {
+    let (system, model) = tiny_system();
+    AttackExecutor::new(system, model, mixed_type_attack(n))
+        .expect("synthetic mixed-type attack validates")
+        .with_dispatch_mode(mode)
+}
+
+/// One encoded frame per [`mixed_type_attack`] message type, so a
+/// round-robin over the returned set exercises every dispatch bucket.
+pub fn mixed_messages() -> Vec<attain_openflow::Frame> {
+    use attain_openflow::{Frame, OfMessage};
+    vec![
+        Frame::new(OfMessage::Hello.encode(1)),
+        Frame::new(OfMessage::EchoRequest(vec![7u8; 32]).encode(2)),
+        Frame::new(OfMessage::EchoReply(vec![7u8; 32]).encode(3)),
+        Frame::new(OfMessage::FeaturesRequest.encode(4)),
+        Frame::new(OfMessage::GetConfigRequest.encode(5)),
+        Frame::new(OfMessage::BarrierRequest.encode(6)),
+        Frame::new(OfMessage::BarrierReply.encode(7)),
+        Frame::new(
+            OfMessage::FlowMod(attain_openflow::FlowMod::add(
+                attain_openflow::Match::all(),
+                vec![],
+            ))
+            .encode(8),
+        ),
+    ]
 }
 
 /// A representative message workload for executor benches: one encoded
@@ -276,6 +371,25 @@ mod tests {
         let ns = timing::measure_ns(|| {});
         assert!(ns >= 0.0);
         assert!(ns.is_finite());
+    }
+
+    #[test]
+    fn mixed_type_workload_agrees_across_dispatch_modes() {
+        let mut scan = mixed_type_executor(64, DispatchMode::Scan);
+        let mut compiled = mixed_type_executor(64, DispatchMode::Compiled);
+        for (i, frame) in mixed_messages().iter().cycle().take(32).enumerate() {
+            let input = |frame: &attain_openflow::Frame| InjectorInput {
+                conn: ConnectionId(0),
+                to_controller: true,
+                frame: frame.clone(),
+                now_ns: i as u64 * 1_000,
+            };
+            let a = scan.on_message(input(frame));
+            let b = compiled.on_message(input(frame));
+            assert_eq!(a, b);
+            assert_eq!(a.deliveries.len(), 1); // nothing fires: pass-through
+        }
+        assert_eq!(scan.log().events(), compiled.log().events());
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct CompiledAttack {
     pub attack: Attack,
     /// Its state graph `Σ_G`.
     pub graph: AttackStateGraph,
+    /// The per-state compiled dispatch indexes (equality buckets,
+    /// threshold intervals, residual sets — see
+    /// [`CompiledRuleset`](crate::exec::CompiledRuleset)).
+    pub ruleset: crate::exec::CompiledRuleset,
 }
 
 impl CompiledAttack {
@@ -30,6 +34,11 @@ impl CompiledAttack {
     /// The attack's states.
     pub fn states(&self) -> &[crate::lang::AttackState] {
         self.attack.states()
+    }
+
+    /// How the compiled dispatcher classified the attack's rules.
+    pub fn dispatch_summary(&self) -> crate::exec::DispatchSummary {
+        self.ruleset.summary()
     }
 }
 
@@ -377,7 +386,12 @@ fn compile_attack(
     validate_attack(system, model, &attack)
         .map_err(|e| DslError::new(block.line, e.to_string()))?;
     let graph = AttackStateGraph::from_attack(&attack);
-    Ok(CompiledAttack { attack, graph })
+    let ruleset = crate::exec::CompiledRuleset::compile(&attack, system.connection_count());
+    Ok(CompiledAttack {
+        attack,
+        graph,
+        ruleset,
+    })
 }
 
 fn compile_expr(ast: ExprAst, system: &SystemModel, line: u32) -> Result<Expr, DslError> {
@@ -640,6 +654,12 @@ mod tests {
         assert!(rule.required.contains(Capability::ReadMessage));
         assert!(rule.required.contains(Capability::DropMessage));
         assert!(rule.required.contains(Capability::ReadMessageMetadata));
+        // The condition anchors on `msg.type == FLOW_MOD`: the compiled
+        // dispatcher indexes it through an equality bucket.
+        let summary = atk.dispatch_summary();
+        assert_eq!(summary.rules, 1);
+        assert_eq!(summary.eq_indexed, 1);
+        assert_eq!(summary.residual, 0);
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! The attack executor: the paper's Algorithm 1, with `SLEEP` holding
 //! and deterministic fuzzing.
 
+use crate::exec::dispatch::CompiledRuleset;
 use crate::exec::log::{InjectionLog, LogKind};
 use crate::exec::modifier;
 use crate::lang::Attack;
 use crate::lang::{AttackAction, DequeEnd, DequeStore, MessageView, StoredMessage, Value};
 use crate::model::AttackModel;
-use crate::model::Capability;
+use crate::model::{Capability, CapabilitySet};
 use crate::model::{ConnectionId, NodeRef, SystemModel};
 use attain_openflow::Frame;
 use rand::rngs::SmallRng;
@@ -182,6 +183,20 @@ struct HeldMessage {
     id: u64,
 }
 
+/// How the executor finds the rules to evaluate for a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Evaluate every rule of the current state in order — the paper's
+    /// literal Algorithm 1 loop, kept as the reference semantics (and
+    /// the differential-test oracle).
+    Scan,
+    /// Use the [`CompiledRuleset`] to narrow each message to its
+    /// candidate rules first. Produces bit-for-bit identical output;
+    /// the `dispatch_audit` feature checks that claim on every message.
+    #[default]
+    Compiled,
+}
+
 /// The runtime attack executor (paper Algorithm 1 and §VI-B2).
 pub struct AttackExecutor {
     system: SystemModel,
@@ -190,6 +205,15 @@ pub struct AttackExecutor {
     /// Per-state rule lists, shared so the hot path avoids cloning rule
     /// bodies on every message.
     rules_by_state: Vec<Arc<[crate::lang::Rule]>>,
+    /// The compiled per-state dispatch indexes (also the O(1)
+    /// connection-scope source for the scan path).
+    ruleset: CompiledRuleset,
+    mode: DispatchMode,
+    /// Reused candidate-index buffer: dispatch allocates nothing in
+    /// steady state.
+    cand_scratch: Vec<u32>,
+    /// Reused bitmask accumulator for candidate extraction.
+    mask_scratch: Vec<u64>,
     current: usize,
     deques: DequeStore,
     sleep_until_ns: Option<u64>,
@@ -233,11 +257,16 @@ impl AttackExecutor {
             .iter()
             .map(|s| Arc::from(s.rules.as_slice()))
             .collect();
+        let ruleset = CompiledRuleset::compile(&attack, system.connection_count());
         Ok(AttackExecutor {
             system,
             model,
             attack,
             rules_by_state,
+            ruleset,
+            mode: DispatchMode::default(),
+            cand_scratch: Vec::new(),
+            mask_scratch: Vec::new(),
             current: start,
             deques: DequeStore::new(),
             sleep_until_ns: None,
@@ -273,6 +302,23 @@ impl AttackExecutor {
     /// The deque store (for tests and monitors).
     pub fn deques(&self) -> &DequeStore {
         &self.deques
+    }
+
+    /// Switches the rule dispatch strategy (builder-style; the default
+    /// is [`DispatchMode::Compiled`]).
+    pub fn with_dispatch_mode(mut self, mode: DispatchMode) -> AttackExecutor {
+        self.mode = mode;
+        self
+    }
+
+    /// The active dispatch strategy.
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// The compiled dispatch structure (for introspection and benches).
+    pub fn ruleset(&self) -> &CompiledRuleset {
+        &self.ruleset
     }
 
     fn endpoints(&self, conn: ConnectionId, to_controller: bool) -> (NodeRef, NodeRef) {
@@ -368,84 +414,82 @@ impl AttackExecutor {
         // the state as it was when the message arrived, even if an
         // earlier rule in the same pass transitions.
         let previous = self.current;
-        // Lines 7–18: evaluate every rule of σ_previous.
+        // Lines 7–18: evaluate the rules of σ_previous. The compiled
+        // path narrows the pass to the candidate rules first; candidate
+        // order is rule order, so both paths evaluate the same rules in
+        // the same sequence.
         let rules = Arc::clone(&self.rules_by_state[previous]);
-        for rule in rules.iter() {
-            if !rule.applies_to(conn) {
-                continue;
-            }
-            let view = MessageView {
-                conn,
-                source,
-                destination,
-                timestamp_ns: now_ns,
-                id,
-                frame,
-                granted: rule.required,
-                entropy: entropy_for(self.entropy_seed, id),
-            };
-            match rule.condition.eval(&view, &self.deques) {
-                Ok(v) if v.truthy() => {}
-                Ok(_) => continue,
-                Err(e) => {
-                    self.log.push(
+        match self.mode {
+            DispatchMode::Scan => {
+                for (i, rule) in rules.iter().enumerate() {
+                    if !self.ruleset.state(previous).rule_watches(i, conn) {
+                        continue;
+                    }
+                    self.eval_rule(
+                        rule,
+                        previous,
+                        conn,
+                        source,
+                        destination,
+                        frame,
                         now_ns,
-                        LogKind::ActionError {
-                            rule: rule.name.clone(),
-                            error: e.to_string(),
-                        },
+                        id,
+                        &mut out,
+                        &mut commands,
+                        &mut faults,
+                        &mut wakeup,
                     );
-                    continue;
                 }
             }
-            self.log.push(
-                now_ns,
-                LogKind::RuleMatched {
-                    state: previous,
-                    rule: rule.name.clone(),
-                    msg_id: id,
-                },
-            );
-            // Lines 10–16: run the rule's actions.
-            for action in &rule.actions {
-                // Defense in depth: the compiler already checked this.
-                let needed = action.required_capabilities();
-                let granted = self.model.get(conn);
-                if !granted.is_superset_of(&needed) {
-                    if let Some(missing) = granted.missing_from(&needed).first() {
-                        self.log.push(
-                            now_ns,
-                            LogKind::CapabilityViolation {
-                                rule: rule.name.clone(),
-                                missing: *missing,
-                            },
-                        );
-                    }
-                    continue;
-                }
-                if let AttackAction::GoToState(target) = action {
-                    if *target != self.current {
-                        self.log.push(
-                            now_ns,
-                            LogKind::Transition {
-                                from: self.current,
-                                to: *target,
-                            },
-                        );
-                        self.current = *target;
-                    }
-                    continue;
-                }
-                self.apply_action(
-                    action,
-                    rule,
-                    &view,
-                    &mut out,
-                    &mut commands,
-                    &mut faults,
-                    &mut wakeup,
+            DispatchMode::Compiled => {
+                // Guard extraction reads act on behalf of rules that
+                // were validated to hold the needed capabilities, so
+                // the extraction view carries the full set Γ.
+                let extract_view = MessageView {
+                    conn,
+                    source,
+                    destination,
+                    timestamp_ns: now_ns,
+                    id,
+                    frame,
+                    granted: CapabilitySet::no_tls(),
+                    entropy: entropy_for(self.entropy_seed, id),
+                };
+                let mut cands = std::mem::take(&mut self.cand_scratch);
+                let mut mask = std::mem::take(&mut self.mask_scratch);
+                self.ruleset
+                    .state(previous)
+                    .candidates(conn, &extract_view, &mut cands, &mut mask);
+                #[cfg(feature = "dispatch_audit")]
+                self.audit_candidates(
+                    previous,
+                    conn,
+                    &rules,
+                    &cands,
+                    source,
+                    destination,
+                    frame,
                     now_ns,
+                    id,
                 );
+                for &i in &cands {
+                    self.eval_rule(
+                        &rules[i as usize],
+                        previous,
+                        conn,
+                        source,
+                        destination,
+                        frame,
+                        now_ns,
+                        id,
+                        &mut out,
+                        &mut commands,
+                        &mut faults,
+                        &mut wakeup,
+                    );
+                }
+                self.cand_scratch = cands;
+                self.mask_scratch = mask;
             }
         }
 
@@ -460,6 +504,147 @@ impl AttackExecutor {
             commands,
             faults,
             wakeup_ns: wakeup,
+        }
+    }
+
+    /// Evaluates one rule against one message and runs its actions on a
+    /// match — the body of Algorithm 1's per-rule loop, shared by both
+    /// dispatch paths.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_rule(
+        &mut self,
+        rule: &crate::lang::Rule,
+        previous: usize,
+        conn: ConnectionId,
+        source: NodeRef,
+        destination: NodeRef,
+        frame: &Frame,
+        now_ns: u64,
+        id: u64,
+        out: &mut Vec<OutMessage>,
+        commands: &mut Vec<(String, String)>,
+        faults: &mut Vec<String>,
+        wakeup: &mut Option<u64>,
+    ) {
+        let view = MessageView {
+            conn,
+            source,
+            destination,
+            timestamp_ns: now_ns,
+            id,
+            frame,
+            granted: rule.required,
+            entropy: entropy_for(self.entropy_seed, id),
+        };
+        match rule.condition.eval(&view, &self.deques) {
+            Ok(v) if v.truthy() => {}
+            Ok(_) => return,
+            Err(e) => {
+                self.log.push(
+                    now_ns,
+                    LogKind::ActionError {
+                        rule: rule.name.clone(),
+                        error: e.to_string(),
+                    },
+                );
+                return;
+            }
+        }
+        self.log.push(
+            now_ns,
+            LogKind::RuleMatched {
+                state: previous,
+                rule: rule.name.clone(),
+                msg_id: id,
+            },
+        );
+        // Lines 10–16: run the rule's actions.
+        for action in &rule.actions {
+            // Defense in depth: the compiler already checked this.
+            let needed = action.required_capabilities();
+            let granted = self.model.get(conn);
+            if !granted.is_superset_of(&needed) {
+                if let Some(missing) = granted.missing_from(&needed).first() {
+                    self.log.push(
+                        now_ns,
+                        LogKind::CapabilityViolation {
+                            rule: rule.name.clone(),
+                            missing: *missing,
+                        },
+                    );
+                }
+                continue;
+            }
+            if let AttackAction::GoToState(target) = action {
+                if *target != self.current {
+                    self.log.push(
+                        now_ns,
+                        LogKind::Transition {
+                            from: self.current,
+                            to: *target,
+                        },
+                    );
+                    self.current = *target;
+                }
+                continue;
+            }
+            self.apply_action(action, rule, &view, out, commands, faults, wakeup, now_ns);
+        }
+    }
+
+    /// `dispatch_audit` builds only: re-evaluates every rule the
+    /// dispatcher excluded, panicking unless the reference scan would
+    /// have skipped it silently too (condition falsy, nothing logged).
+    #[cfg(feature = "dispatch_audit")]
+    #[allow(clippy::too_many_arguments)]
+    fn audit_candidates(
+        &self,
+        previous: usize,
+        conn: ConnectionId,
+        rules: &[crate::lang::Rule],
+        candidates: &[u32],
+        source: NodeRef,
+        destination: NodeRef,
+        frame: &Frame,
+        now_ns: u64,
+        id: u64,
+    ) {
+        let state = self.ruleset.state(previous);
+        for (i, rule) in rules.iter().enumerate() {
+            let is_candidate = candidates.contains(&(i as u32));
+            if !state.rule_watches(i, conn) {
+                assert!(
+                    !is_candidate,
+                    "dispatch_audit: rule {} (state {previous}) is a candidate \
+                     on {conn} outside its connection scope",
+                    rule.name,
+                );
+                continue;
+            }
+            if is_candidate {
+                continue;
+            }
+            let view = MessageView {
+                conn,
+                source,
+                destination,
+                timestamp_ns: now_ns,
+                id,
+                frame,
+                granted: rule.required,
+                entropy: entropy_for(self.entropy_seed, id),
+            };
+            // Exclusion is sound only when the anchor conjunct is falsy,
+            // which short-circuits the scan before any deque read — so
+            // evaluating here, before this pass's actions, is exact.
+            match rule.condition.eval(&view, &self.deques) {
+                Ok(v) if !v.truthy() => {}
+                other => panic!(
+                    "dispatch_audit: rule {} (state {previous}, msg {id} at {now_ns}ns) \
+                     was excluded by the dispatcher but the scan evaluates it to {other:?}",
+                    rule.name,
+                ),
+            }
         }
     }
 

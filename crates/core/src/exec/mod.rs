@@ -7,12 +7,15 @@
 //! `ATTACKEXECUTOR` procedure. [`validate_attack`] performs the
 //! compiler's §VI-B1 capability and structure checks.
 
+mod dispatch;
 mod executor;
 mod log;
 mod modifier;
 
+pub use dispatch::{CompiledRuleset, CompiledState, DispatchSummary};
 pub use executor::{
-    validate_attack, AttackExecutor, ExecOutput, ExecutorError, InjectorInput, OutMessage,
+    validate_attack, AttackExecutor, DispatchMode, ExecOutput, ExecutorError, InjectorInput,
+    OutMessage,
 };
 pub use log::{InjectionLog, LogEvent, LogKind};
 pub use modifier::{set_field, ModifyError};

@@ -11,6 +11,7 @@ mod action;
 mod conditional;
 mod deque;
 mod graph;
+mod guard;
 mod property;
 mod rule;
 mod state;
@@ -21,6 +22,7 @@ pub use action::AttackAction;
 pub use conditional::{DequeEnd, EvalError, Expr};
 pub use deque::DequeStore;
 pub use graph::{AttackStateGraph, GraphEdge};
+pub use guard::{anchor_guard, property_read_is_fallible, CmpOp, Guard, ValueKey};
 pub use property::{type_option, MessageView, Property, PropertyError};
 pub use rule::Rule;
 pub use state::{Attack, AttackError, AttackState};

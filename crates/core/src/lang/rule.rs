@@ -38,8 +38,19 @@ impl Rule {
     }
 
     /// Whether the rule watches `conn`.
+    ///
+    /// Linear in the watch list; the executor's hot path does not call
+    /// this — connection scope is precompiled into per-connection
+    /// bitmasks by [`CompiledRuleset`](crate::exec::CompiledRuleset),
+    /// making the check O(1) per rule there.
     pub fn applies_to(&self, conn: ConnectionId) -> bool {
         self.connections.contains(&conn)
+    }
+
+    /// The indexable guard anchoring this rule's condition, if any
+    /// (see [`anchor_guard`](crate::lang::anchor_guard)).
+    pub fn anchor_guard(&self) -> Option<crate::lang::Guard> {
+        crate::lang::anchor_guard(&self.condition)
     }
 
     /// `GOTOSTATE` targets named by this rule's actions.

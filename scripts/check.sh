@@ -20,9 +20,12 @@ echo "== environment-fault suite (incl. trace determinism)"
 cargo test -q -p attain-netsim --test faults
 cargo test -q -p attain-netsim --test faults same_seed_same_trace_different_seed_may_differ
 
-echo "== conformance campaign (smoke matrix + golden digests)"
-cargo run --release --bin campaign -- --smoke --jobs 2 \
-  --out target/CAMPAIGN_smoke_report.json
+echo "== rule dispatcher differential suite (scan ≡ compiled)"
+cargo test -q -p attain-core --test proptest_dispatch
+
+echo "== conformance campaign (smoke matrix + golden digests, audited dispatch)"
+cargo run --release --bin campaign --features attain-campaign/dispatch_audit \
+  -- --smoke --jobs 2 --out target/CAMPAIGN_smoke_report.json
 cargo test -q -p attain --test campaign_conformance
 cargo test -q -p attain --test dsl_roundtrip
 

@@ -6,6 +6,7 @@
 //! bundled sources.
 
 use attain_core::scenario;
+use attain_netsim::EvictionPolicy;
 
 /// How an attack description binds to a system model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +19,28 @@ pub enum Scope {
     SelfContained,
 }
 
+/// A per-cell flow-table bound: one switch runs with a finite table
+/// and an overflow policy, applied identically to the attacked run and
+/// its differential baseline (the bound is environment, not attack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableOverride {
+    /// The switch whose table is bounded (by builder name).
+    pub switch: &'static str,
+    /// Maximum resident flow entries.
+    pub capacity: usize,
+    /// What a full table does with the next install.
+    pub policy: EvictionPolicy,
+}
+
+/// The overflow family's environment: the branch switch `s4` bounded
+/// at eight entries with LRU eviction, small enough that the phantom
+/// installs evict the workload's flows within one ping window.
+pub const TABLE_OVERFLOW_BOUND: TableOverride = TableOverride {
+    switch: "s4",
+    capacity: 8,
+    policy: EvictionPolicy::EvictLru,
+};
+
 /// One campaign attack: a named `.atk` source plus its scope.
 #[derive(Debug, Clone, Copy)]
 pub struct AttackDef {
@@ -27,9 +50,11 @@ pub struct AttackDef {
     pub source: &'static str,
     /// Enterprise-scenario attack or self-contained document.
     pub scope: Scope,
+    /// A flow-table bound the cell's environment applies, if any.
+    pub table: Option<TableOverride>,
 }
 
-/// Every shipped attack, in matrix order: the eight enterprise attacks
+/// Every shipped attack, in matrix order: the nine enterprise attacks
 /// in their `scenario::attacks::ALL` order, then the self-contained
 /// demo document.
 pub fn all() -> Vec<AttackDef> {
@@ -39,12 +64,14 @@ pub fn all() -> Vec<AttackDef> {
             name,
             source,
             scope: Scope::Enterprise,
+            table: (name == "table_overflow").then_some(TABLE_OVERFLOW_BOUND),
         })
         .collect();
     v.push(AttackDef {
         name: "self_contained_demo",
         source: include_str!("../../../attacks/self_contained_demo.atk"),
         scope: Scope::SelfContained,
+        table: None,
     });
     v
 }
@@ -61,9 +88,20 @@ mod tests {
     #[test]
     fn inventory_covers_every_shipped_atk_file() {
         let names: Vec<_> = all().iter().map(|a| a.name).collect();
-        assert_eq!(names.len(), 9, "expected the nine shipped attacks");
+        assert_eq!(names.len(), 10, "expected the ten shipped attacks");
         assert_eq!(names[0], "trivial_pass", "baseline attack leads the matrix");
         assert!(names.contains(&"self_contained_demo"));
+    }
+
+    #[test]
+    fn only_the_overflow_attack_bounds_a_table() {
+        for a in all() {
+            if a.name == "table_overflow" {
+                assert_eq!(a.table, Some(TABLE_OVERFLOW_BOUND));
+            } else {
+                assert_eq!(a.table, None, "{} must not bound a table", a.name);
+            }
+        }
     }
 
     #[test]

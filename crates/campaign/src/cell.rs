@@ -162,6 +162,12 @@ fn run(
     let (mut sim, handle, horizon) = match attack.scope {
         Scope::Enterprise => {
             let mut sim = build_case_study(kind, fail_mode);
+            // A table bound is part of the cell's environment: the
+            // baseline runs against the same bounded switch, so the
+            // diff isolates the attack, not the capacity.
+            if let Some(t) = attack.table {
+                sim.set_table_config(t.switch, t.capacity, t.policy);
+            }
             let handle = attach.then(|| attach_attack(&mut sim, attack.source));
             sim.set_fault_seed(seed);
             let horizon = enterprise_workload(&mut sim, seed);

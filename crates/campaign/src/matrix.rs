@@ -57,7 +57,7 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// The full conformance matrix: all nine shipped attacks × five
+    /// The full conformance matrix: all ten shipped attacks × five
     /// controller applications × both fail modes × three seeds.
     pub fn full() -> Matrix {
         Matrix {
@@ -68,13 +68,15 @@ impl Matrix {
         }
     }
 
-    /// The reduced CI matrix: the baseline plus the paper's two headline
-    /// attacks, all five controllers, both fail modes, one seed.
+    /// The reduced CI matrix: the baseline, the paper's two headline
+    /// attacks, and the overflow family, all five controllers, both
+    /// fail modes, one seed.
     pub fn smoke() -> Matrix {
         let keep = [
             "trivial_pass",
             "flow_mod_suppression",
             "connection_interruption",
+            "table_overflow",
         ];
         Matrix {
             attacks: attacks::all()
@@ -205,7 +207,7 @@ mod tests {
     #[test]
     fn full_matrix_has_expected_shape() {
         let m = Matrix::full();
-        assert_eq!(m.cells().len(), 9 * 5 * 2 * 3);
+        assert_eq!(m.cells().len(), 10 * 5 * 2 * 3);
         let names: Vec<_> = m.cells().iter().map(|c| m.cell_name(c)).collect();
         assert_eq!(names[0], "trivial_pass/floodlight/safe/s1");
         // No duplicates.
@@ -242,6 +244,6 @@ mod tests {
         for cell in smoke.cells() {
             assert!(full_names.contains(&smoke.cell_name(&cell)));
         }
-        assert_eq!(smoke.cells().len(), 3 * 5 * 2);
+        assert_eq!(smoke.cells().len(), 4 * 5 * 2);
     }
 }

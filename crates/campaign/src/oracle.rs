@@ -222,6 +222,25 @@ pub fn expected(attack: &str, kind: ControllerKind, _fail_mode: FailMode) -> &'s
             }
         }
 
+        // Overflow family: phantom-port PACKET_IN corruption arms after
+        // two installs on the bounded s4 and then poisons every miss —
+        // junk entries (matching ports that do not exist) crowd the
+        // eight-entry table and the controller learns hosts at phantom
+        // ports, black-holing its PACKET_OUTs. Hub never installs, so
+        // the watch counter never reaches two; Ryu's permanent flows
+        // absorb the workload before the attack arms, so no further
+        // PACKET_IN from s4 ever reaches the corruptor. Every
+        // timeout-driven application keeps re-missing into poisoned
+        // state: service survives off-path but the h1→h6 windows lose
+        // packets.
+        "table_overflow" => {
+            if !kind.installs_flows() || kind.installs_permanent_flows() {
+                &[Silent]
+            } else {
+                &[Degraded]
+            }
+        }
+
         // Unknown attack (a future .atk file without a table entry):
         // accept anything rather than fail spuriously; the golden
         // digests still pin its exact behaviour.
@@ -303,6 +322,21 @@ mod tests {
         assert_eq!(
             expected("flow_mod_suppression", ControllerKind::Ryu, Secure),
             &[Degraded]
+        );
+        // Overflow family: the poisoning bites exactly where flows
+        // expire and get re-installed; permanent flows (Ryu) and
+        // flowless forwarding (Hub) never feed the corruptor.
+        assert_eq!(
+            expected("table_overflow", ControllerKind::Floodlight, Secure),
+            &[Degraded]
+        );
+        assert_eq!(
+            expected("table_overflow", ControllerKind::Ryu, Secure),
+            &[Silent]
+        );
+        assert_eq!(
+            expected("table_overflow", ControllerKind::Hub, Secure),
+            &[Silent]
         );
         // Table II: Ryu (and Hub) never arm the interruption.
         assert_eq!(

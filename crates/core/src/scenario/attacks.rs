@@ -188,9 +188,51 @@ attack fuzz_control_plane {
 }
 "#;
 
+/// The overflow-family attack: once the controller has installed two
+/// flows on the branch switch `s4`, corrupt the `in_port` of every
+/// further `PACKET_IN` from `s4`. The controller learns each source at
+/// a phantom port and installs entries real traffic can never match,
+/// overflowing the bounded table until the victim flows are evicted
+/// (the campaign bounds `s4` at eight entries with LRU eviction for
+/// this attack).
+pub const TABLE_OVERFLOW: &str = r#"
+# Overflow family: phantom-port PACKET_IN corruption against s4.
+attack table_overflow {
+    start state watch {
+        rule init on (c1, s4) requires no_tls {
+            when len(installs) == 0 && msg.type == FLOW_MOD
+            do { prepend(installs, 0); }
+        }
+        rule count on (c1, s4) requires no_tls {
+            when msg.type == FLOW_MOD && front(installs) < 2
+            do { prepend(installs, front(installs) + 1); pop(installs); pass(msg); }
+        }
+        rule armed on (c1, s4) requires no_tls {
+            when front(installs) == 2
+            do { goto flood; }
+        }
+    }
+    state flood {
+        rule seed on (c1, s4) requires no_tls {
+            when len(phantom) == 0
+            do { prepend(phantom, 61000); }
+        }
+        rule corrupt on (c1, s4) requires no_tls {
+            when msg.type == PACKET_IN && msg.source == s4
+            do {
+                modify(msg, "in_port", front(phantom));
+                prepend(phantom, front(phantom) + 1);
+                pop(phantom);
+                pass(msg);
+            }
+        }
+    }
+}
+"#;
+
 /// All bundled attacks with their names, for iteration in tests and
 /// examples.
-pub const ALL: [(&str, &str); 8] = [
+pub const ALL: [(&str, &str); 9] = [
     ("trivial_pass", TRIVIAL_PASS),
     ("flow_mod_suppression", FLOW_MOD_SUPPRESSION),
     ("connection_interruption", CONNECTION_INTERRUPTION),
@@ -199,4 +241,5 @@ pub const ALL: [(&str, &str); 8] = [
     ("reorder_packet_ins", REORDER_PACKET_INS),
     ("replay_flow_mods", REPLAY_FLOW_MODS),
     ("fuzz_control_plane", FUZZ_CONTROL_PLANE),
+    ("table_overflow", TABLE_OVERFLOW),
 ];

@@ -6,7 +6,7 @@ use crate::fault::{FaultPlan, FaultSpec};
 use crate::host::Host;
 use crate::link::{Link, LinkEnd};
 use crate::sim::{Connection, Node, Simulation};
-use crate::switch::{FailMode, Switch};
+use crate::switch::{EvictionPolicy, FailMode, Switch};
 use crate::time::SimTime;
 use attain_controllers::Controller;
 use attain_openflow::{DatapathId, MacAddr, PortNo};
@@ -38,8 +38,17 @@ impl Default for LinkParams {
 }
 
 enum NodeSpec {
-    Host { name: String, ip: Ipv4Addr },
-    Switch { name: String, fail_mode: FailMode },
+    Host {
+        name: String,
+        ip: Ipv4Addr,
+    },
+    Switch {
+        name: String,
+        fail_mode: FailMode,
+        /// `(capacity, policy)` flow-table bound; `None` keeps the
+        /// default (1024 entries, reject-on-full).
+        table: Option<(usize, EvictionPolicy)>,
+    },
 }
 
 /// Builds a [`Simulation`] from hosts, switches, links, controllers, and
@@ -92,6 +101,7 @@ impl NetworkBuilder {
         self.nodes.push(NodeSpec::Switch {
             name: name.to_string(),
             fail_mode,
+            table: None,
         });
         id
     }
@@ -104,6 +114,19 @@ impl NetworkBuilder {
     pub fn set_fail_mode(&mut self, id: NodeId, mode: FailMode) {
         match &mut self.nodes[id.0] {
             NodeSpec::Switch { fail_mode, .. } => *fail_mode = mode,
+            NodeSpec::Host { name, .. } => panic!("{name} is a host"),
+        }
+    }
+
+    /// Bounds a switch's flow table (before `build`): `capacity` entries
+    /// plus the overflow policy applied once it fills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a switch.
+    pub fn set_table(&mut self, id: NodeId, capacity: usize, policy: EvictionPolicy) {
+        match &mut self.nodes[id.0] {
+            NodeSpec::Switch { table, .. } => *table = Some((capacity, policy)),
             NodeSpec::Host { name, .. } => panic!("{name} is a host"),
         }
     }
@@ -189,15 +212,18 @@ impl NetworkBuilder {
                         ip,
                     )));
                 }
-                NodeSpec::Switch { name, fail_mode } => {
+                NodeSpec::Switch {
+                    name,
+                    fail_mode,
+                    table,
+                } => {
                     dpid += 1;
                     names.insert(name.clone(), id);
-                    nodes.push(Node::Switch(Box::new(Switch::new(
-                        id,
-                        name,
-                        DatapathId(dpid),
-                        fail_mode,
-                    ))));
+                    let mut switch = Switch::new(id, name, DatapathId(dpid), fail_mode);
+                    if let Some((capacity, policy)) = table {
+                        switch.set_table_config(capacity, policy);
+                    }
+                    nodes.push(Node::Switch(Box::new(switch)));
                 }
             }
         }
@@ -284,6 +310,23 @@ mod tests {
         assert_eq!(infos.len(), 1);
         assert_eq!(infos[0].controller, "c1");
         assert_eq!(infos[0].switch, "s1");
+    }
+
+    #[test]
+    fn set_table_bounds_the_switch() {
+        let mut b = NetworkBuilder::new();
+        let h1 = b.host("h1", "10.0.0.1");
+        let s1 = b.switch("s1");
+        b.link(h1, s1);
+        b.set_table(s1, 8, EvictionPolicy::EvictLru);
+        let c1 = b.controller("c1", Box::new(Floodlight::new()));
+        b.control(c1, s1);
+        let sim = b.build();
+        assert_eq!(sim.switch("s1").flow_table().capacity(), 8);
+        assert_eq!(
+            sim.switch("s1").flow_table().policy(),
+            EvictionPolicy::EvictLru
+        );
     }
 
     #[test]

@@ -51,6 +51,21 @@ pub enum HostCommand {
         /// Label under which results are reported.
         label: String,
     },
+    /// Run the flow-table capacity inference probe toward `dst`
+    /// (warmup, spoofed-source fill, reverse sweep; see
+    /// [`ProbeStats`](crate::ProbeStats)).
+    Probe {
+        /// The host running the probe.
+        host: NodeId,
+        /// Victim destination address.
+        dst: Ipv4Addr,
+        /// Spoofed flows to send during the fill phase.
+        fill: u32,
+        /// Interval between probe packets.
+        gap: SimTime,
+        /// Label under which results are reported.
+        label: String,
+    },
     /// Record a marker in the trace (no behavioural effect).
     Marker {
         /// Marker text.
@@ -83,6 +98,7 @@ impl HostCommand {
     /// * `ping [-c COUNT] [-i SECS] DST`
     /// * `iperf -s [-p PORT]`
     /// * `iperf -c DST [-p PORT] [-t SECS]`
+    /// * `capprobe [-n FILL] [-i SECS] DST` (capacity inference probe)
     /// * `echo TEXT` (becomes a trace marker)
     /// * `fault SPEC` (environment fault; see [`FaultSpec::parse`])
     ///
@@ -190,6 +206,51 @@ impl HostCommand {
                     })
                 }
             }
+            Some("capprobe") => {
+                let mut fill = 256u32;
+                let mut gap = SimTime::from_millis(50);
+                let mut dst: Option<Ipv4Addr> = None;
+                let mut i = 1;
+                while i < tokens.len() {
+                    match tokens[i] {
+                        "-n" => {
+                            fill = tokens
+                                .get(i + 1)
+                                .ok_or_else(err)?
+                                .parse()
+                                .map_err(|_| err())?;
+                            if fill == 0 {
+                                return Err(err());
+                            }
+                            i += 2;
+                        }
+                        "-i" => {
+                            let secs: f64 = tokens
+                                .get(i + 1)
+                                .ok_or_else(err)?
+                                .parse()
+                                .map_err(|_| err())?;
+                            if !(secs.is_finite() && secs > 0.0) {
+                                return Err(err());
+                            }
+                            gap = SimTime::from_secs_f64(secs);
+                            i += 2;
+                        }
+                        addr => {
+                            dst = Some(addr.parse().map_err(|_| err())?);
+                            i += 1;
+                        }
+                    }
+                }
+                let dst = dst.ok_or_else(err)?;
+                Ok(HostCommand::Probe {
+                    host,
+                    dst,
+                    fill,
+                    gap,
+                    label: cmd.to_string(),
+                })
+            }
             Some("echo") => Ok(HostCommand::Marker {
                 label: tokens[1..].join(" "),
             }),
@@ -269,6 +330,27 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn parses_capprobe() {
+        let c = HostCommand::parse(NodeId(2), "capprobe -n 128 -i 0.02 10.0.0.6").unwrap();
+        assert_eq!(
+            c,
+            HostCommand::Probe {
+                host: NodeId(2),
+                dst: Ipv4Addr::new(10, 0, 0, 6),
+                fill: 128,
+                gap: SimTime::from_millis(20),
+                label: "capprobe -n 128 -i 0.02 10.0.0.6".into(),
+            }
+        );
+        assert!(matches!(
+            HostCommand::parse(NodeId(0), "capprobe 10.0.0.6").unwrap(),
+            HostCommand::Probe { fill: 256, .. }
+        ));
+        assert!(HostCommand::parse(NodeId(0), "capprobe").is_err());
+        assert!(HostCommand::parse(NodeId(0), "capprobe -n 0 10.0.0.6").is_err());
     }
 
     #[test]

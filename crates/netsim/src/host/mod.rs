@@ -3,9 +3,11 @@
 
 mod iperf;
 mod ping;
+mod probe;
 
 pub use iperf::IperfStats;
 pub use ping::PingStats;
+pub use probe::ProbeStats;
 
 use crate::engine::{Effect, NodeId, TimerToken};
 use crate::time::SimTime;
@@ -13,6 +15,7 @@ use attain_openflow::packet::{self, ArpOperation, Ethernet, IcmpKind, IpPayload,
 use attain_openflow::{MacAddr, PortNo};
 use iperf::{IperfClientApp, IperfServerApp};
 use ping::PingApp;
+use probe::{CapacityProbeApp, ProbeSend};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -35,6 +38,7 @@ enum App {
     Ping(PingApp),
     IperfServer(IperfServerApp),
     IperfClient(IperfClientApp),
+    CapacityProbe(CapacityProbeApp),
 }
 
 /// A simulated end host.
@@ -106,6 +110,17 @@ impl Host {
             .collect()
     }
 
+    /// Completed and in-progress capacity-probe runs, in start order.
+    pub fn probe_stats(&self) -> Vec<ProbeStats> {
+        self.apps
+            .iter()
+            .filter_map(|a| match a {
+                App::CapacityProbe(p) => Some(p.stats()),
+                _ => None,
+            })
+            .collect()
+    }
+
     // ---- workload control -------------------------------------------------
 
     pub(crate) fn start_ping(
@@ -130,6 +145,26 @@ impl Host {
 
     pub(crate) fn start_iperf_server(&mut self, port: u16) {
         self.apps.push(App::IperfServer(IperfServerApp::new(port)));
+    }
+
+    pub(crate) fn start_probe(
+        &mut self,
+        dst: Ipv4Addr,
+        fill: usize,
+        gap: SimTime,
+        label: String,
+        now: SimTime,
+        fx: &mut Vec<Effect>,
+    ) {
+        let app = self.apps.len();
+        // The echo identifier ties replies back to this app slot.
+        self.apps.push(App::CapacityProbe(CapacityProbeApp::new(
+            label, dst, fill, gap, app as u16,
+        )));
+        fx.push(Effect::Timer {
+            at: now,
+            token: TimerToken::App { app },
+        });
     }
 
     pub(crate) fn start_iperf_client(
@@ -160,7 +195,10 @@ impl Host {
             Err(_) => return,
         };
         if eth.dst != self.mac && !eth.dst.is_broadcast() {
-            // Flooded frame for someone else.
+            // A reply addressed to one of our probes' spoofed sources
+            // still belongs to us; anything else was flooded for
+            // someone else.
+            self.deliver_to_probe(&eth, now);
             return;
         }
         match &eth.payload {
@@ -205,8 +243,10 @@ impl Host {
                         }
                         IcmpKind::EchoReply => {
                             let app = icmp.identifier as usize;
-                            if let Some(App::Ping(p)) = self.apps.get_mut(app) {
-                                p.on_reply(icmp.sequence, now);
+                            match self.apps.get_mut(app) {
+                                Some(App::Ping(p)) => p.on_reply(icmp.sequence, now),
+                                Some(App::CapacityProbe(p)) => p.on_reply(icmp.sequence, now),
+                                _ => {}
                             }
                         }
                         _ => {}
@@ -219,6 +259,25 @@ impl Host {
                 }
             }
             Payload::Other(_) => {}
+        }
+    }
+
+    /// Routes an echo reply addressed to a spoofed probe source MAC to
+    /// the owning capacity-probe app.
+    fn deliver_to_probe(&mut self, eth: &Ethernet, now: SimTime) {
+        let Payload::Ipv4(ip) = &eth.payload else {
+            return;
+        };
+        let IpPayload::Icmp(icmp) = &ip.payload else {
+            return;
+        };
+        if icmp.kind() != IcmpKind::EchoReply {
+            return;
+        }
+        if let Some(App::CapacityProbe(p)) = self.apps.get_mut(icmp.identifier as usize) {
+            if p.owns(eth.dst) {
+                p.on_reply(icmp.sequence, now);
+            }
         }
     }
 
@@ -411,6 +470,17 @@ impl Host {
                 segs: Vec<iperf::SegmentOut>,
                 next_at: Option<SimTime>,
             },
+            Spoofed {
+                dst: Ipv4Addr,
+                ident: u16,
+                src_mac: MacAddr,
+                src_ip: Ipv4Addr,
+                seq: u16,
+                next_at: Option<SimTime>,
+            },
+            Quiet {
+                next_at: Option<SimTime>,
+            },
         }
         let todo = match self.apps.get_mut(app) {
             Some(App::Ping(p)) => match p.on_timer(now) {
@@ -428,6 +498,33 @@ impl Host {
                     dst: c.dst(),
                     segs,
                     next_at,
+                }
+            }
+            Some(App::CapacityProbe(p)) => {
+                let (dst, ident) = (p.dst(), p.ident());
+                let (send, next_at) = p.on_timer(now);
+                match send {
+                    // Warmup trials are ordinary pings from the host's
+                    // real address: they share the ping send path.
+                    ProbeSend::Warmup { seq } => Todo::Ping {
+                        dst,
+                        ident,
+                        seq,
+                        next_at,
+                    },
+                    ProbeSend::Spoofed {
+                        src_mac,
+                        src_ip,
+                        seq,
+                    } => Todo::Spoofed {
+                        dst,
+                        ident,
+                        src_mac,
+                        src_ip,
+                        seq,
+                        next_at,
+                    },
+                    ProbeSend::Quiet => Todo::Quiet { next_at },
                 }
             }
             _ => Todo::None,
@@ -459,6 +556,50 @@ impl Host {
             }
             Todo::Tcp { dst, segs, next_at } => {
                 self.emit_tcp(dst, segs, now, fx);
+                if let Some(at) = next_at {
+                    fx.push(Effect::Timer {
+                        at,
+                        token: TimerToken::App { app },
+                    });
+                }
+            }
+            Todo::Spoofed {
+                dst,
+                ident,
+                src_mac,
+                src_ip,
+                seq,
+                next_at,
+            } => {
+                // Warmup has already resolved the destination MAC; if it
+                // somehow has not (unreachable victim), fall back to
+                // broadcast so the probe still terminates.
+                let dst_mac = self
+                    .arp_table
+                    .get(&dst)
+                    .copied()
+                    .unwrap_or(MacAddr::BROADCAST);
+                let frame = packet::icmp_echo_request(
+                    src_mac,
+                    dst_mac,
+                    src_ip,
+                    dst,
+                    ident,
+                    seq,
+                    vec![0x70; 56],
+                );
+                fx.push(Effect::Frame {
+                    out_port: HOST_PORT,
+                    frame: frame.encode(),
+                });
+                if let Some(at) = next_at {
+                    fx.push(Effect::Timer {
+                        at,
+                        token: TimerToken::App { app },
+                    });
+                }
+            }
+            Todo::Quiet { next_at } => {
                 if let Some(at) = next_at {
                     fx.push(Effect::Timer {
                         at,

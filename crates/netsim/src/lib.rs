@@ -82,12 +82,14 @@ pub use fault::{
     ControllerFaultStats, DetRng, FaultKind, FaultPlan, FaultReport, FaultSpec, FaultTarget,
     LinkStats, ParseFaultError, SwitchFaultStats,
 };
-pub use host::{Host, IperfStats, PingStats};
+pub use host::{Host, IperfStats, PingStats, ProbeStats};
 pub use interpose::{
     Delivery, Direction, Interposer, InterposerActions, PassThrough, ProxiedMessage,
 };
 pub use link::{Link, LinkEnd, TxOutcome};
 pub use sim::{ConnInfo, Simulation};
-pub use switch::{ApplyOutcome, FailMode, FlowEntry, FlowModError, FlowTable, Switch};
+pub use switch::{
+    ApplyOutcome, EvictionPolicy, FailMode, FlowEntry, FlowModError, FlowTable, Switch,
+};
 pub use time::SimTime;
 pub use trace::{Trace, TraceDigest, TraceEvent, TraceKind};

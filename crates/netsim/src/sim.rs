@@ -11,10 +11,10 @@ use crate::fault::{
 use crate::host::Host;
 use crate::interpose::{Direction, Interposer, InterposerActions, ProxiedMessage};
 use crate::link::{Link, TxOutcome};
-use crate::switch::Switch;
+use crate::switch::{EvictionPolicy, Switch};
 use crate::time::SimTime;
 use crate::trace::{Trace, TraceKind};
-use crate::{IperfStats, PingStats};
+use crate::{IperfStats, PingStats, ProbeStats};
 use attain_openflow::{Frame, PortNo};
 use std::collections::HashMap;
 
@@ -155,6 +155,25 @@ impl Simulation {
     pub fn schedule_fault(&mut self, at: SimTime, spec: FaultSpec) {
         self.queue
             .schedule(at, EventKind::Command(HostCommand::Fault(spec)));
+    }
+
+    /// Bounds the named switch's flow table at `capacity` entries under
+    /// the given overflow `policy`. Scenario configuration: call before
+    /// driving the simulation (the table is rebuilt empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` is unknown or names a host.
+    pub fn set_table_config(&mut self, switch: &str, capacity: usize, policy: EvictionPolicy) {
+        let id = self
+            .names
+            .get(switch)
+            .copied()
+            .unwrap_or_else(|| panic!("no node named {switch}"));
+        match &mut self.nodes[id.0] {
+            Node::Switch(s) => s.set_table_config(capacity, policy),
+            Node::Host(_) => panic!("{switch} is a host, not a switch"),
+        }
     }
 
     /// Sets the scenario seed for the per-link loss/corruption streams.
@@ -329,6 +348,18 @@ impl Simulation {
             .iter()
             .filter_map(|n| match n {
                 Node::Host(h) => Some(h.iperf_stats()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// All capacity-probe runs across all hosts.
+    pub fn probe_stats(&self) -> Vec<ProbeStats> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::Host(h) => Some(h.probe_stats()),
                 _ => None,
             })
             .flatten()
@@ -521,6 +552,19 @@ impl Simulation {
                 if let Node::Host(h) = &mut self.nodes[host.0] {
                     h.start_iperf_server(port);
                 }
+            }
+            HostCommand::Probe {
+                host,
+                dst,
+                fill,
+                gap,
+                label,
+            } => {
+                let mut fx = Vec::new();
+                if let Node::Host(h) = &mut self.nodes[host.0] {
+                    h.start_probe(dst, fill as usize, gap, label, self.now, &mut fx);
+                }
+                self.apply_effects(host, fx);
             }
             HostCommand::IperfClient {
                 host,

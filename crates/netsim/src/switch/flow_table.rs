@@ -151,6 +151,35 @@ pub enum FlowModError {
     TableFull,
 }
 
+/// What a full table does with a new entry — Open vSwitch's
+/// `overflow-policy` column (`refuse` / `evict`) with the eviction axis
+/// made explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictionPolicy {
+    /// Refuse the new entry with `ALL_TABLES_FULL` — the OpenFlow 1.0
+    /// default and OVS `overflow-policy=refuse`.
+    #[default]
+    Reject,
+    /// Evict the least-recently-matched entry, oldest-installed on ties
+    /// (OVS `overflow-policy=evict` grouped on usage recency).
+    EvictLru,
+    /// Evict the lowest-priority entry, oldest-installed on ties. A
+    /// newcomer whose priority is strictly below every resident is
+    /// refused instead of admitted-then-thrashed.
+    EvictLowestPriority,
+}
+
+impl EvictionPolicy {
+    /// A short stable name (reports, bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Reject => "reject",
+            EvictionPolicy::EvictLru => "evict_lru",
+            EvictionPolicy::EvictLowestPriority => "evict_lowest_priority",
+        }
+    }
+}
+
 /// The result of applying a flow mod.
 #[derive(Debug, Default)]
 pub struct ApplyOutcome {
@@ -159,6 +188,10 @@ pub struct ApplyOutcome {
     /// Entries removed by a delete command, for `FLOW_REMOVED`
     /// notification (only those with `send_flow_rem`).
     pub removed: Vec<FlowEntry>,
+    /// Entries evicted to make room for an added one (all of them —
+    /// the switch decides which warrant a `FLOW_REMOVED` and traces the
+    /// rest).
+    pub evicted: Vec<FlowEntry>,
 }
 
 /// An arena slot: a generation counter plus the occupant, if any.
@@ -194,10 +227,13 @@ pub struct FlowTable {
     /// Min-heap of provisional `(deadline, slot, generation)` triples.
     deadlines: BinaryHeap<Reverse<(SimTime, usize, u32)>>,
     capacity: usize,
+    policy: EvictionPolicy,
     /// Packets looked up (table stats).
     pub lookup_count: u64,
     /// Packets that matched (table stats).
     pub matched_count: u64,
+    /// Entries evicted to admit new ones over the table's lifetime.
+    pub eviction_count: u64,
 }
 
 impl Default for FlowTable {
@@ -207,8 +243,14 @@ impl Default for FlowTable {
 }
 
 impl FlowTable {
-    /// Creates an empty table holding at most `capacity` entries.
+    /// Creates an empty table holding at most `capacity` entries that
+    /// rejects adds when full ([`EvictionPolicy::Reject`]).
     pub fn new(capacity: usize) -> FlowTable {
+        FlowTable::with_policy(capacity, EvictionPolicy::Reject)
+    }
+
+    /// Creates an empty table with an explicit overflow policy.
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> FlowTable {
         FlowTable {
             slots: Vec::new(),
             free: Vec::new(),
@@ -217,9 +259,21 @@ impl FlowTable {
             wild: Vec::new(),
             deadlines: BinaryHeap::new(),
             capacity,
+            policy,
             lookup_count: 0,
             matched_count: 0,
+            eviction_count: 0,
         }
+    }
+
+    /// The configured maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured overflow policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     /// Active entries, in insertion order.
@@ -305,9 +359,10 @@ impl FlowTable {
     /// Returns [`FlowModError`] on overlap rejection or a full table.
     pub fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<ApplyOutcome, FlowModError> {
         match fm.command {
-            FlowModCommand::Add => self.add(fm, now).map(|_| ApplyOutcome {
+            FlowModCommand::Add => self.add(fm, now).map(|evicted| ApplyOutcome {
                 added: true,
                 removed: Vec::new(),
+                evicted,
             }),
             FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
                 let strict = fm.command == FlowModCommand::ModifyStrict;
@@ -331,9 +386,10 @@ impl FlowTable {
                     Ok(ApplyOutcome::default())
                 } else {
                     // Per spec: a modify with no target behaves like an add.
-                    self.add(fm, now).map(|_| ApplyOutcome {
+                    self.add(fm, now).map(|evicted| ApplyOutcome {
                         added: true,
                         removed: Vec::new(),
+                        evicted,
                     })
                 }
             }
@@ -361,12 +417,14 @@ impl FlowTable {
                 Ok(ApplyOutcome {
                     added: false,
                     removed,
+                    evicted: Vec::new(),
                 })
             }
         }
     }
 
-    fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<(), FlowModError> {
+    /// Adds the entry, returning any entries evicted to make room.
+    fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<Vec<FlowEntry>, FlowModError> {
         if fm.flags.has(FlowModFlags::CHECK_OVERLAP) {
             let overlapping = self
                 .order
@@ -390,13 +448,43 @@ impl FlowTable {
             if let Some(d) = deadline {
                 self.deadlines.push(Reverse((d, id, gen)));
             }
-            return Ok(());
+            return Ok(Vec::new());
         }
+        let mut evicted = Vec::new();
         if self.order.len() >= self.capacity {
-            return Err(FlowModError::TableFull);
+            match self.victim(fm.priority) {
+                Some(id) => {
+                    evicted.push(self.remove(id));
+                    self.eviction_count += 1;
+                }
+                None => return Err(FlowModError::TableFull),
+            }
         }
         self.insert(FlowEntry::from_mod(fm, now));
-        Ok(())
+        Ok(evicted)
+    }
+
+    /// The slot to evict so a new entry at `incoming_priority` fits, or
+    /// `None` if the policy refuses instead.
+    fn victim(&self, incoming_priority: u16) -> Option<usize> {
+        match self.policy {
+            EvictionPolicy::Reject => None,
+            // `self.order` is insertion-ordered and `min_by_key` keeps
+            // the first minimum, so ties go to the oldest entry.
+            EvictionPolicy::EvictLru => self
+                .order
+                .iter()
+                .copied()
+                .min_by_key(|&id| self.entry(id).last_matched),
+            EvictionPolicy::EvictLowestPriority => {
+                let id = self
+                    .order
+                    .iter()
+                    .copied()
+                    .min_by_key(|&id| self.entry(id).priority)?;
+                (self.entry(id).priority <= incoming_priority).then_some(id)
+            }
+        }
     }
 
     /// The slot holding an entry with exactly this match and priority.
@@ -848,6 +936,137 @@ mod tests {
                 .unwrap_err(),
             FlowModError::TableFull
         );
+    }
+
+    #[test]
+    fn reject_policy_never_evicts() {
+        let mut t = FlowTable::new(1);
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            t.apply(&fm(Match::exact_in_port(PortNo(2)), 9, 2), SimTime::ZERO)
+                .unwrap_err(),
+            FlowModError::TableFull
+        );
+        assert_eq!(t.eviction_count, 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn evict_lru_prefers_least_recently_matched() {
+        let mut t = FlowTable::with_policy(2, EvictionPolicy::EvictLru);
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        t.apply(&fm(Match::exact_in_port(PortNo(2)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        // Traffic refreshes entry 1; entry 2 becomes the LRU victim.
+        t.lookup(&key_port(1), 10, SimTime::from_secs(3));
+        let outcome = t
+            .apply(
+                &fm(Match::exact_in_port(PortNo(3)), 5, 2),
+                SimTime::from_secs(4),
+            )
+            .unwrap();
+        assert!(outcome.added);
+        assert_eq!(outcome.evicted.len(), 1);
+        assert_eq!(outcome.evicted[0].r#match.in_port, PortNo(2));
+        assert_eq!(t.eviction_count, 1);
+        assert!(t.lookup(&key_port(2), 10, SimTime::from_secs(5)).is_none());
+        assert!(t.lookup(&key_port(1), 10, SimTime::from_secs(5)).is_some());
+        assert!(t.lookup(&key_port(3), 10, SimTime::from_secs(5)).is_some());
+    }
+
+    #[test]
+    fn evict_lru_breaks_ties_by_insertion_order() {
+        let mut t = FlowTable::with_policy(2, EvictionPolicy::EvictLru);
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        t.apply(&fm(Match::exact_in_port(PortNo(2)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        // Same last_matched (= install time): the oldest install goes.
+        let outcome = t
+            .apply(
+                &fm(Match::exact_in_port(PortNo(3)), 5, 2),
+                SimTime::from_secs(1),
+            )
+            .unwrap();
+        assert_eq!(outcome.evicted[0].r#match.in_port, PortNo(1));
+    }
+
+    #[test]
+    fn evict_lowest_priority_takes_min_priority_oldest_first() {
+        let mut t = FlowTable::with_policy(3, EvictionPolicy::EvictLowestPriority);
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 7, 2), SimTime::ZERO)
+            .unwrap();
+        t.apply(&fm(Match::exact_in_port(PortNo(2)), 3, 2), SimTime::ZERO)
+            .unwrap();
+        t.apply(&fm(Match::exact_in_port(PortNo(3)), 3, 2), SimTime::ZERO)
+            .unwrap();
+        let outcome = t
+            .apply(
+                &fm(Match::exact_in_port(PortNo(4)), 5, 2),
+                SimTime::from_secs(1),
+            )
+            .unwrap();
+        // Two entries at priority 3: the older one (port 2) is evicted.
+        assert_eq!(outcome.evicted[0].r#match.in_port, PortNo(2));
+        assert_eq!(outcome.evicted[0].priority, 3);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn evict_lowest_priority_refuses_strictly_lower_newcomer() {
+        let mut t = FlowTable::with_policy(1, EvictionPolicy::EvictLowestPriority);
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            t.apply(&fm(Match::exact_in_port(PortNo(2)), 4, 2), SimTime::ZERO)
+                .unwrap_err(),
+            FlowModError::TableFull
+        );
+        // Equal priority is admitted (ties go against the resident).
+        let outcome = t
+            .apply(&fm(Match::exact_in_port(PortNo(3)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(outcome.evicted[0].r#match.in_port, PortNo(1));
+    }
+
+    #[test]
+    fn replacement_at_capacity_does_not_evict() {
+        let mut t = FlowTable::with_policy(1, EvictionPolicy::EvictLru);
+        t.apply(&fm(Match::exact_in_port(PortNo(1)), 5, 2), SimTime::ZERO)
+            .unwrap();
+        let outcome = t
+            .apply(
+                &fm(Match::exact_in_port(PortNo(1)), 5, 3),
+                SimTime::from_secs(1),
+            )
+            .unwrap();
+        assert!(outcome.evicted.is_empty());
+        assert_eq!(t.eviction_count, 0);
+        assert_eq!(&first(&t).actions[..], &out(3));
+    }
+
+    #[test]
+    fn stale_deadline_of_evicted_entry_spares_slot_reuser() {
+        // An armed entry is evicted and its slot reused by an entry with
+        // no timeouts; the orphaned heap triple must not remove it.
+        let mut t = FlowTable::with_policy(1, EvictionPolicy::EvictLru);
+        let mut doomed = fm(Match::exact_in_port(PortNo(1)), 5, 2);
+        doomed.hard_timeout = 10;
+        t.apply(&doomed, SimTime::ZERO).unwrap();
+        let outcome = t
+            .apply(
+                &fm(Match::exact_in_port(PortNo(2)), 5, 3),
+                SimTime::from_secs(1),
+            )
+            .unwrap();
+        assert_eq!(outcome.evicted.len(), 1);
+        assert!(t.expire(SimTime::from_secs(100)).is_empty());
+        assert_eq!(t.len(), 1);
+        assert!(t
+            .lookup(&key_port(2), 10, SimTime::from_secs(100))
+            .is_some());
     }
 
     #[test]

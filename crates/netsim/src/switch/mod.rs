@@ -3,7 +3,7 @@
 
 mod flow_table;
 
-pub use flow_table::{ApplyOutcome, FlowEntry, FlowModError, FlowTable};
+pub use flow_table::{ApplyOutcome, EvictionPolicy, FlowEntry, FlowModError, FlowTable};
 
 use crate::engine::{ConnId, Effect, NodeId, TimerToken};
 use crate::interpose::Direction;
@@ -15,6 +15,7 @@ use attain_openflow::{
     FlowRemoved, Frame, MacAddr, OfMessage, OfType, PacketIn, PacketInReason, PhyPort, PortNo,
     StatsBody, StatsReplyBody, SwitchConfig, SwitchDesc, SwitchFeatures, Xid,
 };
+use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
 
 /// OVS `fail-mode`: what a switch does for new flows while it has no
@@ -143,6 +144,13 @@ impl Switch {
         &self.table
     }
 
+    /// Reconfigures the flow table's capacity and overflow policy.
+    /// Replaces the table wholesale, so this belongs in topology setup,
+    /// before any traffic.
+    pub(crate) fn set_table_config(&mut self, capacity: usize, policy: EvictionPolicy) {
+        self.table = FlowTable::with_policy(capacity, policy);
+    }
+
     /// Whether any control connection is fully up.
     pub fn is_connected(&self) -> bool {
         self.conns.iter().any(|c| c.phase == ConnPhase::Up)
@@ -261,6 +269,7 @@ impl Switch {
         self.table.clear();
         self.table.lookup_count = 0;
         self.table.matched_count = 0;
+        self.table.eviction_count = 0;
         self.buffers.clear();
         self.next_buffer_id = 1;
         self.mac_table.clear();
@@ -287,7 +296,7 @@ impl Switch {
     ) {
         let key = packet::flow_key(&frame, port);
         if let Some(actions) = self.table.lookup(&key, frame.len(), now) {
-            self.execute_actions(&actions, frame, port, now, fx);
+            self.execute_actions(&actions, Cow::Owned(frame), port, now, fx);
             return;
         }
         if self.is_connected() {
@@ -308,29 +317,43 @@ impl Switch {
 
     fn packet_in_miss(&mut self, port: PortNo, frame: Vec<u8>, fx: &mut Vec<Effect>) {
         let total_len = frame.len() as u16;
-        // Buffer the packet if space allows; otherwise send it whole,
-        // unbuffered, as OVS does when its buffer pool is exhausted.
-        let (buffer_id, data) = if self.buffers.len() < BUFFER_CAPACITY {
-            let id = self.next_buffer_id;
-            self.next_buffer_id = self.next_buffer_id.wrapping_add(1) & 0x7fff_ffff;
-            let truncated = frame[..frame.len().min(self.config.miss_send_len as usize)].to_vec();
-            self.buffers.push_back(BufferedPacket {
-                id,
-                frame,
-                in_port: port,
-            });
-            (Some(id), truncated)
-        } else {
-            (None, frame)
-        };
+        // A full pool ages out its oldest resident, as OVS does: the
+        // controller plainly isn't going to answer for it, and pinning
+        // the pool forever would silently degrade every later PACKET_IN
+        // to unbuffered.
+        if self.buffers.len() >= BUFFER_CAPACITY {
+            self.buffers.pop_front();
+        }
+        let id = self.alloc_buffer_id();
+        let truncated = frame[..frame.len().min(self.config.miss_send_len as usize)].to_vec();
+        self.buffers.push_back(BufferedPacket {
+            id,
+            frame,
+            in_port: port,
+        });
         let msg = OfMessage::PacketIn(PacketIn {
-            buffer_id,
+            buffer_id: Some(id),
             total_len,
             in_port: port,
             reason: PacketInReason::NoMatch,
-            data,
+            data: truncated,
         });
         self.send_to_up(msg, fx);
+    }
+
+    /// Allocates a fresh buffer id. Ids wrap at 2^31; 0 and any id still
+    /// resident in the pool are skipped, so a wrapped counter can never
+    /// alias a parked packet and make `take_buffer` release the wrong
+    /// one. Terminates because the pool holds at most
+    /// [`BUFFER_CAPACITY`] of the 2^31 − 1 candidates.
+    fn alloc_buffer_id(&mut self) -> u32 {
+        loop {
+            let id = self.next_buffer_id;
+            self.next_buffer_id = self.next_buffer_id.wrapping_add(1) & 0x7fff_ffff;
+            if id != 0 && !self.buffers.iter().any(|b| b.id == id) {
+                return id;
+            }
+        }
     }
 
     fn standalone_forward(
@@ -365,31 +388,42 @@ impl Switch {
         }
     }
 
+    /// Runs an action list over a frame. The frame arrives as a `Cow` so
+    /// an unbuffered `PACKET_OUT` can lend its payload straight out of
+    /// the decoded message; the last action that needs the bytes takes
+    /// them (moving an owned frame, copying a borrowed one once) instead
+    /// of every output cloning.
     fn execute_actions(
         &mut self,
         actions: &[Action],
-        mut frame: Vec<u8>,
+        frame: Cow<'_, [u8]>,
         in_port: PortNo,
         _now: SimTime,
         fx: &mut Vec<Effect>,
     ) {
-        for action in actions {
+        let mut frame = frame;
+        for (i, action) in actions.iter().enumerate() {
+            let is_last = i + 1 == actions.len();
             match action {
                 Action::Output { port, max_len } => match *port {
                     PortNo::FLOOD | PortNo::ALL => self.flood(in_port, &frame, fx),
-                    PortNo::IN_PORT => fx.push(Effect::Frame {
-                        out_port: in_port,
-                        frame: frame.clone(),
-                    }),
+                    PortNo::IN_PORT => {
+                        let f = take_frame(&mut frame, is_last);
+                        fx.push(Effect::Frame {
+                            out_port: in_port,
+                            frame: f,
+                        });
+                    }
                     PortNo::CONTROLLER => {
+                        let total_len = frame.len() as u16;
                         let data = if *max_len == 0 {
-                            frame.clone()
+                            take_frame(&mut frame, is_last)
                         } else {
                             frame[..frame.len().min(*max_len as usize)].to_vec()
                         };
                         let msg = OfMessage::PacketIn(PacketIn {
                             buffer_id: None,
-                            total_len: frame.len() as u16,
+                            total_len,
                             in_port,
                             reason: PacketInReason::Action,
                             data,
@@ -398,16 +432,20 @@ impl Switch {
                     }
                     PortNo::NORMAL => {
                         let key = packet::flow_key(&frame, in_port);
-                        self.standalone_forward(&key, frame.clone(), in_port, fx);
+                        let f = take_frame(&mut frame, is_last);
+                        self.standalone_forward(&key, f, in_port, fx);
                     }
                     PortNo::TABLE | PortNo::LOCAL | PortNo::NONE => {}
-                    p if p.is_physical() => fx.push(Effect::Frame {
-                        out_port: p,
-                        frame: frame.clone(),
-                    }),
+                    p if p.is_physical() => {
+                        let f = take_frame(&mut frame, is_last);
+                        fx.push(Effect::Frame {
+                            out_port: p,
+                            frame: f,
+                        });
+                    }
                     _ => {}
                 },
-                rewrite => frame = apply_rewrite(rewrite, frame),
+                rewrite => frame = Cow::Owned(apply_rewrite(rewrite, frame.into_owned())),
             }
         }
     }
@@ -490,9 +528,12 @@ impl Switch {
                 });
             }
             OfMessage::PacketOut(po) => {
-                let (pkt, in_port) = match po.buffer_id {
+                // For buffered releases the stored frame and ingress port
+                // govern FLOOD/IN_PORT semantics; otherwise the message's
+                // payload is lent out of the decoded frame uncopied.
+                let (pkt, in_port): (Cow<'_, [u8]>, PortNo) = match po.buffer_id {
                     Some(id) => match self.take_buffer(id) {
-                        Some(b) => (b.frame, b.in_port),
+                        Some(b) => (Cow::Owned(b.frame), b.in_port),
                         None => {
                             self.send(
                                 conn,
@@ -506,22 +547,29 @@ impl Switch {
                             return;
                         }
                     },
-                    None => (po.data.clone(), po.in_port),
+                    None => (Cow::Borrowed(po.data.as_slice()), po.in_port),
                 };
                 if !pkt.is_empty() {
-                    // For buffered releases the stored ingress port governs
-                    // FLOOD/IN_PORT semantics; otherwise the message's.
-                    let effective_in_port = if po.buffer_id.is_some() {
-                        in_port
-                    } else {
-                        po.in_port
-                    };
-                    self.execute_actions(&po.actions, pkt, effective_in_port, now, fx);
+                    self.execute_actions(&po.actions, pkt, in_port, now, fx);
                 }
             }
             OfMessage::FlowMod(fm) => {
                 match self.table.apply(fm, now) {
                     Ok(outcome) => {
+                        for evicted in outcome.evicted {
+                            fx.push(Effect::Trace(TraceKind::FlowEvicted {
+                                switch: self.name.clone(),
+                                description: evicted.r#match.to_string(),
+                            }));
+                            if evicted.send_flow_rem {
+                                self.notify_flow_removed(
+                                    evicted,
+                                    attain_openflow::FlowRemovedReason::Eviction,
+                                    now,
+                                    fx,
+                                );
+                            }
+                        }
                         if outcome.added {
                             fx.push(Effect::Trace(TraceKind::FlowInstalled {
                                 switch: self.name.clone(),
@@ -543,12 +591,24 @@ impl Switch {
                         if let Some(id) = fm.buffer_id {
                             if !fm.command.is_delete() {
                                 if let Some(b) = self.take_buffer(id) {
-                                    self.execute_actions(&fm.actions, b.frame, b.in_port, now, fx);
+                                    self.execute_actions(
+                                        &fm.actions,
+                                        Cow::Owned(b.frame),
+                                        b.in_port,
+                                        now,
+                                        fx,
+                                    );
                                 }
                             }
                         }
                     }
                     Err(e) => {
+                        // The rejected mod never gets a second shot at its
+                        // buffer_id; retire the parked packet now or the
+                        // pool pins until aging reclaims it.
+                        if let Some(id) = fm.buffer_id {
+                            self.take_buffer(id);
+                        }
                         let code = match e {
                             FlowModError::Overlap => flow_mod_failed::OVERLAP,
                             FlowModError::TableFull => flow_mod_failed::ALL_TABLES_FULL,
@@ -741,7 +801,7 @@ impl Switch {
                 table_id: 0,
                 name: "classifier".into(),
                 wildcards: 0x003f_ffff,
-                max_entries: 1024,
+                max_entries: self.table.capacity() as u32,
                 active_count: self.table.len() as u32,
                 lookup_count: self.table.lookup_count,
                 matched_count: self.table.matched_count,
@@ -757,6 +817,17 @@ impl Switch {
             ),
             StatsBody::Queue { .. } => StatsReplyBody::Queue(vec![]),
         }
+    }
+}
+
+/// The frame bytes for one output: the last user takes ownership
+/// (moving an owned frame, copying a borrowed one exactly once);
+/// earlier users copy.
+fn take_frame(frame: &mut Cow<'_, [u8]>, is_last: bool) -> Vec<u8> {
+    if is_last {
+        std::mem::replace(frame, Cow::Borrowed(&[])).into_owned()
+    } else {
+        frame.to_vec()
     }
 }
 
@@ -1207,6 +1278,198 @@ mod tests {
             _ => false,
         });
         assert!(has_full);
+    }
+
+    #[test]
+    fn rejected_flow_mod_frees_its_buffer() {
+        let mut s = switch();
+        s.table = FlowTable::new(1);
+        connect(&mut s);
+        let mut fx = Vec::new();
+        let filler = OfMessage::FlowMod(FlowMod::add(Match::exact_in_port(PortNo(2)), vec![]));
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(filler, 3),
+            SimTime::ZERO,
+            &mut fx,
+        );
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        let id = s.buffers[0].id;
+        fx.clear();
+        let fm = OfMessage::FlowMod(FlowMod {
+            buffer_id: Some(id),
+            ..FlowMod::add(
+                Match::exact_in_port(PortNo(1)),
+                vec![Action::Output {
+                    port: PortNo(3),
+                    max_len: 0,
+                }],
+            )
+        });
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(fm, 4),
+            SimTime::ZERO,
+            &mut fx,
+        );
+        let has_full = fx.iter().any(|e| match e {
+            Effect::Control { frame, .. } => matches!(
+                frame.message().unwrap(),
+                OfMessage::Error(em) if em.code == flow_mod_failed::ALL_TABLES_FULL
+            ),
+            _ => false,
+        });
+        assert!(has_full);
+        assert!(
+            s.buffers.is_empty(),
+            "a rejected flow mod must retire its buffer"
+        );
+        // The parked packet is dropped, not forwarded.
+        assert!(!fx.iter().any(|e| matches!(e, Effect::Frame { .. })));
+    }
+
+    #[test]
+    fn full_buffer_pool_ages_oldest_first() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        for _ in 0..BUFFER_CAPACITY {
+            s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        }
+        assert_eq!(s.buffers.len(), BUFFER_CAPACITY);
+        let oldest = s.buffers[0].id;
+        fx.clear();
+        // One more miss: the oldest resident ages out, the new packet is
+        // still buffered (no silent unbuffered degradation).
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        assert_eq!(s.buffers.len(), BUFFER_CAPACITY);
+        assert!(s.buffers.iter().all(|b| b.id != oldest));
+        let pi_buffered = fx.iter().any(|e| match e {
+            Effect::Control { frame, .. } => matches!(
+                frame.message().unwrap(),
+                OfMessage::PacketIn(pi) if pi.buffer_id.is_some()
+            ),
+            _ => false,
+        });
+        assert!(pi_buffered);
+        // Releasing a survivor drains the pool back below capacity.
+        let id = s.buffers[0].id;
+        fx.clear();
+        let po = OfMessage::PacketOut(attain_openflow::PacketOut {
+            buffer_id: Some(id),
+            in_port: PortNo(1),
+            actions: vec![Action::Output {
+                port: PortNo(2),
+                max_len: 0,
+            }],
+            data: vec![],
+        });
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(po, 900),
+            SimTime::ZERO,
+            &mut fx,
+        );
+        assert_eq!(s.buffers.len(), BUFFER_CAPACITY - 1);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Frame { out_port, .. } if *out_port == PortNo(2))));
+    }
+
+    #[test]
+    fn wrapped_buffer_ids_skip_zero_and_residents() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        s.next_buffer_id = 0x7fff_ffff;
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        assert_eq!(s.buffers[0].id, 0x7fff_ffff);
+        // The counter wrapped to 0, which is skipped.
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        assert_eq!(s.buffers[1].id, 1);
+        // Wrap again while both stay resident: 0x7fff_ffff, 0, and 1 are
+        // all unavailable, so the next allocation lands on 2.
+        s.next_buffer_id = 0x7fff_ffff;
+        s.handle_frame(PortNo(1), frame(1, 2), SimTime::ZERO, &mut fx);
+        assert_eq!(s.buffers[2].id, 2);
+    }
+
+    #[test]
+    fn eviction_notifies_and_traces() {
+        let mut s = switch();
+        s.set_table_config(1, EvictionPolicy::EvictLru);
+        connect(&mut s);
+        let mut fx = Vec::new();
+        let victim = OfMessage::FlowMod(FlowMod {
+            flags: attain_openflow::FlowModFlags(attain_openflow::FlowModFlags::SEND_FLOW_REM),
+            ..FlowMod::add(
+                Match::exact_in_port(PortNo(1)),
+                vec![Action::Output {
+                    port: PortNo(2),
+                    max_len: 0,
+                }],
+            )
+        });
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(victim, 3),
+            SimTime::ZERO,
+            &mut fx,
+        );
+        fx.clear();
+        let usurper = OfMessage::FlowMod(FlowMod::add(Match::exact_in_port(PortNo(2)), vec![]));
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(usurper, 4),
+            SimTime::from_secs(1),
+            &mut fx,
+        );
+        assert_eq!(s.flow_table().len(), 1);
+        assert_eq!(s.flow_table().eviction_count, 1);
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, Effect::Trace(TraceKind::FlowEvicted { .. }))));
+        let notified = fx.iter().any(|e| match e {
+            Effect::Control { frame, .. } => matches!(
+                frame.message().unwrap(),
+                OfMessage::FlowRemoved(fr)
+                    if fr.reason == attain_openflow::FlowRemovedReason::Eviction
+                        && fr.r#match.in_port == PortNo(1)
+            ),
+            _ => false,
+        });
+        assert!(notified);
+    }
+
+    #[test]
+    fn unbuffered_packet_out_forwards_payload() {
+        let mut s = switch();
+        connect(&mut s);
+        let mut fx = Vec::new();
+        let payload = frame(1, 2);
+        let po = OfMessage::PacketOut(attain_openflow::PacketOut {
+            buffer_id: None,
+            in_port: PortNo(1),
+            actions: vec![Action::Output {
+                port: PortNo(2),
+                max_len: 0,
+            }],
+            data: payload.clone(),
+        });
+        s.handle_control(
+            ConnId(0),
+            &Frame::from_message(po, 5),
+            SimTime::ZERO,
+            &mut fx,
+        );
+        let sent = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Frame { out_port, frame } if *out_port == PortNo(2) => Some(frame.clone()),
+                _ => None,
+            })
+            .expect("unbuffered packet out must forward");
+        assert_eq!(sent, payload);
     }
 
     /// Installs a flow whose removal would be notified, then restarts.

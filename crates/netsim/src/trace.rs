@@ -50,6 +50,14 @@ pub enum TraceKind {
         /// Rendered match.
         description: String,
     },
+    /// A flow entry was evicted to make room for a new one (bounded
+    /// table under an evicting overflow policy).
+    FlowEvicted {
+        /// Switch name.
+        switch: String,
+        /// Rendered match of the victim.
+        description: String,
+    },
     /// A packet was dropped.
     PacketDropped {
         /// Where.

@@ -6,7 +6,7 @@
 //! semantics lives in this file, and random command sequences are driven
 //! through both, asserting identical winners, counters, and removals.
 
-use attain_netsim::{FlowModError, FlowTable, Link, LinkEnd, NodeId, SimTime};
+use attain_netsim::{EvictionPolicy, FlowModError, FlowTable, Link, LinkEnd, NodeId, SimTime};
 use attain_openflow::{
     Action, FlowKey, FlowKeyBits, FlowMod, FlowModCommand, FlowModFlags, FlowRemovedReason,
     MacAddr, Match, PortNo, Wildcards,
@@ -65,17 +65,19 @@ impl RefEntry {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct RefTable {
     entries: Vec<RefEntry>,
     capacity: usize,
+    policy: EvictionPolicy,
 }
 
 impl RefTable {
-    fn new(capacity: usize) -> RefTable {
+    fn with_policy(capacity: usize, policy: EvictionPolicy) -> RefTable {
         RefTable {
             entries: Vec::new(),
             capacity,
+            policy,
         }
     }
 
@@ -100,9 +102,15 @@ impl RefTable {
         Some(e.actions.clone())
     }
 
-    fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<(bool, Vec<RefEntry>), FlowModError> {
+    /// Returns `(added, removed, evicted)`, mirroring [`ApplyOutcome`].
+    #[allow(clippy::type_complexity)]
+    fn apply(
+        &mut self,
+        fm: &FlowMod,
+        now: SimTime,
+    ) -> Result<(bool, Vec<RefEntry>, Vec<RefEntry>), FlowModError> {
         match fm.command {
-            FlowModCommand::Add => self.add(fm, now).map(|_| (true, Vec::new())),
+            FlowModCommand::Add => self.add(fm, now).map(|ev| (true, Vec::new(), ev)),
             FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
                 let strict = fm.command == FlowModCommand::ModifyStrict;
                 let mut touched = false;
@@ -119,9 +127,9 @@ impl RefTable {
                     }
                 }
                 if touched {
-                    Ok((false, Vec::new()))
+                    Ok((false, Vec::new(), Vec::new()))
                 } else {
-                    self.add(fm, now).map(|_| (true, Vec::new()))
+                    self.add(fm, now).map(|ev| (true, Vec::new(), ev))
                 }
             }
             FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
@@ -139,12 +147,12 @@ impl RefTable {
                     }
                     !hit
                 });
-                Ok((false, removed))
+                Ok((false, removed, Vec::new()))
             }
         }
     }
 
-    fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<(), FlowModError> {
+    fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<Vec<RefEntry>, FlowModError> {
         if fm.flags.has(FlowModFlags::CHECK_OVERLAP) {
             let overlapping = self
                 .entries
@@ -160,13 +168,41 @@ impl RefTable {
             .find(|e| e.m == fm.r#match && e.priority == fm.priority)
         {
             *e = RefEntry::from_mod(fm, now);
-            return Ok(());
+            return Ok(Vec::new());
         }
+        let mut evicted = Vec::new();
         if self.entries.len() >= self.capacity {
-            return Err(FlowModError::TableFull);
+            match self.victim(fm.priority) {
+                Some(i) => evicted.push(self.entries.remove(i)),
+                None => return Err(FlowModError::TableFull),
+            }
         }
         self.entries.push(RefEntry::from_mod(fm, now));
-        Ok(())
+        Ok(evicted)
+    }
+
+    /// The victim index under the table's overflow policy: `entries` is
+    /// insertion-ordered and `min_by_key` keeps the first minimum, so
+    /// ties go to the oldest install — the contract the classifier must
+    /// reproduce.
+    fn victim(&self, incoming_priority: u16) -> Option<usize> {
+        match self.policy {
+            EvictionPolicy::Reject => None,
+            EvictionPolicy::EvictLru => self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_matched)
+                .map(|(i, _)| i),
+            EvictionPolicy::EvictLowestPriority => {
+                let (i, e) = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.priority)?;
+                (e.priority <= incoming_priority).then_some(i)
+            }
+        }
     }
 
     fn expire(&mut self, now: SimTime) -> Vec<(RefEntry, FlowRemovedReason)> {
@@ -425,15 +461,23 @@ proptest! {
 
     /// Differential test: random add/modify/delete/lookup/expire command
     /// sequences produce bit-for-bit identical winners, counters, errors,
-    /// and removal notifications (in order) in the two-tier classifier
-    /// and the reference linear scan.
+    /// removal notifications (in order), and eviction victims in the
+    /// two-tier classifier and the reference linear scan — under each of
+    /// the three overflow policies. Eviction interleaved with expiry and
+    /// slot reuse is exactly the regime where a stale heap deadline or a
+    /// mis-unlinked index would diverge.
     #[test]
     fn classifier_matches_reference_scan(
         ops in proptest::collection::vec(arb_op(), 0..48),
         capacity in 1usize..12,
+        policy in prop_oneof![
+            Just(EvictionPolicy::Reject),
+            Just(EvictionPolicy::EvictLru),
+            Just(EvictionPolicy::EvictLowestPriority),
+        ],
     ) {
-        let mut table = FlowTable::new(capacity);
-        let mut model = RefTable::new(capacity);
+        let mut table = FlowTable::with_policy(capacity, policy);
+        let mut model = RefTable::with_policy(capacity, policy);
         let mut now = SimTime::ZERO;
         for op in &ops {
             match op {
@@ -451,6 +495,22 @@ proptest! {
                                 prop_assert!(
                                     entries_agree(ge, we),
                                     "removed entry diverged: {:?} vs {:?}", ge, we
+                                );
+                            }
+                            prop_assert_eq!(
+                                g.evicted.len(), w.2.len(),
+                                "eviction count diverged on {:?}", fm
+                            );
+                            for (ge, we) in g.evicted.iter().zip(&w.2) {
+                                prop_assert!(
+                                    entries_agree(ge, we),
+                                    "evicted entry diverged: {:?} vs {:?}", ge, we
+                                );
+                            }
+                            if policy == EvictionPolicy::Reject {
+                                prop_assert!(
+                                    g.evicted.is_empty(),
+                                    "the reject policy must never evict"
                                 );
                             }
                         }
@@ -499,6 +559,50 @@ proptest! {
                     entries_agree(e, r),
                     "live entry diverged: {:?} vs {:?}", e, r
                 );
+            }
+        }
+    }
+
+    /// Steady-state residency under eviction: filling a table with
+    /// distinct same-priority exact entries keeps exactly the newest
+    /// `capacity` of them resident, under both evicting policies (equal
+    /// priorities and untouched recency reduce both to FIFO). Every
+    /// survivor must still win its lookup after the evictions churned
+    /// slots; every evicted key must miss.
+    #[test]
+    fn eviction_keeps_the_newest_entries_resident(
+        n in 1usize..32,
+        capacity in 1usize..8,
+        policy in prop_oneof![
+            Just(EvictionPolicy::EvictLru),
+            Just(EvictionPolicy::EvictLowestPriority),
+        ],
+    ) {
+        let mut table = FlowTable::with_policy(capacity, policy);
+        for i in 0..n {
+            let key = FlowKey { in_port: PortNo(i as u16 + 1), ..FlowKey::default() };
+            let add = FlowMod::add(
+                Match::from_flow_key(&key),
+                vec![Action::Output { port: PortNo(100 + i as u16), max_len: 0 }],
+            );
+            table
+                .apply(&add, SimTime::from_secs(i as u64))
+                .expect("equal-priority adds are always admitted");
+        }
+        prop_assert_eq!(table.len(), n.min(capacity));
+        prop_assert_eq!(table.eviction_count, n.saturating_sub(capacity) as u64);
+        let now = SimTime::from_secs(n as u64);
+        for i in 0..n {
+            let key = FlowKey { in_port: PortNo(i as u16 + 1), ..FlowKey::default() };
+            let hit = table.lookup(&key, 64, now);
+            if i + capacity >= n {
+                let actions = hit.expect("surviving entry must still match");
+                prop_assert_eq!(
+                    &actions[..],
+                    &[Action::Output { port: PortNo(100 + i as u16), max_len: 0 }][..]
+                );
+            } else {
+                prop_assert!(hit.is_none(), "evicted entry {} still matches", i);
             }
         }
     }

@@ -14,6 +14,10 @@ pub enum FlowRemovedReason {
     HardTimeout = 1,
     /// The entry was deleted by a `FLOW_MOD`.
     Delete = 2,
+    /// The entry was evicted to make room for a new one (Open vSwitch's
+    /// eviction extension; OpenFlow standardized the same value as
+    /// `OFPRR_EVICTION` in 1.4).
+    Eviction = 3,
 }
 
 impl FlowRemovedReason {
@@ -21,12 +25,13 @@ impl FlowRemovedReason {
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError::BadValue`] for values above 2.
+    /// Returns [`CodecError::BadValue`] for values above 3.
     pub fn from_wire(v: u8) -> Result<FlowRemovedReason, CodecError> {
         match v {
             0 => Ok(FlowRemovedReason::IdleTimeout),
             1 => Ok(FlowRemovedReason::HardTimeout),
             2 => Ok(FlowRemovedReason::Delete),
+            3 => Ok(FlowRemovedReason::Eviction),
             other => Err(CodecError::BadValue {
                 field: "ofp_flow_removed.reason",
                 value: other as u64,
@@ -128,6 +133,30 @@ mod tests {
         let mut r = Reader::new(&v, "flow_removed");
         assert_eq!(FlowRemoved::decode(&mut r).unwrap(), fr);
         r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn eviction_reason_roundtrips() {
+        let fr = FlowRemoved {
+            r#match: Match::all(),
+            cookie: 0,
+            priority: 0,
+            reason: FlowRemovedReason::Eviction,
+            duration_sec: 0,
+            duration_nsec: 0,
+            idle_timeout: 0,
+            packet_count: 0,
+            byte_count: 0,
+        };
+        let mut w = Writer::new();
+        fr.encode(&mut w);
+        let v = w.into_vec();
+        assert_eq!(v[50], 3);
+        let mut r = Reader::new(&v, "flow_removed");
+        assert_eq!(
+            FlowRemoved::decode(&mut r).unwrap().reason,
+            FlowRemovedReason::Eviction
+        );
     }
 
     #[test]

@@ -23,6 +23,10 @@ cargo test -q -p attain-netsim --test faults same_seed_same_trace_different_seed
 echo "== rule dispatcher differential suite (scan ≡ compiled)"
 cargo test -q -p attain-core --test proptest_dispatch
 
+echo "== flow-table eviction differential suite + capacity inference"
+cargo test -q -p attain-netsim --test proptest_netsim
+cargo test -q -p attain-netsim --test capacity_inference
+
 echo "== conformance campaign (smoke matrix + golden digests, audited dispatch)"
 cargo run --release --bin campaign --features attain-campaign/dispatch_audit \
   -- --smoke --jobs 2 --out target/CAMPAIGN_smoke_report.json

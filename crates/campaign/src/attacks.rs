@@ -73,6 +73,24 @@ pub fn all() -> Vec<AttackDef> {
         scope: Scope::SelfContained,
         table: None,
     });
+    // Chaos cells: the sources are the trivial baseline (so shared
+    // baselines stay healthy); `cell::run` intercepts the names and
+    // misbehaves only on the attacked half of the pair.
+    #[cfg(feature = "test_faults")]
+    {
+        v.push(AttackDef {
+            name: crate::cell::chaos::PANIC_CELL,
+            source: scenario::attacks::TRIVIAL_PASS,
+            scope: Scope::Enterprise,
+            table: None,
+        });
+        v.push(AttackDef {
+            name: crate::cell::chaos::LIVELOCK_CELL,
+            source: scenario::attacks::TRIVIAL_PASS,
+            scope: Scope::Enterprise,
+            table: None,
+        });
+    }
     v
 }
 
@@ -88,7 +106,16 @@ mod tests {
     #[test]
     fn inventory_covers_every_shipped_atk_file() {
         let names: Vec<_> = all().iter().map(|a| a.name).collect();
-        assert_eq!(names.len(), 10, "expected the ten shipped attacks");
+        let expected = if cfg!(feature = "test_faults") {
+            12
+        } else {
+            10
+        };
+        assert_eq!(
+            names.len(),
+            expected,
+            "expected the ten shipped attacks (plus chaos cells under test_faults)"
+        );
         assert_eq!(names[0], "trivial_pass", "baseline attack leads the matrix");
         assert!(names.contains(&"self_contained_demo"));
     }

@@ -6,15 +6,81 @@
 //! fail_mode, seed)` — the property the thread-count-invariance test
 //! pins down. Wall-clock time is measured but excluded from the
 //! report's canonical bytes.
+//!
+//! Cells run under supervision: every setup failure is a [`CellError`]
+//! rather than a panic, and the simulation itself runs against the
+//! [`CellLimits`]' deterministic budget and cancellation token, so a
+//! runaway or malformed cell degrades into an annotated status instead
+//! of taking its worker (and the campaign) down.
 
 use crate::attacks::{AttackDef, Scope};
 use attain_controllers::ControllerKind;
 use attain_core::dsl;
 use attain_core::exec::AttackExecutor;
-use attain_injector::harness::{attach_attack, build_case_study, build_simulation};
+use attain_injector::harness::{build_case_study, build_simulation, try_attach_attack};
 use attain_injector::SimInjector;
-use attain_netsim::{DetRng, Direction, FailMode, HostCommand, SimTime, Simulation, TraceDigest};
+use attain_netsim::{
+    CancelToken, DetRng, Direction, FailMode, HaltReason, HostCommand, RunBudget, SimTime,
+    Simulation, TraceDigest,
+};
 use attain_openflow::OfType;
+use std::fmt;
+
+/// Why a cell failed to produce an outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellError {
+    /// The cell could not be set up: attack compile/validate failure,
+    /// missing workload host or IP, malformed document. Deterministic.
+    Failed(String),
+    /// The simulation tripped its deterministic run budget.
+    BudgetExhausted {
+        /// Events dispatched when the budget tripped.
+        events: u64,
+        /// `true` when the per-instant livelock detector fired (virtual
+        /// time stopped advancing), `false` for the total event cap.
+        livelock: bool,
+    },
+    /// The supervisor's cancellation token fired (wall-clock timeout).
+    Cancelled,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Failed(msg) => write!(f, "failed: {msg}"),
+            CellError::BudgetExhausted { events, livelock } => {
+                if *livelock {
+                    write!(f, "livelock detected after {events} events")
+                } else {
+                    write!(f, "event budget exhausted after {events} events")
+                }
+            }
+            CellError::Cancelled => write!(f, "cancelled by supervisor"),
+        }
+    }
+}
+
+/// Execution bounds a cell runs under. The default is unlimited — the
+/// pre-supervision behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct CellLimits {
+    /// Cap on total dispatched simulator events.
+    pub max_events: Option<u64>,
+    /// Cap on events at one virtual instant (livelock detector).
+    pub livelock_bound: Option<u64>,
+    /// Cooperative cancellation checked in the event loop.
+    pub cancel: Option<CancelToken>,
+}
+
+impl CellLimits {
+    fn to_budget(&self) -> RunBudget {
+        RunBudget {
+            max_events: self.max_events,
+            max_events_per_instant: self.livelock_bound,
+            cancel: self.cancel.clone(),
+        }
+    }
+}
 
 /// One ping run's observable result.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,18 +134,24 @@ fn schedule_ping(
     dst_ip: &str,
     count: u32,
     label: &str,
-) {
-    let host = sim.node_id(host).expect("workload host exists");
+) -> Result<(), CellError> {
+    let host = sim
+        .node_id(host)
+        .ok_or_else(|| CellError::Failed(format!("workload host {host} missing from topology")))?;
+    let dst = dst_ip
+        .parse()
+        .map_err(|_| CellError::Failed(format!("workload address {dst_ip} does not parse")))?;
     sim.schedule_command(
         at,
         HostCommand::Ping {
             host,
-            dst: dst_ip.parse().expect("valid workload address"),
+            dst,
             count,
             interval: SimTime::from_secs(1),
             label: label.into(),
         },
     );
+    Ok(())
 }
 
 /// Schedules the enterprise workload (all times jittered by the seed):
@@ -87,14 +159,14 @@ fn schedule_ping(
 /// traffic h2→h3 (which also probes unauthorized access), `t≈42` a
 /// second h1→h6 window after any interruption fallout has landed,
 /// `t≈44` a late h2→h3 probe for post-failover access.
-fn enterprise_workload(sim: &mut Simulation, seed: u64) -> SimTime {
+fn enterprise_workload(sim: &mut Simulation, seed: u64) -> Result<SimTime, CellError> {
     let j = jitter_ms(seed) as f64 / 1000.0;
     let at = |base: u64| SimTime::from_secs_f64(base as f64 + j);
-    schedule_ping(sim, at(10), "h1", "10.0.0.6", 8, "w1");
-    schedule_ping(sim, at(20), "h2", "10.0.0.3", 10, "trigger");
-    schedule_ping(sim, at(42), "h1", "10.0.0.6", 6, "w2");
-    schedule_ping(sim, at(44), "h2", "10.0.0.3", 6, "probe");
-    SimTime::from_secs(65)
+    schedule_ping(sim, at(10), "h1", "10.0.0.6", 8, "w1")?;
+    schedule_ping(sim, at(20), "h2", "10.0.0.3", 10, "trigger")?;
+    schedule_ping(sim, at(42), "h1", "10.0.0.6", 6, "w2")?;
+    schedule_ping(sim, at(44), "h2", "10.0.0.3", 6, "probe")?;
+    Ok(SimTime::from_secs(65))
 }
 
 /// Schedules the self-contained-document workload: two ping windows
@@ -104,19 +176,23 @@ fn document_workload(
     sim: &mut Simulation,
     system: &attain_core::model::SystemModel,
     seed: u64,
-) -> SimTime {
+) -> Result<SimTime, CellError> {
     let hosts: Vec<_> = system.hosts().map(|(_, h)| h.clone()).collect();
-    assert!(
-        hosts.len() >= 2,
-        "self-contained campaign documents need two hosts for the ping workload"
-    );
+    if hosts.len() < 2 {
+        return Err(CellError::Failed(
+            "self-contained campaign documents need two hosts for the ping workload".into(),
+        ));
+    }
     let src = &hosts[0].name;
-    let dst = hosts[1].ip.expect("campaign hosts have IPs").to_string();
+    let dst = hosts[1]
+        .ip
+        .ok_or_else(|| CellError::Failed(format!("campaign host {} has no IP", hosts[1].name)))?
+        .to_string();
     let j = jitter_ms(seed) as f64 / 1000.0;
     let at = |base: u64| SimTime::from_secs_f64(base as f64 + j);
-    schedule_ping(sim, at(10), src, &dst, 8, "w1");
-    schedule_ping(sim, at(25), src, &dst, 6, "w2");
-    SimTime::from_secs(40)
+    schedule_ping(sim, at(10), src, &dst, 8, "w1")?;
+    schedule_ping(sim, at(25), src, &dst, 6, "w2")?;
+    Ok(SimTime::from_secs(40))
 }
 
 struct ExecHandleOutcome {
@@ -151,13 +227,41 @@ fn collect(sim: &Simulation, exec: ExecHandleOutcome, wall_ms: u64) -> CellOutco
     }
 }
 
+/// Maps a finished run's halt reason onto the cell's fate.
+fn judge_halt(halt: HaltReason) -> Result<(), CellError> {
+    match halt {
+        HaltReason::Horizon => Ok(()),
+        HaltReason::EventBudget { events } => Err(CellError::BudgetExhausted {
+            events,
+            livelock: false,
+        }),
+        HaltReason::Livelock { events_at_instant } => Err(CellError::BudgetExhausted {
+            events: events_at_instant,
+            livelock: true,
+        }),
+        HaltReason::Cancelled => Err(CellError::Cancelled),
+    }
+}
+
 fn run(
     attack: &AttackDef,
     kind: ControllerKind,
     fail_mode: FailMode,
     seed: u64,
     attach: bool,
-) -> CellOutcome {
+    limits: &CellLimits,
+) -> Result<CellOutcome, CellError> {
+    #[cfg(feature = "test_faults")]
+    if attach {
+        // The injected-fault cells misbehave only when attacked, so the
+        // shared enterprise baseline they reuse stays healthy.
+        if attack.name == chaos::PANIC_CELL {
+            panic!("{}", chaos::PANIC_MESSAGE);
+        }
+        if attack.name == chaos::LIVELOCK_CELL {
+            return chaos::run_livelock(kind, fail_mode, seed, limits);
+        }
+    }
     let started = std::time::Instant::now();
     let (mut sim, handle, horizon) = match attack.scope {
         Scope::Enterprise => {
@@ -168,33 +272,48 @@ fn run(
             if let Some(t) = attack.table {
                 sim.set_table_config(t.switch, t.capacity, t.policy);
             }
-            let handle = attach.then(|| attach_attack(&mut sim, attack.source));
+            let handle = if attach {
+                Some(
+                    try_attach_attack(&mut sim, attack.source)
+                        .map_err(|e| CellError::Failed(format!("{}: {e}", attack.name)))?,
+                )
+            } else {
+                None
+            };
             sim.set_fault_seed(seed);
-            let horizon = enterprise_workload(&mut sim, seed);
+            let horizon = enterprise_workload(&mut sim, seed)?;
             (sim, handle, horizon)
         }
         Scope::SelfContained => {
-            let doc = dsl::compile_document(attack.source)
-                .unwrap_or_else(|e| panic!("{}: document does not compile: {e}", attack.name));
+            let doc = dsl::compile_document(attack.source).map_err(|e| {
+                CellError::Failed(format!("{}: document does not compile: {e}", attack.name))
+            })?;
             let mut sim = build_simulation(&doc.system, fail_mode, |_| kind.instantiate());
-            let handle = attach.then(|| {
-                let compiled = &doc.attacks[0];
+            let handle = if attach {
+                let compiled = doc.attacks.first().ok_or_else(|| {
+                    CellError::Failed(format!("{}: document declares no attack", attack.name))
+                })?;
                 let exec = AttackExecutor::new(
                     doc.system.clone(),
                     doc.attack_model.clone(),
                     compiled.attack.clone(),
                 )
-                .unwrap_or_else(|e| panic!("{}: attack does not validate: {e}", attack.name));
+                .map_err(|e| {
+                    CellError::Failed(format!("{}: attack does not validate: {e}", attack.name))
+                })?;
                 let (injector, handle) = SimInjector::new(exec, &doc.system, &sim);
                 sim.set_interposer(Box::new(injector));
-                handle
-            });
+                Some(handle)
+            } else {
+                None
+            };
             sim.set_fault_seed(seed);
-            let horizon = document_workload(&mut sim, &doc.system, seed);
+            let horizon = document_workload(&mut sim, &doc.system, seed)?;
             (sim, handle, horizon)
         }
     };
-    sim.run_until(horizon);
+    sim.set_run_budget(limits.to_budget());
+    judge_halt(sim.run_until(horizon))?;
     let exec = match handle {
         Some(handle) => {
             let exec = handle.lock();
@@ -212,17 +331,29 @@ fn run(
             rule_fires: Vec::new(),
         },
     };
-    collect(&sim, exec, started.elapsed().as_millis() as u64)
+    Ok(collect(&sim, exec, started.elapsed().as_millis() as u64))
 }
 
-/// Runs one attacked cell to completion.
+/// Runs one attacked cell to completion under the default (unlimited)
+/// limits.
 pub fn run_cell(
     attack: &AttackDef,
     kind: ControllerKind,
     fail_mode: FailMode,
     seed: u64,
-) -> CellOutcome {
-    run(attack, kind, fail_mode, seed, true)
+) -> Result<CellOutcome, CellError> {
+    run_cell_limited(attack, kind, fail_mode, seed, &CellLimits::default())
+}
+
+/// Runs one attacked cell under explicit execution limits.
+pub fn run_cell_limited(
+    attack: &AttackDef,
+    kind: ControllerKind,
+    fail_mode: FailMode,
+    seed: u64,
+    limits: &CellLimits,
+) -> Result<CellOutcome, CellError> {
+    run(attack, kind, fail_mode, seed, true, limits)
 }
 
 /// Runs the cell's differential baseline: the identical topology,
@@ -236,8 +367,74 @@ pub fn run_baseline(
     kind: ControllerKind,
     fail_mode: FailMode,
     seed: u64,
-) -> CellOutcome {
-    run(attack, kind, fail_mode, seed, false)
+) -> Result<CellOutcome, CellError> {
+    run_baseline_limited(attack, kind, fail_mode, seed, &CellLimits::default())
+}
+
+/// Runs the cell's differential baseline under explicit limits.
+pub fn run_baseline_limited(
+    attack: &AttackDef,
+    kind: ControllerKind,
+    fail_mode: FailMode,
+    seed: u64,
+    limits: &CellLimits,
+) -> Result<CellOutcome, CellError> {
+    run(attack, kind, fail_mode, seed, false, limits)
+}
+
+/// Deliberately misbehaving cells, compiled only under the
+/// `test_faults` feature: the campaign's own fault injection, proving
+/// the supervisor contains a panicking worker and a livelocked event
+/// loop while every healthy cell still completes.
+#[cfg(feature = "test_faults")]
+pub mod chaos {
+    use super::*;
+    use attain_netsim::{Interposer, InterposerActions, ProxiedMessage};
+
+    /// Attack name whose attacked runs panic the worker.
+    pub const PANIC_CELL: &str = "__panic_cell";
+    /// Attack name whose attacked runs stop advancing virtual time.
+    pub const LIVELOCK_CELL: &str = "__livelock_cell";
+    /// The fixed panic payload (fixed so reports stay byte-identical
+    /// across thread counts).
+    pub const PANIC_MESSAGE: &str = "injected chaos: deliberate worker panic";
+
+    /// An interposer that re-arms a wakeup at `now` forever: the event
+    /// loop spins at one virtual instant until the livelock detector
+    /// (or a wall-clock cancel) stops it.
+    struct Spin;
+
+    impl Interposer for Spin {
+        fn on_message(&mut self, msg: ProxiedMessage<'_>) -> InterposerActions {
+            let mut a = InterposerActions::pass(&msg);
+            a.wakeup = Some(msg.now);
+            a
+        }
+
+        fn on_wakeup(&mut self, now: SimTime) -> InterposerActions {
+            InterposerActions {
+                wakeup: Some(now),
+                ..InterposerActions::default()
+            }
+        }
+    }
+
+    pub(super) fn run_livelock(
+        kind: ControllerKind,
+        fail_mode: FailMode,
+        seed: u64,
+        limits: &CellLimits,
+    ) -> Result<CellOutcome, CellError> {
+        let mut sim = build_case_study(kind, fail_mode);
+        sim.set_interposer(Box::new(Spin));
+        sim.set_fault_seed(seed);
+        let horizon = enterprise_workload(&mut sim, seed)?;
+        sim.set_run_budget(limits.to_budget());
+        judge_halt(sim.run_until(horizon))?;
+        Err(CellError::Failed(
+            "livelock cell reached its horizon — the spin interposer never engaged".into(),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -245,11 +442,20 @@ mod tests {
     use super::*;
     use crate::attacks;
 
+    fn run_ok(
+        attack: &AttackDef,
+        kind: ControllerKind,
+        fail_mode: FailMode,
+        seed: u64,
+    ) -> CellOutcome {
+        run_cell(attack, kind, fail_mode, seed).expect("cell completes")
+    }
+
     #[test]
     fn same_cell_twice_is_byte_identical() {
         let a = attacks::by_name("trivial_pass").unwrap();
-        let x = run_cell(&a, ControllerKind::Pox, FailMode::Secure, 1);
-        let y = run_cell(&a, ControllerKind::Pox, FailMode::Secure, 1);
+        let x = run_ok(&a, ControllerKind::Pox, FailMode::Secure, 1);
+        let y = run_ok(&a, ControllerKind::Pox, FailMode::Secure, 1);
         assert_eq!(x.digest, y.digest);
         assert_eq!(x.pings, y.pings);
     }
@@ -257,8 +463,8 @@ mod tests {
     #[test]
     fn seeds_differentiate_traces() {
         let a = attacks::by_name("trivial_pass").unwrap();
-        let x = run_cell(&a, ControllerKind::Floodlight, FailMode::Secure, 1);
-        let y = run_cell(&a, ControllerKind::Floodlight, FailMode::Secure, 2);
+        let x = run_ok(&a, ControllerKind::Floodlight, FailMode::Secure, 1);
+        let y = run_ok(&a, ControllerKind::Floodlight, FailMode::Secure, 2);
         assert_ne!(
             x.digest, y.digest,
             "seed must jitter the workload into a distinct trace"
@@ -268,8 +474,9 @@ mod tests {
     #[test]
     fn pass_through_interposition_is_transparent() {
         let a = attacks::by_name("trivial_pass").unwrap();
-        let attacked = run_cell(&a, ControllerKind::Ryu, FailMode::Safe, 3);
-        let baseline = run_baseline(&a, ControllerKind::Ryu, FailMode::Safe, 3);
+        let attacked = run_ok(&a, ControllerKind::Ryu, FailMode::Safe, 3);
+        let baseline =
+            run_baseline(&a, ControllerKind::Ryu, FailMode::Safe, 3).expect("baseline completes");
         assert_eq!(attacked.digest, baseline.digest);
         assert_eq!(attacked.pings, baseline.pings);
     }
@@ -277,13 +484,45 @@ mod tests {
     #[test]
     fn self_contained_demo_engages_on_flow_timeouts() {
         let a = attacks::by_name("self_contained_demo").unwrap();
-        let pox = run_cell(&a, ControllerKind::Pox, FailMode::Secure, 1);
+        let pox = run_ok(&a, ControllerKind::Pox, FailMode::Secure, 1);
         assert_eq!(pox.final_state.as_deref(), Some("degrade"));
-        let ryu = run_cell(&a, ControllerKind::Ryu, FailMode::Secure, 1);
+        let ryu = run_ok(&a, ControllerKind::Ryu, FailMode::Secure, 1);
         assert_eq!(
             ryu.final_state.as_deref(),
             Some("observe"),
             "Ryu's timeout-free flow mods must never satisfy the engage guard"
         );
+    }
+
+    #[test]
+    fn tight_event_budget_surfaces_as_budget_exhausted() {
+        let a = attacks::by_name("trivial_pass").unwrap();
+        let limits = CellLimits {
+            max_events: Some(10),
+            ..CellLimits::default()
+        };
+        let err = run_cell_limited(&a, ControllerKind::Pox, FailMode::Secure, 1, &limits)
+            .expect_err("10 events cannot finish the workload");
+        assert_eq!(
+            err,
+            CellError::BudgetExhausted {
+                events: 10,
+                livelock: false
+            }
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_token_surfaces_as_cancelled() {
+        let a = attacks::by_name("trivial_pass").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let limits = CellLimits {
+            cancel: Some(token),
+            ..CellLimits::default()
+        };
+        let err = run_cell_limited(&a, ControllerKind::Pox, FailMode::Secure, 1, &limits)
+            .expect_err("a cancelled token must stop the run");
+        assert_eq!(err, CellError::Cancelled);
     }
 }

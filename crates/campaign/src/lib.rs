@@ -29,6 +29,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The campaign result path must degrade, never abort: a cell that
+// cannot be judged is reported, not unwrapped. Tests may still unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod attacks;
 pub mod cell;
@@ -38,8 +41,8 @@ pub mod report;
 pub mod runner;
 
 pub use attacks::{AttackDef, Scope};
-pub use cell::{CellOutcome, PingRow};
+pub use cell::{CellError, CellLimits, CellOutcome, PingRow};
 pub use matrix::{CellId, Filter, Matrix};
 pub use oracle::Observed;
 pub use report::{diff_golden, CampaignReport, CellReport};
-pub use runner::run;
+pub use runner::{run, run_with, CellStatus, RunnerConfig};

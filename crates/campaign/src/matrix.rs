@@ -77,6 +77,12 @@ impl Matrix {
             "flow_mod_suppression",
             "connection_interruption",
             "table_overflow",
+            // With chaos cells compiled in, the smoke matrix carries
+            // them too so CI exercises degraded-mode reporting.
+            #[cfg(feature = "test_faults")]
+            crate::cell::chaos::PANIC_CELL,
+            #[cfg(feature = "test_faults")]
+            crate::cell::chaos::LIVELOCK_CELL,
         ];
         Matrix {
             attacks: attacks::all()
@@ -207,7 +213,12 @@ mod tests {
     #[test]
     fn full_matrix_has_expected_shape() {
         let m = Matrix::full();
-        assert_eq!(m.cells().len(), 10 * 5 * 2 * 3);
+        let attacks = if cfg!(feature = "test_faults") {
+            12
+        } else {
+            10
+        };
+        assert_eq!(m.cells().len(), attacks * 5 * 2 * 3);
         let names: Vec<_> = m.cells().iter().map(|c| m.cell_name(c)).collect();
         assert_eq!(names[0], "trivial_pass/floodlight/safe/s1");
         // No duplicates.
@@ -244,6 +255,7 @@ mod tests {
         for cell in smoke.cells() {
             assert!(full_names.contains(&smoke.cell_name(&cell)));
         }
-        assert_eq!(smoke.cells().len(), 4 * 5 * 2);
+        let attacks = if cfg!(feature = "test_faults") { 6 } else { 4 };
+        assert_eq!(smoke.cells().len(), attacks * 5 * 2);
     }
 }

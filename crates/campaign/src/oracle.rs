@@ -28,6 +28,7 @@
 //! see the `report` module and `tests/campaign_conformance.rs`.
 
 use crate::cell::CellOutcome;
+use crate::runner::CellStatus;
 use attain_controllers::ControllerKind;
 use attain_netsim::FailMode;
 use std::fmt;
@@ -109,6 +110,17 @@ pub fn classify(attacked: &CellOutcome, baseline: &CellOutcome) -> Observed {
         return Observed::ControlPlane;
     }
     Observed::Silent
+}
+
+/// Judges a supervised cell: classifies when both the attacked run and
+/// its baseline completed, `None` (*Unjudged*) otherwise. An incomplete
+/// cell carries no outcome, so there is nothing sound to diff — the
+/// report annotates the status instead of guessing a verdict.
+pub fn judge(attacked: &CellStatus, baseline: &CellStatus) -> Option<Observed> {
+    match (attacked.outcome(), baseline.outcome()) {
+        (Some(a), Some(b)) => Some(classify(a, b)),
+        _ => None,
+    }
 }
 
 use Observed::{ControlPlane, Degraded, Denial, Silent};

@@ -13,6 +13,7 @@
 use crate::cell::CellOutcome;
 use crate::matrix::{fail_slug, Matrix};
 use crate::oracle::Observed;
+use crate::runner::CellStatus;
 use attain_controllers::ControllerKind;
 use attain_netsim::FailMode;
 use std::fmt::Write as _;
@@ -30,14 +31,24 @@ pub struct CellReport {
     pub fail_mode: FailMode,
     /// Seed.
     pub seed: u64,
-    /// Everything the run exposed.
-    pub outcome: CellOutcome,
-    /// The differential oracle's classification.
-    pub observed: Observed,
+    /// How the supervised run ended; carries the outcome when it
+    /// completed.
+    pub status: CellStatus,
+    /// The differential oracle's classification — `None` when either
+    /// the cell or its baseline did not complete (the cell is then
+    /// *unjudged*, never silently passed).
+    pub observed: Option<Observed>,
     /// The expectations-table entry for this cell.
     pub expected: &'static [Observed],
-    /// `observed ∈ expected`.
+    /// `observed ∈ expected`; always `false` for unjudged cells.
     pub pass: bool,
+}
+
+impl CellReport {
+    /// The run's outcome, when it completed.
+    pub fn outcome(&self) -> Option<&CellOutcome> {
+        self.status.outcome()
+    }
 }
 
 /// A whole campaign run, in matrix order.
@@ -83,9 +94,16 @@ impl CampaignReport {
         self.cells.iter().filter(|c| c.pass).count()
     }
 
-    /// The failing cells, if any.
+    /// The failing cells, if any. Unjudged cells count as failures —
+    /// degraded mode reports them, it never hides them.
     pub fn failures(&self) -> Vec<&CellReport> {
         self.cells.iter().filter(|c| !c.pass).collect()
+    }
+
+    /// Cells the oracle could not judge (the cell or its baseline did
+    /// not complete).
+    pub fn unjudged(&self) -> usize {
+        self.cells.iter().filter(|c| c.observed.is_none()).count()
     }
 
     /// Renders the report as JSON. With `include_timing` false, every
@@ -126,29 +144,46 @@ impl CampaignReport {
             if i > 0 {
                 s.push_str(",\n");
             }
-            let o = &c.outcome;
+            let verdict = match (&c.observed, c.pass) {
+                (None, _) => "unjudged",
+                (Some(_), true) => "pass",
+                (Some(_), false) => "fail",
+            };
             let _ = write!(
                 s,
                 "    {{\"cell\": \"{}\", \"attack\": \"{}\", \"controller\": \"{}\", \
-                 \"fail_mode\": \"{}\", \"seed\": {}, \"verdict\": \"{}\", \
-                 \"observed\": \"{}\", \"expected\": [",
+                 \"fail_mode\": \"{}\", \"seed\": {}, \"status\": \"{}\", \
+                 \"verdict\": \"{verdict}\"",
                 json_escape(&c.name),
                 json_escape(&c.attack),
                 c.controller.slug(),
                 fail_slug(c.fail_mode),
                 c.seed,
-                if c.pass { "pass" } else { "fail" },
-                c.observed.slug(),
+                c.status.slug(),
             );
+            if let Some(observed) = c.observed {
+                let _ = write!(s, ", \"observed\": \"{}\"", observed.slug());
+            }
+            if let Some(annotation) = c.status.annotation() {
+                let _ = write!(s, ", \"annotation\": \"{}\"", json_escape(&annotation));
+            }
+            s.push_str(", \"expected\": [");
             for (j, e) in c.expected.iter().enumerate() {
                 if j > 0 {
                     s.push_str(", ");
                 }
                 let _ = write!(s, "\"{}\"", e.slug());
             }
+            s.push(']');
+            let Some(o) = c.status.outcome() else {
+                // Incomplete cells carry no outcome fields: nothing the
+                // run did not actually produce appears in the report.
+                s.push('}');
+                continue;
+            };
             let _ = write!(
                 s,
-                "], \"digest\": \"{}\", \"packet_ins\": {}, \"flow_mods\": {}, \
+                ", \"digest\": \"{}\", \"packet_ins\": {}, \"flow_mods\": {}, \
                  \"control_total\": {}, \"frames_dropped\": {}",
                 o.digest, o.packet_ins, o.flow_mods, o.control_total, o.frames_dropped
             );
@@ -190,10 +225,11 @@ impl CampaignReport {
         let _ = write!(
             s,
             "\n  ],\n  \"summary\": {{\"cells\": {}, \"pass\": {}, \"fail\": {}, \
-             \"wall_ms_total\": {total}",
+             \"unjudged\": {}, \"wall_ms_total\": {total}",
             self.cells.len(),
             self.passed(),
             self.cells.len() - self.passed(),
+            self.unjudged(),
         );
         if include_timing {
             let _ = write!(s, ", \"jobs\": {}", self.jobs);
@@ -208,11 +244,15 @@ impl CampaignReport {
     }
 
     /// The golden-digest file: one `cell-name digest observed` line per
-    /// cell, in matrix order.
+    /// judged cell, in matrix order. Unjudged cells are omitted —
+    /// their traces are incomplete, so they have no stable digest to
+    /// pin (annotated degraded-mode cells never corrupt the goldens).
     pub fn golden_digests(&self) -> String {
         let mut s = String::new();
         for c in &self.cells {
-            let _ = writeln!(s, "{} {} {}", c.name, c.outcome.digest, c.observed.slug());
+            if let (Some(o), Some(observed)) = (c.status.outcome(), c.observed) {
+                let _ = writeln!(s, "{} {} {}", c.name, o.digest, observed.slug());
+            }
         }
         s
     }

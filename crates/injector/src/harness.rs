@@ -161,14 +161,27 @@ pub fn build_simulation(
 ///
 /// Panics if the attack fails to compile or validate — harness misuse.
 pub fn attach_attack(sim: &mut Simulation, attack_source: &str) -> SharedExecutor {
+    match try_attach_attack(sim, attack_source) {
+        Ok(handle) => handle,
+        Err(e) => panic!("case-study attack rejected: {e}"),
+    }
+}
+
+/// Fallible [`attach_attack`]: compile/validate failures come back as an
+/// error instead of a panic. The campaign's fault-contained path — a
+/// malformed attack becomes one `Failed` cell, not a dead worker.
+pub fn try_attach_attack(
+    sim: &mut Simulation,
+    attack_source: &str,
+) -> Result<SharedExecutor, String> {
     let sc = scenario::enterprise_network();
     let compiled = dsl::compile(attack_source, &sc.system, &sc.attack_model)
-        .expect("case-study attack compiles");
+        .map_err(|e| format!("attack does not compile: {e}"))?;
     let exec = AttackExecutor::new(sc.system.clone(), sc.attack_model, compiled.attack)
-        .expect("case-study attack validates");
+        .map_err(|e| format!("attack does not validate: {e}"))?;
     let (injector, handle) = SimInjector::new(exec, &sc.system, sim);
     sim.set_interposer(Box::new(injector));
-    handle
+    Ok(handle)
 }
 
 // ---------------------------------------------------------------------------

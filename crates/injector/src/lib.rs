@@ -22,5 +22,6 @@ pub mod monitors;
 mod sim;
 pub mod tcp;
 
-pub use monitors::ExperimentReport;
+pub use monitors::{ExperimentReport, ProxyLifecycleReport};
 pub use sim::{SharedExecutor, SimInjector};
+pub use tcp::{RouteHealth, RouteHealthSnapshot};

@@ -7,7 +7,7 @@
 //! [`InjectionLog`](attain_core::exec::InjectionLog) — and this module condenses them into one
 //! [`ExperimentReport`] suitable for printing or asserting against.
 
-use crate::tcp::{ProxyStats, TcpProxy};
+use crate::tcp::{ProxyStats, RouteHealthSnapshot, TcpProxy};
 use attain_core::exec::{AttackExecutor, LogKind};
 use attain_netsim::{Direction, Simulation};
 use attain_openflow::OfType;
@@ -134,6 +134,8 @@ impl ExperimentReport {
 pub struct ProxyLifecycleReport {
     /// Lifecycle counters snapshotted from the proxy.
     pub stats: ProxyStats,
+    /// Per-route reconnect-supervisor health, in route order.
+    pub routes: Vec<RouteHealthSnapshot>,
 }
 
 impl ProxyLifecycleReport {
@@ -141,6 +143,7 @@ impl ProxyLifecycleReport {
     pub fn collect(proxy: &TcpProxy) -> ProxyLifecycleReport {
         ProxyLifecycleReport {
             stats: proxy.stats(),
+            routes: proxy.route_health(),
         }
     }
 
@@ -166,6 +169,18 @@ impl fmt::Display for ProxyLifecycleReport {
             self.stats.dead_target_dropped,
             self.stats.overflow_dropped
         )?;
+        writeln!(
+            f,
+            "reconnect supervision: {} dial failures, {} backoff windows, {} absorbed",
+            self.stats.dial_failures, self.stats.backoff_events, self.stats.backoff_rejected
+        )?;
+        for r in &self.routes {
+            writeln!(
+                f,
+                "route {}: {} ({} consecutive failures)",
+                r.route, r.health, r.consecutive_failures
+            )?;
+        }
         Ok(())
     }
 }
@@ -292,9 +307,14 @@ mod tests {
         let report = ProxyLifecycleReport::collect(&proxy);
         assert_eq!(report.stats.sessions_opened, 0);
         assert_eq!(report.quarantined(), 0);
+        assert_eq!(report.routes.len(), 1);
+        assert_eq!(report.routes[0].health, crate::tcp::RouteHealth::Idle);
+        assert_eq!(report.routes[0].consecutive_failures, 0);
         let text = report.to_string();
         assert!(text.contains("proxy lifecycle"));
         assert!(text.contains("0 opened, 0 closed, 0 live"));
+        assert!(text.contains("reconnect supervision"));
+        assert!(text.contains("route 0: idle"));
         proxy.shutdown();
     }
 }

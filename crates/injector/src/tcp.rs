@@ -50,7 +50,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -58,6 +58,13 @@ use std::time::{Duration, Instant};
 /// Capacity of each per-direction write queue. The message path blocks
 /// when a queue is full (backpressure); the timer path drops instead.
 pub const WRITE_QUEUE_CAP: usize = 1024;
+
+/// First backoff window armed after a failed controller dial (or a
+/// reconnect refused during hold-down); doubles per consecutive failure.
+pub const RECONNECT_BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Ceiling the reconnect backoff window never exceeds.
+pub const RECONNECT_BACKOFF_CAP: Duration = Duration::from_secs(2);
 
 /// One proxied control-plane connection: where the switch will connect,
 /// where the controller listens, and which `N_C` element this is.
@@ -113,8 +120,52 @@ pub struct ProxyStats {
     pub dead_target_dropped: u64,
     /// Timer-path deliveries dropped because the write queue was full.
     pub overflow_dropped: u64,
+    /// Controller dials that failed (connection refused/unreachable).
+    pub dial_failures: u64,
+    /// Backoff windows armed (after a failed dial or hold-down churn).
+    pub backoff_events: u64,
+    /// Switch connections dropped inside a backoff window without a
+    /// dial attempt — the churn the supervision absorbs.
+    pub backoff_rejected: u64,
     /// Sessions currently registered.
     pub live_sessions: usize,
+}
+
+/// Controller-side health of one proxied route, as judged by the
+/// reconnect supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteHealth {
+    /// Listening, no live session, nothing pending against the route.
+    Idle,
+    /// A session is live.
+    Up,
+    /// Recent dial failures (or hold-down churn): reconnect attempts are
+    /// being absorbed until the backoff window expires.
+    Backoff,
+    /// The fault harness holds the route down.
+    HeldDown,
+}
+
+impl std::fmt::Display for RouteHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteHealth::Idle => write!(f, "idle"),
+            RouteHealth::Up => write!(f, "up"),
+            RouteHealth::Backoff => write!(f, "backoff"),
+            RouteHealth::HeldDown => write!(f, "held-down"),
+        }
+    }
+}
+
+/// One route's health snapshot ([`TcpProxy::route_health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteHealthSnapshot {
+    /// Route index (position in the `spawn` route list).
+    pub route: usize,
+    /// Supervisor-visible state.
+    pub health: RouteHealth,
+    /// Consecutive controller-dial failures (resets on success/restore).
+    pub consecutive_failures: u32,
 }
 
 /// What [`TcpProxy::shutdown`] accomplished.
@@ -171,6 +222,39 @@ struct RouteState {
     /// While set, reconnect attempts are accepted and immediately
     /// dropped — the hold-down window of a sustained interruption.
     held: AtomicBool,
+    /// Consecutive failed controller dials (and hold-down rejections);
+    /// drives the exponential backoff window.
+    dial_failures: AtomicU32,
+    /// While `Some` and in the future, the acceptor absorbs reconnect
+    /// attempts without dialing the controller.
+    backoff_until: Mutex<Option<Instant>>,
+}
+
+impl RouteState {
+    /// Arms (or extends) the exponential backoff window and returns its
+    /// length: `BASE * 2^(failures-1)`, capped.
+    fn arm_backoff(&self) -> Duration {
+        let failures = self.dial_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        let exp = failures.saturating_sub(1).min(16);
+        let window = RECONNECT_BACKOFF_BASE
+            .saturating_mul(1u32 << exp)
+            .min(RECONNECT_BACKOFF_CAP);
+        *self.backoff_until.lock() = Some(Instant::now() + window);
+        window
+    }
+
+    /// Clears backoff state (successful dial or harness restore).
+    fn clear_backoff(&self) {
+        self.dial_failures.store(0, Ordering::Relaxed);
+        *self.backoff_until.lock() = None;
+    }
+
+    /// Whether a backoff window is currently open.
+    fn in_backoff(&self) -> bool {
+        self.backoff_until
+            .lock()
+            .is_some_and(|until| Instant::now() < until)
+    }
 }
 
 #[derive(Default)]
@@ -180,6 +264,9 @@ struct Counters {
     stale_epoch_dropped: AtomicU64,
     dead_target_dropped: AtomicU64,
     overflow_dropped: AtomicU64,
+    dial_failures: AtomicU64,
+    backoff_events: AtomicU64,
+    backoff_rejected: AtomicU64,
 }
 
 /// An event owned by the timer thread.
@@ -422,7 +509,12 @@ impl Shared {
                 self.sever_route(route);
             }
             FaultAction::Restore { route } => {
-                self.route(route).held.store(false, Ordering::SeqCst);
+                let r = self.route(route);
+                r.held.store(false, Ordering::SeqCst);
+                // A restored route starts clean: the next reconnect
+                // attempt dials immediately, whatever churn the
+                // hold-down absorbed.
+                r.clear_backoff();
             }
         }
     }
@@ -485,7 +577,38 @@ impl Shared {
             stale_epoch_dropped: self.counters.stale_epoch_dropped.load(Ordering::Relaxed),
             dead_target_dropped: self.counters.dead_target_dropped.load(Ordering::Relaxed),
             overflow_dropped: self.counters.overflow_dropped.load(Ordering::Relaxed),
+            dial_failures: self.counters.dial_failures.load(Ordering::Relaxed),
+            backoff_events: self.counters.backoff_events.load(Ordering::Relaxed),
+            backoff_rejected: self.counters.backoff_rejected.load(Ordering::Relaxed),
             live_sessions: self.sessions.lock().len(),
+        }
+    }
+
+    /// Arms `route`'s backoff window and counts the event.
+    fn note_backoff(&self, route_idx: usize) {
+        self.route(route_idx).arm_backoff();
+        self.counters.backoff_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sleeps out `route`'s backoff window in small slices, waking early
+    /// on shutdown or when the window is cleared (harness restore).
+    fn wait_backoff(&self, route_idx: usize) {
+        const SLICE: Duration = Duration::from_millis(10);
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let until = *self.route(route_idx).backoff_until.lock();
+            match until {
+                Some(t) => {
+                    let now = Instant::now();
+                    if now >= t {
+                        return;
+                    }
+                    thread::sleep((t - now).min(SLICE));
+                }
+                None => return,
+            }
         }
     }
 }
@@ -534,6 +657,8 @@ impl TcpProxy {
                 controller: route.controller,
                 listen: addr,
                 held: AtomicBool::new(false),
+                dial_failures: AtomicU32::new(0),
+                backoff_until: Mutex::new(None),
             });
             listeners.push(listener);
         }
@@ -637,6 +762,33 @@ impl TcpProxy {
         self.shared.stats()
     }
 
+    /// Per-route health as the reconnect supervisor sees it, in route
+    /// order.
+    pub fn route_health(&self) -> Vec<RouteHealthSnapshot> {
+        let sessions = self.shared.sessions.lock();
+        self.shared
+            .routes
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let health = if r.held.load(Ordering::SeqCst) {
+                    RouteHealth::HeldDown
+                } else if r.in_backoff() {
+                    RouteHealth::Backoff
+                } else if sessions.contains_key(&r.conn) {
+                    RouteHealth::Up
+                } else {
+                    RouteHealth::Idle
+                };
+                RouteHealthSnapshot {
+                    route: i,
+                    health,
+                    consecutive_failures: r.dial_failures.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
     /// Locks and inspects the executor (e.g. for its injection log).
     pub fn with_executor<T>(&self, f: impl FnOnce(&AttackExecutor) -> T) -> T {
         f(&self.shared.exec.lock())
@@ -691,15 +843,38 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener, route_idx: usize) {
         let route = &shared.routes[route_idx];
         if route.held.load(Ordering::SeqCst) {
             // Hold-down window: the interruption is sustained, so the
-            // switch's reconnect attempt is accepted and dropped.
+            // switch's reconnect attempt is accepted and dropped — but
+            // under the same exponential backoff as dial failures, so a
+            // hammering switch cannot spin this acceptor.
             drop(switch_sock);
+            shared.note_backoff(route_idx);
+            shared.wait_backoff(route_idx);
+            continue;
+        }
+        if route.in_backoff() {
+            // Still inside a window armed by an earlier failure: absorb
+            // the attempt without dialing a controller we just found
+            // unreachable.
+            drop(switch_sock);
+            shared
+                .counters
+                .backoff_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            shared.wait_backoff(route_idx);
             continue;
         }
         let Ok(controller_sock) = TcpStream::connect(route.controller) else {
-            // Controller unreachable: drop the switch connection; it
-            // will retry, as a real switch does.
+            // Controller unreachable: drop the switch connection (it
+            // will retry, as a real switch does) and back off before
+            // dialing again.
+            shared
+                .counters
+                .dial_failures
+                .fetch_add(1, Ordering::Relaxed);
+            shared.note_backoff(route_idx);
             continue;
         };
+        route.clear_backoff();
         start_session(&shared, route.conn, switch_sock, controller_sock);
     }
 }

@@ -1,5 +1,6 @@
 //! Topology construction.
 
+use crate::budget::RunBudget;
 use crate::controller_host::ControllerHost;
 use crate::engine::NodeId;
 use crate::fault::{FaultPlan, FaultSpec};
@@ -61,6 +62,7 @@ pub struct NetworkBuilder {
     controllers: Vec<(String, Box<dyn Controller>)>,
     controls: Vec<(ControllerRef, NodeId, SimTime)>,
     faults: FaultPlan,
+    budget: RunBudget,
 }
 
 impl NetworkBuilder {
@@ -168,6 +170,12 @@ impl NetworkBuilder {
     /// Schedules an environment fault for `at` (virtual time).
     pub fn fault_at(&mut self, at: SimTime, spec: FaultSpec) {
         self.faults.events.push((at, spec));
+    }
+
+    /// Installs the run budget the built simulation will enforce
+    /// (default: unlimited).
+    pub fn run_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
     }
 
     /// Schedules a fault from its textual form (`link s1-s2 down`, …).
@@ -284,6 +292,7 @@ impl NetworkBuilder {
 
         let mut sim = Simulation::assemble(nodes, links, port_map, controllers, connections, names);
         sim.apply_fault_plan(&self.faults);
+        sim.set_run_budget(self.budget);
         sim
     }
 }

@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod builder;
 mod command;
 mod controller_host;
@@ -74,6 +75,7 @@ mod switch;
 mod time;
 mod trace;
 
+pub use budget::{CancelToken, HaltReason, RunBudget};
 pub use builder::{ControllerRef, LinkParams, NetworkBuilder};
 pub use command::{HostCommand, ParseCommandError};
 pub use controller_host::ControllerHost;

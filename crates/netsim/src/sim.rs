@@ -1,6 +1,7 @@
 //! The [`Simulation`]: event dispatch, effect application, and the
 //! control-plane proxy point.
 
+use crate::budget::{HaltReason, RunBudget};
 use crate::command::HostCommand;
 use crate::controller_host::ControllerHost;
 use crate::engine::{ConnId, Effect, EventKind, EventQueue, NodeId, TimerToken};
@@ -65,6 +66,13 @@ pub struct Simulation {
     names: HashMap<String, NodeId>,
     /// Data-plane frames dropped by link queues.
     pub frames_dropped: u64,
+    budget: RunBudget,
+    events_dispatched: u64,
+    /// Events dispatched at the current instant (livelock detector).
+    instant_events: u64,
+    /// Sticky: once a budget halt or cancellation fires, further
+    /// `run_until` calls return the same reason without dispatching.
+    halted: Option<HaltReason>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -101,6 +109,10 @@ impl Simulation {
             trace: Trace::new(),
             names,
             frames_dropped: 0,
+            budget: RunBudget::default(),
+            events_dispatched: 0,
+            instant_events: 0,
+            halted: None,
         };
         // Stagger the initial handshakes and housekeeping ticks slightly
         // so same-instant ties don't depend on construction order alone.
@@ -196,24 +208,90 @@ impl Simulation {
         }
     }
 
+    /// Installs the run budget enforced by [`Simulation::run_until`].
+    pub fn set_run_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// The sticky halt reason, if a budget or cancellation ever fired.
+    pub fn halt_reason(&self) -> Option<HaltReason> {
+        self.halted
+    }
+
     /// Runs the simulation until virtual time `t` (inclusive of events at
-    /// `t`).
-    pub fn run_until(&mut self, t: SimTime) {
+    /// `t`), subject to the installed [`RunBudget`].
+    ///
+    /// Budget halts (event cap, livelock detector) are deterministic:
+    /// they trip after the same event on every same-seed run, record a
+    /// [`TraceKind::RunHalted`] event, and stick — further calls return
+    /// the same reason without dispatching. Cancellation is wall-clock
+    /// driven and leaves the trace untouched.
+    pub fn run_until(&mut self, t: SimTime) -> HaltReason {
+        if let Some(reason) = self.halted {
+            return reason;
+        }
         while let Some(next) = self.queue.peek_time() {
             if next > t {
                 break;
             }
+            if let Some(token) = &self.budget.cancel {
+                if token.is_cancelled() {
+                    // Nondeterministic by nature — do not trace it.
+                    self.halted = Some(HaltReason::Cancelled);
+                    return HaltReason::Cancelled;
+                }
+            }
+            if let Some(max) = self.budget.max_events {
+                if self.events_dispatched >= max {
+                    let reason = HaltReason::EventBudget {
+                        events: self.events_dispatched,
+                    };
+                    self.halt(reason, "event-budget");
+                    return reason;
+                }
+            }
             let (time, kind) = self.queue.pop().expect("peeked event");
+            if time > self.now {
+                self.instant_events = 0;
+            }
             self.now = time;
             self.dispatch(kind);
+            self.events_dispatched += 1;
+            self.instant_events += 1;
+            if let Some(max) = self.budget.max_events_per_instant {
+                if self.instant_events >= max {
+                    let reason = HaltReason::Livelock {
+                        events_at_instant: self.instant_events,
+                    };
+                    self.halt(reason, "livelock");
+                    return reason;
+                }
+            }
         }
         self.now = self.now.max(t);
+        HaltReason::Horizon
+    }
+
+    fn halt(&mut self, reason: HaltReason, slug: &'static str) {
+        self.halted = Some(reason);
+        self.trace.push(
+            self.now,
+            TraceKind::RunHalted {
+                reason: slug,
+                events: self.events_dispatched,
+            },
+        );
     }
 
     /// Runs for `d` more virtual time.
-    pub fn run_for(&mut self, d: SimTime) {
+    pub fn run_for(&mut self, d: SimTime) -> HaltReason {
         let t = self.now + d;
-        self.run_until(t);
+        self.run_until(t)
     }
 
     // ---- lookups ------------------------------------------------------

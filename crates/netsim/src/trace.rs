@@ -89,6 +89,17 @@ pub enum TraceKind {
         /// Consecutive decode failures that triggered the reset.
         failures: u32,
     },
+    /// The run halted before its horizon on a deterministic budget
+    /// (total event cap or the per-instant livelock detector). Counted
+    /// in virtual-time quantities only, so it digests identically on
+    /// every same-seed run. Wall-clock cancellations are deliberately
+    /// *not* traced.
+    RunHalted {
+        /// Which bound tripped: `"event-budget"` or `"livelock"`.
+        reason: &'static str,
+        /// Total events dispatched when the run halted.
+        events: u64,
+    },
     /// A free-form marker (e.g. experiment phase boundaries).
     Marker(String),
 }

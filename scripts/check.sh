@@ -33,4 +33,16 @@ cargo run --release --bin campaign --features attain-campaign/dispatch_audit \
 cargo test -q -p attain --test campaign_conformance
 cargo test -q -p attain --test dsl_roundtrip
 
+echo "== supervised execution (chaos cells contained, degraded-mode report)"
+cargo test -q -p attain-campaign --features test_faults
+if cargo run --release --bin campaign --features test_faults \
+    -- --smoke --jobs 2 --cell-timeout 60 \
+    --out target/CAMPAIGN_chaos_report.json 2>/dev/null; then
+  echo "chaos smoke campaign unexpectedly exited zero" >&2
+  exit 1
+fi
+grep -q '"status": "panicked"' target/CAMPAIGN_chaos_report.json
+grep -q '"status": "budget-exhausted"' target/CAMPAIGN_chaos_report.json
+grep -q '"verdict": "unjudged"' target/CAMPAIGN_chaos_report.json
+
 echo "all checks passed"

@@ -6,20 +6,26 @@
 //!   cargo run --release --bin campaign [options]
 //!
 //! Options:
-//!   --jobs N        worker threads (default: available parallelism)
-//!   --seeds N       seeds 1..=N instead of the default set
-//!   --smoke         the reduced CI matrix (3 attacks × 5 × 2 × 1 seed)
-//!   --only SPEC     attack=…,controller=…,fail=…,seed=… (any subset)
-//!   --out PATH      report path (default CAMPAIGN_report.json)
-//!   --update-golden rewrite tests/golden/campaign/ from this run
-//!   --golden PATH   golden digests file to verify/update
+//!   --jobs N           worker threads (default: available parallelism)
+//!   --seeds N          seeds 1..=N instead of the default set
+//!   --smoke            the reduced CI matrix (3 attacks × 5 × 2 × 1 seed)
+//!   --only SPEC        attack=…,controller=…,fail=…,seed=… (any subset)
+//!   --out PATH         report path (default CAMPAIGN_report.json)
+//!   --update-golden    rewrite tests/golden/campaign/ from this run
+//!   --golden PATH      golden digests file to verify/update
+//!   --cell-timeout SEC wall-clock deadline per cell (default 120, 0 = off)
+//!   --max-events N     deterministic event budget per cell (default: none)
+//!   --retries N        same-seed retries for timed-out cells (default 0)
 //!
 //! The report's canonical bytes (wall-times zeroed) are byte-identical
 //! for any `--jobs`; exit status is non-zero if any cell fails its
-//! expectation or the golden digests drifted.
+//! expectation, any cell could not be judged (panicked, timed out, or
+//! exhausted its budget), or the golden digests drifted. Incomplete
+//! cells are annotated in the report, never aborted on.
 
-use attain::campaign::{diff_golden, Filter, Matrix};
+use attain::campaign::{diff_golden, Filter, Matrix, RunnerConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn arg_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -40,6 +46,14 @@ fn main() -> ExitCode {
                 .unwrap_or(1)
         });
     let out = arg_value(&args, "--out").unwrap_or_else(|| "CAMPAIGN_report.json".into());
+    let cell_timeout = arg_value(&args, "--cell-timeout")
+        .map(|s| s.parse().expect("--cell-timeout takes seconds"))
+        .unwrap_or(120u64);
+    let max_events =
+        arg_value(&args, "--max-events").map(|s| s.parse().expect("--max-events takes an integer"));
+    let retries = arg_value(&args, "--retries")
+        .map(|s| s.parse().expect("--retries takes an integer"))
+        .unwrap_or(0u32);
     let golden_path = arg_value(&args, "--golden").unwrap_or_else(|| {
         format!(
             "tests/golden/campaign/{}.txt",
@@ -76,28 +90,39 @@ fn main() -> ExitCode {
         jobs
     );
 
-    let report = attain::campaign::run(&matrix, jobs);
+    let mut cfg = RunnerConfig::new(jobs);
+    cfg.cell_timeout = (cell_timeout > 0).then(|| Duration::from_secs(cell_timeout));
+    cfg.max_events = max_events;
+    cfg.retries = retries;
+    let report = attain::campaign::run_with(&matrix, &cfg);
     std::fs::write(&out, report.to_json(true)).expect("report written");
     eprintln!(
-        "{}/{} cells pass ({} ms); report: {out}",
+        "{}/{} cells pass, {} unjudged ({} ms); report: {out}",
         report.passed(),
         report.cells.len(),
+        report.unjudged(),
         report.wall_ms_total
     );
 
     let mut ok = true;
     for f in report.failures() {
         ok = false;
-        eprintln!(
-            "FAIL {}: observed {}, expected one of [{}]",
-            f.name,
-            f.observed,
-            f.expected
-                .iter()
-                .map(|e| e.slug())
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
+        match (f.observed, f.status.annotation()) {
+            (Some(observed), _) => eprintln!(
+                "FAIL {}: observed {}, expected one of [{}]",
+                f.name,
+                observed,
+                f.expected
+                    .iter()
+                    .map(|e| e.slug())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            (None, Some(annotation)) => {
+                eprintln!("UNJUDGED {} [{}]: {annotation}", f.name, f.status.slug())
+            }
+            (None, None) => eprintln!("UNJUDGED {}: baseline incomplete", f.name),
+        }
     }
 
     let fresh = report.golden_digests();

@@ -45,8 +45,11 @@ fn full_matrix_matches_golden_digests_and_expectations() {
         .iter()
         .map(|f| {
             format!(
-                "{}: observed {}, expected {:?}",
-                f.name, f.observed, f.expected
+                "{}: status {}, observed {:?}, expected {:?}",
+                f.name,
+                f.status.slug(),
+                f.observed,
+                f.expected
             )
         })
         .collect();
@@ -55,6 +58,7 @@ fn full_matrix_matches_golden_digests_and_expectations() {
         "differential oracle failures:\n{}",
         failures.join("\n")
     );
+    assert_eq!(report.unjudged(), 0, "every production cell must be judged");
     check_golden("tests/golden/campaign/full.txt", &report.golden_digests());
 }
 
@@ -80,7 +84,8 @@ fn every_controller_converges_the_baseline_workload() {
     let trivial = attacks::by_name("trivial_pass").unwrap();
     for kind in ControllerKind::CAMPAIGN {
         for fail_mode in [FailMode::Safe, FailMode::Secure] {
-            let outcome = cell::run_baseline(&trivial, kind, fail_mode, 1);
+            let outcome =
+                cell::run_baseline(&trivial, kind, fail_mode, 1).expect("baseline completes");
             for row in &outcome.pings {
                 let ctx = format!("{kind}/{fail_mode:?}/{}", row.label);
                 if row.label.starts_with('w') {
@@ -111,8 +116,9 @@ fn only_filter_projects_the_matrix() {
     let cell = &report.cells[0];
     assert_eq!(cell.name, "connection_interruption/ryu/secure/s2");
     assert!(cell.pass);
+    let outcome = cell.outcome().expect("filtered cell completes");
     // The Ryu anomaly, pinned: the interruption never arms.
-    assert_eq!(cell.outcome.final_state.as_deref(), Some("sigma2"));
+    assert_eq!(outcome.final_state.as_deref(), Some("sigma2"));
     // The filtered cell's digest matches its full-matrix golden line.
     let golden = std::fs::read_to_string("tests/golden/campaign/full.txt").unwrap();
     let line = golden
@@ -121,7 +127,7 @@ fn only_filter_projects_the_matrix() {
         .expect("cell present in golden file");
     assert_eq!(
         line.split_whitespace().nth(1).unwrap(),
-        cell.outcome.digest.to_string(),
+        outcome.digest.to_string(),
         "a filtered run must reproduce the full matrix's digest"
     );
 }

@@ -107,14 +107,14 @@ mod tests {
     fn inventory_covers_every_shipped_atk_file() {
         let names: Vec<_> = all().iter().map(|a| a.name).collect();
         let expected = if cfg!(feature = "test_faults") {
-            12
+            13
         } else {
-            10
+            11
         };
         assert_eq!(
             names.len(),
             expected,
-            "expected the ten shipped attacks (plus chaos cells under test_faults)"
+            "expected the eleven shipped attacks (plus chaos cells under test_faults)"
         );
         assert_eq!(names[0], "trivial_pass", "baseline attack leads the matrix");
         assert!(names.contains(&"self_contained_demo"));

@@ -44,5 +44,5 @@ pub use attacks::{AttackDef, Scope};
 pub use cell::{CellError, CellLimits, CellOutcome, PingRow};
 pub use matrix::{CellId, Filter, Matrix};
 pub use oracle::Observed;
-pub use report::{diff_golden, CampaignReport, CellReport};
+pub use report::{diff_golden, CampaignReport, CellReport, ConfusionMatrix};
 pub use runner::{run, run_with, CellStatus, RunnerConfig};

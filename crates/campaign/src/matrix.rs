@@ -57,7 +57,7 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// The full conformance matrix: all ten shipped attacks × five
+    /// The full conformance matrix: all eleven shipped attacks × five
     /// controller applications × both fail modes × three seeds.
     pub fn full() -> Matrix {
         Matrix {
@@ -69,14 +69,15 @@ impl Matrix {
     }
 
     /// The reduced CI matrix: the baseline, the paper's two headline
-    /// attacks, and the overflow family, all five controllers, both
-    /// fail modes, one seed.
+    /// attacks, the overflow family, and the timing fingerprinter, all
+    /// five controllers, both fail modes, one seed.
     pub fn smoke() -> Matrix {
         let keep = [
             "trivial_pass",
             "flow_mod_suppression",
             "connection_interruption",
             "table_overflow",
+            "fingerprint_then_attack",
             // With chaos cells compiled in, the smoke matrix carries
             // them too so CI exercises degraded-mode reporting.
             #[cfg(feature = "test_faults")]
@@ -214,9 +215,9 @@ mod tests {
     fn full_matrix_has_expected_shape() {
         let m = Matrix::full();
         let attacks = if cfg!(feature = "test_faults") {
-            12
+            13
         } else {
-            10
+            11
         };
         assert_eq!(m.cells().len(), attacks * 5 * 2 * 3);
         let names: Vec<_> = m.cells().iter().map(|c| m.cell_name(c)).collect();
@@ -255,7 +256,7 @@ mod tests {
         for cell in smoke.cells() {
             assert!(full_names.contains(&smoke.cell_name(&cell)));
         }
-        let attacks = if cfg!(feature = "test_faults") { 6 } else { 4 };
+        let attacks = if cfg!(feature = "test_faults") { 7 } else { 5 };
         assert_eq!(smoke.cells().len(), attacks * 5 * 2);
     }
 }

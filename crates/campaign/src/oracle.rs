@@ -125,6 +125,22 @@ pub fn judge(attacked: &CellStatus, baseline: &CellStatus) -> Option<Observed> {
 
 use Observed::{ControlPlane, Degraded, Denial, Silent};
 
+/// The attack whose cells the fingerprint-accuracy arm scores.
+pub const FINGERPRINT_ATTACK: &str = "fingerprint_then_attack";
+
+/// The controller the fingerprinting attack claims to have identified:
+/// its payload states follow the `attack_<controller-slug>` naming
+/// convention, so a completed cell's final state *is* the prediction.
+/// `None` when the run never left `watch` (no classification) or ended
+/// in a state outside the convention.
+pub fn fingerprint_prediction(outcome: &CellOutcome) -> Option<ControllerKind> {
+    outcome
+        .final_state
+        .as_deref()?
+        .strip_prefix("attack_")
+        .and_then(ControllerKind::from_slug)
+}
+
 /// The expectations table: which classifications are acceptable for
 /// `(attack, controller, fail_mode)`, across every seed.
 ///
@@ -248,6 +264,19 @@ pub fn expected(attack: &str, kind: ControllerKind, _fail_mode: FailMode) -> &'s
         "table_overflow" => {
             if !kind.installs_flows() || kind.installs_permanent_flows() {
                 &[Silent]
+            } else {
+                &[Degraded]
+            }
+        }
+
+        // Timing fingerprint, then the identified application's worst
+        // payload. The per-application payloads all manifest on the
+        // data plane except against Ryu: its permanent flows carry the
+        // workload even after the s1 control channel is severed, so
+        // only the control-plane trace deviates.
+        FINGERPRINT_ATTACK => {
+            if kind.installs_permanent_flows() {
+                &[ControlPlane]
             } else {
                 &[Degraded]
             }

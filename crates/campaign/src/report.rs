@@ -12,7 +12,7 @@
 
 use crate::cell::CellOutcome;
 use crate::matrix::{fail_slug, Matrix};
-use crate::oracle::Observed;
+use crate::oracle::{self, Observed};
 use crate::runner::CellStatus;
 use attain_controllers::ControllerKind;
 use attain_netsim::FailMode;
@@ -48,6 +48,46 @@ impl CellReport {
     /// The run's outcome, when it completed.
     pub fn outcome(&self) -> Option<&CellOutcome> {
         self.status.outcome()
+    }
+}
+
+/// The fingerprint-accuracy arm's tally: how the fingerprinting
+/// attack's predictions distribute over the true applications.
+///
+/// Built by walking the report's cells in matrix order, so it is
+/// byte-stable across `--jobs` like everything else in the canonical
+/// report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// One row per true application, in [`ControllerKind::CAMPAIGN`]
+    /// order: `(true kind, predictions)` where predictions are
+    /// `(predicted slug, count)` pairs — the slug is a controller slug
+    /// or `"none"` for cells that never classified (or never
+    /// completed). Rows and columns with zero counts are omitted.
+    pub rows: Vec<(ControllerKind, Vec<(String, usize)>)>,
+}
+
+impl ConfusionMatrix {
+    /// Cells tallied (the fingerprint attack's judged matrix slice).
+    pub fn total(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|(_, preds)| preds.iter())
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Cells whose prediction matched the true application.
+    pub fn correct(&self) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|(kind, preds)| {
+                preds
+                    .iter()
+                    .filter(move |(slug, _)| slug == kind.slug())
+                    .map(|(_, n)| n)
+            })
+            .sum()
     }
 }
 
@@ -104,6 +144,37 @@ impl CampaignReport {
     /// not complete).
     pub fn unjudged(&self) -> usize {
         self.cells.iter().filter(|c| c.observed.is_none()).count()
+    }
+
+    /// The fingerprint confusion matrix, or `None` when the (filtered)
+    /// matrix carries no fingerprinting cells at all.
+    pub fn confusion_matrix(&self) -> Option<ConfusionMatrix> {
+        let fp: Vec<&CellReport> = self
+            .cells
+            .iter()
+            .filter(|c| c.attack == oracle::FINGERPRINT_ATTACK)
+            .collect();
+        if fp.is_empty() {
+            return None;
+        }
+        let mut rows = Vec::new();
+        for kind in ControllerKind::CAMPAIGN {
+            let mut preds: Vec<(String, usize)> = Vec::new();
+            for c in fp.iter().filter(|c| c.controller == kind) {
+                let slug = c
+                    .outcome()
+                    .and_then(oracle::fingerprint_prediction)
+                    .map_or("none", |k| k.slug());
+                match preds.iter_mut().find(|(s, _)| s == slug) {
+                    Some((_, n)) => *n += 1,
+                    None => preds.push((slug.to_string(), 1)),
+                }
+            }
+            if !preds.is_empty() {
+                rows.push((kind, preds));
+            }
+        }
+        Some(ConfusionMatrix { rows })
     }
 
     /// Renders the report as JSON. With `include_timing` false, every
@@ -231,6 +302,30 @@ impl CampaignReport {
             self.cells.len() - self.passed(),
             self.unjudged(),
         );
+        if let Some(m) = self.confusion_matrix() {
+            let _ = write!(
+                s,
+                ", \"fingerprint\": {{\"attack\": \"{}\", \"cells\": {}, \"correct\": {}, \
+                 \"confusion\": {{",
+                oracle::FINGERPRINT_ATTACK,
+                m.total(),
+                m.correct(),
+            );
+            for (i, (kind, preds)) in m.rows.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "\"{}\": {{", kind.slug());
+                for (j, (slug, n)) in preds.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(s, "\"{}\": {}", json_escape(slug), n);
+                }
+                s.push('}');
+            }
+            s.push_str("}}");
+        }
         if include_timing {
             let _ = write!(s, ", \"jobs\": {}", self.jobs);
         }

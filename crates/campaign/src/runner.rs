@@ -395,7 +395,16 @@ pub fn run_with(matrix: &Matrix, cfg: &RunnerConfig) -> CampaignReport {
         let baseline = &results[baseline_slot[&key]];
         let observed = oracle::judge(&status, baseline);
         let expected = oracle::expected(attack.name, cell.controller, cell.fail_mode);
-        let pass = observed.is_some_and(|o| expected.contains(&o));
+        let mut pass = observed.is_some_and(|o| expected.contains(&o));
+        // Fingerprint-accuracy arm: the fingerprinting attack's cells
+        // additionally require the predicted application (its final
+        // payload state) to be the one actually under test.
+        if attack.name == oracle::FINGERPRINT_ATTACK {
+            pass = pass
+                && status
+                    .outcome()
+                    .is_some_and(|o| oracle::fingerprint_prediction(o) == Some(cell.controller));
+        }
         reports.push(CellReport {
             name: matrix.cell_name(cell),
             attack: attack.name.to_string(),

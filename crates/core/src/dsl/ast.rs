@@ -183,6 +183,19 @@ pub enum ExprAst {
     },
     /// `mac("…")`.
     MacLit(String, u32),
+    /// A timing predicate call: `latency(A, B)`, `inter_arrival(T)`,
+    /// `timing_mean(A, B, N)`, `timing_stddev(A, B, N)`,
+    /// `timing_count(A, B)`, or `elapsed_in_state()`. Arity and
+    /// argument kinds are validated by the compiler, which knows the
+    /// message-type namespace.
+    TimingFn {
+        /// The called predicate name.
+        func: String,
+        /// Raw arguments.
+        args: Vec<ExprAst>,
+        /// Source line.
+        line: u32,
+    },
     /// Unary `!`.
     Not(Box<ExprAst>),
     /// Binary operator.

@@ -474,6 +474,123 @@ fn compile_expr(ast: ExprAst, system: &SystemModel, line: u32) -> Result<Expr, D
                 .map(|i| compile_expr(i, system, line))
                 .collect::<Result<_, _>>()?,
         ),
+        ExprAst::TimingFn { func, args, line } => compile_timing_fn(&func, &args, line)?,
+    })
+}
+
+/// Resolves a timing-predicate argument that must name an OpenFlow
+/// message type.
+fn timing_type_arg(arg: &ExprAst, func: &str, line: u32) -> Result<OfType, DslError> {
+    match arg {
+        ExprAst::Name(name, line) => OfType::from_spec_name(name).ok_or_else(|| {
+            DslError::new(
+                *line,
+                format!("`{name}` is not an OpenFlow message type (in `{func}(...)`)"),
+            )
+        }),
+        _ => Err(DslError::new(
+            line,
+            format!("`{func}` takes OpenFlow message-type names (e.g. PACKET_IN) as arguments"),
+        )),
+    }
+}
+
+/// Resolves a timing-predicate window argument: an integer literal in
+/// `1..=MAX_TIMING_WINDOW`.
+fn timing_window_arg(arg: &ExprAst, func: &str, line: u32) -> Result<u32, DslError> {
+    match arg {
+        ExprAst::Int(n) if (1..=i64::from(crate::lang::MAX_TIMING_WINDOW)).contains(n) => {
+            Ok(*n as u32)
+        }
+        ExprAst::Int(n) => Err(DslError::new(
+            line,
+            format!(
+                "`{func}` window must be in 1..={}, got {n}",
+                crate::lang::MAX_TIMING_WINDOW
+            ),
+        )),
+        _ => Err(DslError::new(
+            line,
+            format!("`{func}` window must be an integer literal"),
+        )),
+    }
+}
+
+fn compile_timing_fn(func: &str, args: &[ExprAst], line: u32) -> Result<Expr, DslError> {
+    use crate::lang::TimingStat;
+    let arity = |want: usize, shape: &str| -> Result<(), DslError> {
+        if args.len() == want {
+            Ok(())
+        } else {
+            Err(DslError::new(
+                line,
+                format!(
+                    "`{func}` expects {want} argument{} {shape}, found {}",
+                    if want == 1 { "" } else { "s" },
+                    args.len()
+                ),
+            ))
+        }
+    };
+    Ok(match func {
+        "elapsed_in_state" => {
+            arity(0, "()")?;
+            Expr::ElapsedInState
+        }
+        "latency" => {
+            arity(2, "(request type, response type)")?;
+            let req = timing_type_arg(&args[0], func, line)?;
+            let resp = timing_type_arg(&args[1], func, line)?;
+            if req == resp {
+                return Err(DslError::new(
+                    line,
+                    format!(
+                        "`latency` request and response types must differ \
+                         (use `inter_arrival({})` for same-type gaps)",
+                        req.spec_name()
+                    ),
+                ));
+            }
+            Expr::Timing {
+                req,
+                resp,
+                stat: TimingStat::Last,
+                window: 1,
+            }
+        }
+        "inter_arrival" => {
+            arity(1, "(message type)")?;
+            let t = timing_type_arg(&args[0], func, line)?;
+            Expr::Timing {
+                req: t,
+                resp: t,
+                stat: TimingStat::Last,
+                window: 1,
+            }
+        }
+        "timing_count" => {
+            arity(2, "(request type, response type)")?;
+            Expr::Timing {
+                req: timing_type_arg(&args[0], func, line)?,
+                resp: timing_type_arg(&args[1], func, line)?,
+                stat: TimingStat::Count,
+                window: 1,
+            }
+        }
+        "timing_mean" | "timing_stddev" => {
+            arity(3, "(request type, response type, window)")?;
+            Expr::Timing {
+                req: timing_type_arg(&args[0], func, line)?,
+                resp: timing_type_arg(&args[1], func, line)?,
+                stat: if func == "timing_mean" {
+                    TimingStat::Mean
+                } else {
+                    TimingStat::StdDev
+                },
+                window: timing_window_arg(&args[2], func, line)?,
+            }
+        }
+        other => unreachable!("parser only yields timing predicates, got `{other}`"),
     })
 }
 
@@ -834,6 +951,107 @@ mod tests {
                 compile(&src, &doc.system, &doc.attack_model).is_err(),
                 "expected {bad} to be rejected"
             );
+        }
+    }
+
+    /// Wraps `clause` in a minimal attack against the self-contained
+    /// document and compiles it, for timing-predicate error probing.
+    fn compile_when(clause: &str) -> Result<crate::dsl::CompiledAttack, DslError> {
+        let doc = compile_document(SELF_CONTAINED).unwrap();
+        let source = format!(
+            r#"
+            attack probe {{
+                start state s {{
+                    rule r on (c1, s1) {{
+                        when {clause}
+                        do {{ drop(msg); }}
+                    }}
+                }}
+            }}
+            "#
+        );
+        compile(&source, &doc.system, &doc.attack_model)
+    }
+
+    #[test]
+    fn timing_predicates_compile_to_the_expected_exprs() {
+        use crate::lang::TimingStat;
+        let atk = compile_when(
+            "latency(PACKET_IN, FLOW_MOD) > 1000000 \
+             && timing_mean(PACKET_IN, FLOW_MOD, 8) > 0 \
+             && timing_count(HELLO, HELLO) >= 0 \
+             && elapsed_in_state() < 5000000",
+        )
+        .unwrap();
+        let mut stats = Vec::new();
+        atk.attack.states[0].rules[0].condition.for_each(&mut |e| {
+            if let Expr::Timing { stat, window, .. } = e {
+                stats.push((*stat, *window));
+            }
+        });
+        assert_eq!(
+            stats,
+            [
+                (TimingStat::Last, 1),
+                (TimingStat::Mean, 8),
+                (TimingStat::Count, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn timing_predicate_misuse_is_a_compile_error() {
+        // (clause, must-appear-in-message) pairs covering every
+        // validation branch in `compile_timing_fn`.
+        for (clause, needle) in [
+            // `latency` of a type with itself: pointed at inter_arrival.
+            (
+                "latency(PACKET_IN, PACKET_IN) > 0",
+                "use `inter_arrival(PACKET_IN)`",
+            ),
+            // Unknown message type name.
+            (
+                "latency(PACKET_IN, FLOW_MOE) > 0",
+                "`FLOW_MOE` is not an OpenFlow message type",
+            ),
+            // Arity errors, one per builtin shape.
+            ("latency(PACKET_IN) > 0", "expects 2 arguments"),
+            ("inter_arrival() > 0", "expects 1 argument"),
+            ("elapsed_in_state(HELLO) > 0", "expects 0 arguments"),
+            (
+                "timing_mean(PACKET_IN, FLOW_MOD) > 0",
+                "expects 3 arguments",
+            ),
+            // Window domain: negative, zero, oversized, non-integer.
+            ("timing_mean(PACKET_IN, FLOW_MOD, -3) > 0", "got -3"),
+            ("timing_stddev(PACKET_IN, FLOW_MOD, 0) > 0", "got 0"),
+            (
+                "timing_mean(PACKET_IN, FLOW_MOD, 257) > 0",
+                "window must be in 1..=256",
+            ),
+            (
+                "timing_mean(PACKET_IN, FLOW_MOD, 2.5) > 0",
+                "window must be an integer literal",
+            ),
+            (
+                "timing_mean(PACKET_IN, FLOW_MOD, msg.length) > 0",
+                "window must be an integer literal",
+            ),
+            // Type arguments must be names, not arbitrary expressions.
+            (
+                "timing_count(1 + 2, FLOW_MOD) > 0",
+                "takes OpenFlow message-type names",
+            ),
+        ] {
+            let err = compile_when(clause)
+                .map(|_| ())
+                .expect_err(&format!("`{clause}` must not compile"));
+            assert!(
+                err.message.contains(needle),
+                "`{clause}`: expected `{needle}` in `{}`",
+                err.message
+            );
+            assert!(err.line > 0, "`{clause}`: error must carry a line");
         }
     }
 

@@ -675,6 +675,27 @@ impl Parser {
                     self.expect(Tok::RParen)?;
                     Ok(ExprAst::MacLit(text, line))
                 }
+                "latency" | "inter_arrival" | "elapsed_in_state" | "timing_mean"
+                | "timing_stddev" | "timing_count" => {
+                    self.expect(Tok::LParen)?;
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(ExprAst::TimingFn {
+                        func: name,
+                        args,
+                        line,
+                    })
+                }
                 _ => Ok(ExprAst::Name(name, line)),
             },
             other => Err(DslError::new(

@@ -101,6 +101,35 @@ fn render_expr(e: &Expr, system: &SystemModel) -> Result<String, RenderError> {
                 rendered?.join(", ")
             )
         }
+        // `latency(T, T)` is a compile error, so `req == resp` plus
+        // `Last` can only have come from `inter_arrival(T)`.
+        Expr::Timing {
+            req,
+            resp,
+            stat,
+            window,
+        } => match stat {
+            crate::lang::TimingStat::Last if req == resp => {
+                format!("inter_arrival({})", req.spec_name())
+            }
+            crate::lang::TimingStat::Last => {
+                format!("latency({}, {})", req.spec_name(), resp.spec_name())
+            }
+            crate::lang::TimingStat::Mean => format!(
+                "timing_mean({}, {}, {window})",
+                req.spec_name(),
+                resp.spec_name()
+            ),
+            crate::lang::TimingStat::StdDev => format!(
+                "timing_stddev({}, {}, {window})",
+                req.spec_name(),
+                resp.spec_name()
+            ),
+            crate::lang::TimingStat::Count => {
+                format!("timing_count({}, {})", req.spec_name(), resp.spec_name())
+            }
+        },
+        Expr::ElapsedInState => "elapsed_in_state()".to_string(),
     })
 }
 

@@ -5,7 +5,9 @@ use crate::exec::dispatch::CompiledRuleset;
 use crate::exec::log::{InjectionLog, LogKind};
 use crate::exec::modifier;
 use crate::lang::Attack;
-use crate::lang::{AttackAction, DequeEnd, DequeStore, MessageView, StoredMessage, Value};
+use crate::lang::{
+    AttackAction, DequeEnd, DequeStore, MessageView, StoredMessage, TimingPlan, TimingStore, Value,
+};
 use crate::model::AttackModel;
 use crate::model::{Capability, CapabilitySet};
 use crate::model::{ConnectionId, NodeRef, SystemModel};
@@ -216,6 +218,9 @@ pub struct AttackExecutor {
     mask_scratch: Vec<u64>,
     current: usize,
     deques: DequeStore,
+    /// Per-connection timing state driving the DSL's timing predicates.
+    /// Passive (and free) when the attack names no timing pairs.
+    timing: TimingStore,
     sleep_until_ns: Option<u64>,
     held: VecDeque<HeldMessage>,
     log: InjectionLog,
@@ -258,6 +263,7 @@ impl AttackExecutor {
             .map(|s| Arc::from(s.rules.as_slice()))
             .collect();
         let ruleset = CompiledRuleset::compile(&attack, system.connection_count());
+        let timing = TimingStore::new(TimingPlan::from_attack(&attack));
         Ok(AttackExecutor {
             system,
             model,
@@ -269,6 +275,7 @@ impl AttackExecutor {
             mask_scratch: Vec::new(),
             current: start,
             deques: DequeStore::new(),
+            timing,
             sleep_until_ns: None,
             held: VecDeque::new(),
             log: InjectionLog::new(),
@@ -302,6 +309,21 @@ impl AttackExecutor {
     /// The deque store (for tests and monitors).
     pub fn deques(&self) -> &DequeStore {
         &self.deques
+    }
+
+    /// The per-connection timing state (for tests and monitors).
+    pub fn timing(&self) -> &TimingStore {
+        &self.timing
+    }
+
+    /// Releases all per-connection executor state for `conn`: timing
+    /// rings, arrival stamps, and any messages held for it by `SLEEP`.
+    /// Deployments call this on connection teardown (the TCP proxy's
+    /// generation-epoch bump) so a reconnect never inherits stale
+    /// samples.
+    pub fn release_connection(&mut self, conn: ConnectionId) {
+        self.timing.release_connection(conn);
+        self.held.retain(|h| h.conn != conn);
     }
 
     /// Switches the rule dispatch strategy (builder-style; the default
@@ -409,6 +431,17 @@ impl AttackExecutor {
         let mut wakeup = None;
 
         let (source, destination) = self.endpoints(conn, to_controller);
+
+        // Timing observation happens before rule evaluation, so a rule
+        // firing on a response type sees the sample this very message
+        // closes. Held (SLEEP) messages are observed at replay time
+        // with the wake-time clock — deterministic in both deployments.
+        // Undecodable frames carry no type and are not observed.
+        if !self.timing.is_passive() {
+            if let Some(t) = frame.of_type() {
+                self.timing.observe(conn, t, now_ns);
+            }
+        }
 
         // Line 6: σ_previous ← σ_current — rules are evaluated against
         // the state as it was when the message arrived, even if an
@@ -536,7 +569,10 @@ impl AttackExecutor {
             granted: rule.required,
             entropy: entropy_for(self.entropy_seed, id),
         };
-        match rule.condition.eval(&view, &self.deques) {
+        match rule
+            .condition
+            .eval_with(&view, &self.deques, self.timing.ctx(conn, now_ns))
+        {
             Ok(v) if v.truthy() => {}
             Ok(_) => return,
             Err(e) => {
@@ -585,6 +621,9 @@ impl AttackExecutor {
                         },
                     );
                     self.current = *target;
+                    // `elapsed_in_state()` restarts on every transition
+                    // to a different state.
+                    self.timing.enter_state(now_ns);
                 }
                 continue;
             }
@@ -637,7 +676,10 @@ impl AttackExecutor {
             // Exclusion is sound only when the anchor conjunct is falsy,
             // which short-circuits the scan before any deque read — so
             // evaluating here, before this pass's actions, is exact.
-            match rule.condition.eval(&view, &self.deques) {
+            match rule
+                .condition
+                .eval_with(&view, &self.deques, self.timing.ctx(conn, now_ns))
+            {
                 Ok(v) if !v.truthy() => {}
                 other => panic!(
                     "dispatch_audit: rule {} (state {previous}, msg {id} at {now_ns}ns) \
@@ -684,18 +726,20 @@ impl AttackExecutor {
                     });
                 }
             }
-            AttackAction::Delay(e) => match e.eval(view, &self.deques) {
-                Ok(v) => match v.as_float() {
-                    Some(secs) if secs >= 0.0 => {
-                        let ns = (secs * 1e9) as u64;
-                        for m in out.iter_mut().filter(|m| m.derived) {
-                            m.extra_delay_ns += ns;
+            AttackAction::Delay(e) => {
+                match e.eval_with(view, &self.deques, self.timing.ctx(view.conn, now_ns)) {
+                    Ok(v) => match v.as_float() {
+                        Some(secs) if secs >= 0.0 => {
+                            let ns = (secs * 1e9) as u64;
+                            for m in out.iter_mut().filter(|m| m.derived) {
+                                m.extra_delay_ns += ns;
+                            }
                         }
-                    }
-                    _ => log_err(&mut self.log, format!("delay of non-time value {v}")),
-                },
-                Err(e) => log_err(&mut self.log, e.to_string()),
-            },
+                        _ => log_err(&mut self.log, format!("delay of non-time value {v}")),
+                    },
+                    Err(e) => log_err(&mut self.log, e.to_string()),
+                }
+            }
             AttackAction::Duplicate => {
                 // Cloning an OutMessage shares its frame: DUPLICATEMESSAGE
                 // is a refcount bump, not a buffer copy.
@@ -752,10 +796,11 @@ impl AttackExecutor {
                     log_err(&mut self.log, format!("unsupported metadata field {field}"));
                     return;
                 }
-                let v = match value.eval(view, &self.deques) {
-                    Ok(v) => v,
-                    Err(e) => return log_err(&mut self.log, e.to_string()),
-                };
+                let v =
+                    match value.eval_with(view, &self.deques, self.timing.ctx(view.conn, now_ns)) {
+                        Ok(v) => v,
+                        Err(e) => return log_err(&mut self.log, e.to_string()),
+                    };
                 let Value::Addr(target) = v else {
                     return log_err(
                         &mut self.log,
@@ -804,10 +849,11 @@ impl AttackExecutor {
                 }
             }
             AttackAction::Modify { field, value } => {
-                let v = match value.eval(view, &self.deques) {
-                    Ok(v) => v,
-                    Err(e) => return log_err(&mut self.log, e.to_string()),
-                };
+                let v =
+                    match value.eval_with(view, &self.deques, self.timing.ctx(view.conn, now_ns)) {
+                        Ok(v) => v,
+                        Err(e) => return log_err(&mut self.log, e.to_string()),
+                    };
                 // Copy-on-write, as for FUZZMESSAGE.
                 for m in out.iter_mut().filter(|m| m.derived) {
                     match modifier::set_field(m.frame.bytes(), field, &v) {
@@ -831,14 +877,18 @@ impl AttackExecutor {
                 });
                 self.log.push(now_ns, LogKind::Injected { conn: conn.0 });
             }
-            AttackAction::Prepend { deque, value } => match value.eval(view, &self.deques) {
-                Ok(v) => self.deques.prepend(deque, v),
-                Err(e) => log_err(&mut self.log, e.to_string()),
-            },
-            AttackAction::Append { deque, value } => match value.eval(view, &self.deques) {
-                Ok(v) => self.deques.append(deque, v),
-                Err(e) => log_err(&mut self.log, e.to_string()),
-            },
+            AttackAction::Prepend { deque, value } => {
+                match value.eval_with(view, &self.deques, self.timing.ctx(view.conn, now_ns)) {
+                    Ok(v) => self.deques.prepend(deque, v),
+                    Err(e) => log_err(&mut self.log, e.to_string()),
+                }
+            }
+            AttackAction::Append { deque, value } => {
+                match value.eval_with(view, &self.deques, self.timing.ctx(view.conn, now_ns)) {
+                    Ok(v) => self.deques.append(deque, v),
+                    Err(e) => log_err(&mut self.log, e.to_string()),
+                }
+            }
             AttackAction::Shift(d) => {
                 self.deques.shift(d);
             }
@@ -881,19 +931,21 @@ impl AttackExecutor {
                     ),
                 }
             }
-            AttackAction::Sleep(e) => match e.eval(view, &self.deques) {
-                Ok(v) => match v.as_float() {
-                    Some(secs) if secs >= 0.0 => {
-                        let until = now_ns + (secs * 1e9) as u64;
-                        self.sleep_until_ns = Some(until);
-                        *wakeup = Some(until);
-                        self.log
-                            .push(now_ns, LogKind::SleepStart { until_ns: until });
-                    }
-                    _ => log_err(&mut self.log, format!("sleep of non-time value {v}")),
-                },
-                Err(e) => log_err(&mut self.log, e.to_string()),
-            },
+            AttackAction::Sleep(e) => {
+                match e.eval_with(view, &self.deques, self.timing.ctx(view.conn, now_ns)) {
+                    Ok(v) => match v.as_float() {
+                        Some(secs) if secs >= 0.0 => {
+                            let until = now_ns + (secs * 1e9) as u64;
+                            self.sleep_until_ns = Some(until);
+                            *wakeup = Some(until);
+                            self.log
+                                .push(now_ns, LogKind::SleepStart { until_ns: until });
+                        }
+                        _ => log_err(&mut self.log, format!("sleep of non-time value {v}")),
+                    },
+                    Err(e) => log_err(&mut self.log, e.to_string()),
+                }
+            }
             AttackAction::SysCmd { host, cmd } => {
                 self.log.push(
                     now_ns,

@@ -4,8 +4,10 @@
 
 use crate::lang::deque::DequeStore;
 use crate::lang::property::{MessageView, Property, PropertyError};
+use crate::lang::timing::{TimingCtx, TimingStat};
 use crate::lang::value::Value;
 use crate::model::CapabilitySet;
+use attain_openflow::OfType;
 use std::fmt;
 
 /// Which end of a deque an expression reads.
@@ -57,6 +59,24 @@ pub enum Expr {
     Add(Box<Expr>, Box<Expr>),
     /// Numeric subtraction.
     Sub(Box<Expr>, Box<Expr>),
+    /// A timing observable over the connection's arrival history (the
+    /// DSL's `latency` / `inter_arrival` / `timing_*` predicates).
+    /// Reads the per-connection sample ring the executor keeps for the
+    /// `(req, resp)` pair; never an anchor guard, so compiled dispatch
+    /// routes it through the residual mask.
+    Timing {
+        /// Request message type (the stamp the sample measures from).
+        req: OfType,
+        /// Response message type (the arrival that closes a sample).
+        resp: OfType,
+        /// Which statistic to read.
+        stat: TimingStat,
+        /// Rolling-window length for `Mean`/`StdDev` (1 for the rest).
+        window: u32,
+    },
+    /// Nanoseconds since the executor entered the current attack state
+    /// (the DSL's `elapsed_in_state()`).
+    ElapsedInState,
 }
 
 /// Why an expression failed to evaluate.
@@ -71,6 +91,13 @@ pub enum EvalError {
         /// Offending operand kind.
         found: &'static str,
     },
+    /// A timing statistic was read before its pair had any sample (the
+    /// executor treats the conditional as unmatched, like any other
+    /// eval error — guard with `timing_count(...)` to avoid it).
+    NoSample {
+        /// Which statistic had no data.
+        stat: &'static str,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -79,6 +106,9 @@ impl fmt::Display for EvalError {
             EvalError::Property(e) => write!(f, "{e}"),
             EvalError::TypeMismatch { op, found } => {
                 write!(f, "operator {op} cannot take a {found} operand")
+            }
+            EvalError::NoSample { stat } => {
+                write!(f, "timing statistic `{stat}` has no samples yet")
             }
         }
     }
@@ -108,13 +138,31 @@ impl Expr {
         Expr::Or(Box::new(a), Box::new(b))
     }
 
-    /// Evaluates to a [`Value`].
+    /// Evaluates to a [`Value`] with no timing state attached
+    /// (timing-free expressions behave identically; timing stats read
+    /// through [`TimingCtx::detached`]).
     ///
     /// # Errors
     ///
     /// Fails on capability-denied property reads or type mismatches; the
     /// executor treats a failing conditional as *unmatched* and logs it.
     pub fn eval(&self, msg: &MessageView<'_>, deques: &DequeStore) -> Result<Value, EvalError> {
+        self.eval_with(msg, deques, TimingCtx::detached())
+    }
+
+    /// Evaluates to a [`Value`] against the executor's per-connection
+    /// timing state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Expr::eval`], plus [`EvalError::NoSample`] for timing
+    /// statistics whose pair has no sample yet.
+    pub fn eval_with(
+        &self,
+        msg: &MessageView<'_>,
+        deques: &DequeStore,
+        timing: TimingCtx<'_>,
+    ) -> Result<Value, EvalError> {
         match self {
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Prop(p) => Ok(msg.read(p)?),
@@ -123,55 +171,66 @@ impl Expr {
                 DequeEnd::End => deques.examine_end(deque),
             }),
             Expr::DequeLen(d) => Ok(Value::Int(deques.len(d) as i64)),
-            Expr::Not(e) => Ok(Value::Bool(!e.eval(msg, deques)?.truthy())),
+            Expr::Not(e) => Ok(Value::Bool(!e.eval_with(msg, deques, timing)?.truthy())),
             Expr::And(a, b) => {
                 // Short-circuit: the right side is not evaluated (and so
                 // cannot fail a capability check) when the left is false.
-                if !a.eval(msg, deques)?.truthy() {
+                if !a.eval_with(msg, deques, timing)?.truthy() {
                     return Ok(Value::Bool(false));
                 }
-                Ok(Value::Bool(b.eval(msg, deques)?.truthy()))
+                Ok(Value::Bool(b.eval_with(msg, deques, timing)?.truthy()))
             }
             Expr::Or(a, b) => {
-                if a.eval(msg, deques)?.truthy() {
+                if a.eval_with(msg, deques, timing)?.truthy() {
                     return Ok(Value::Bool(true));
                 }
-                Ok(Value::Bool(b.eval(msg, deques)?.truthy()))
+                Ok(Value::Bool(b.eval_with(msg, deques, timing)?.truthy()))
             }
             Expr::Eq(a, b) => Ok(Value::Bool(
-                a.eval(msg, deques)?.lang_eq(&b.eval(msg, deques)?),
+                a.eval_with(msg, deques, timing)?
+                    .lang_eq(&b.eval_with(msg, deques, timing)?),
             )),
             Expr::Ne(a, b) => Ok(Value::Bool(
-                !a.eval(msg, deques)?.lang_eq(&b.eval(msg, deques)?),
+                !a.eval_with(msg, deques, timing)?
+                    .lang_eq(&b.eval_with(msg, deques, timing)?),
             )),
-            Expr::Lt(a, b) => Self::numeric_cmp("<", a, b, msg, deques, |x, y| x < y),
-            Expr::Le(a, b) => Self::numeric_cmp("<=", a, b, msg, deques, |x, y| x <= y),
-            Expr::Gt(a, b) => Self::numeric_cmp(">", a, b, msg, deques, |x, y| x > y),
-            Expr::Ge(a, b) => Self::numeric_cmp(">=", a, b, msg, deques, |x, y| x >= y),
+            Expr::Lt(a, b) => Self::numeric_cmp("<", a, b, msg, deques, timing, |x, y| x < y),
+            Expr::Le(a, b) => Self::numeric_cmp("<=", a, b, msg, deques, timing, |x, y| x <= y),
+            Expr::Gt(a, b) => Self::numeric_cmp(">", a, b, msg, deques, timing, |x, y| x > y),
+            Expr::Ge(a, b) => Self::numeric_cmp(">=", a, b, msg, deques, timing, |x, y| x >= y),
             Expr::In(needle, haystack) => {
-                let n = needle.eval(msg, deques)?;
+                let n = needle.eval_with(msg, deques, timing)?;
                 for h in haystack {
-                    if n.lang_eq(&h.eval(msg, deques)?) {
+                    if n.lang_eq(&h.eval_with(msg, deques, timing)?) {
                         return Ok(Value::Bool(true));
                     }
                 }
                 Ok(Value::Bool(false))
             }
-            Expr::Add(a, b) => Self::numeric_bin("+", a, b, msg, deques, |x, y| x + y),
-            Expr::Sub(a, b) => Self::numeric_bin("-", a, b, msg, deques, |x, y| x - y),
+            Expr::Add(a, b) => Self::numeric_bin("+", a, b, msg, deques, timing, |x, y| x + y),
+            Expr::Sub(a, b) => Self::numeric_bin("-", a, b, msg, deques, timing, |x, y| x - y),
+            Expr::Timing {
+                req,
+                resp,
+                stat,
+                window,
+            } => timing.read(*req, *resp, *stat, *window),
+            Expr::ElapsedInState => Ok(Value::Int(timing.elapsed_in_state_ns() as i64)),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn numeric_cmp(
         op: &'static str,
         a: &Expr,
         b: &Expr,
         msg: &MessageView<'_>,
         deques: &DequeStore,
+        timing: TimingCtx<'_>,
         f: impl Fn(f64, f64) -> bool,
     ) -> Result<Value, EvalError> {
-        let av = a.eval(msg, deques)?;
-        let bv = b.eval(msg, deques)?;
+        let av = a.eval_with(msg, deques, timing)?;
+        let bv = b.eval_with(msg, deques, timing)?;
         let (Some(x), Some(y)) = (av.as_float(), bv.as_float()) else {
             return Err(EvalError::TypeMismatch {
                 op,
@@ -185,16 +244,18 @@ impl Expr {
         Ok(Value::Bool(f(x, y)))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn numeric_bin(
         op: &'static str,
         a: &Expr,
         b: &Expr,
         msg: &MessageView<'_>,
         deques: &DequeStore,
+        timing: TimingCtx<'_>,
         f: impl Fn(i64, i64) -> i64,
     ) -> Result<Value, EvalError> {
-        let av = a.eval(msg, deques)?;
-        let bv = b.eval(msg, deques)?;
+        let av = a.eval_with(msg, deques, timing)?;
+        let bv = b.eval_with(msg, deques, timing)?;
         let (Some(x), Some(y)) = (av.as_int(), bv.as_int()) else {
             return Err(EvalError::TypeMismatch {
                 op,
@@ -216,10 +277,49 @@ impl Expr {
         caps
     }
 
+    /// Calls `f` on this expression and every sub-expression (used by
+    /// [`TimingPlan`](crate::lang::timing::TimingPlan) to discover the
+    /// pairs an attack observes).
+    pub fn for_each(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Lit(_)
+            | Expr::Prop(_)
+            | Expr::DequeRead { .. }
+            | Expr::DequeLen(_)
+            | Expr::Timing { .. }
+            | Expr::ElapsedInState => {}
+            Expr::Not(e) => e.for_each(f),
+            Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::Gt(a, b)
+            | Expr::Ge(a, b)
+            | Expr::Add(a, b)
+            | Expr::Sub(a, b) => {
+                a.for_each(f);
+                b.for_each(f);
+            }
+            Expr::In(n, hs) => {
+                n.for_each(f);
+                for h in hs {
+                    h.for_each(f);
+                }
+            }
+        }
+    }
+
     fn collect_caps(&self, caps: &mut CapabilitySet) {
         match self {
             Expr::Lit(_) | Expr::DequeRead { .. } | Expr::DequeLen(_) => {}
             Expr::Prop(p) => caps.insert(p.required_capability()),
+            // Timing samples are keyed by decoded message type — a
+            // payload-level observation.
+            Expr::Timing { .. } => caps.insert(crate::model::Capability::ReadMessage),
+            Expr::ElapsedInState => {}
             Expr::Not(e) => e.collect_caps(caps),
             Expr::And(a, b)
             | Expr::Or(a, b)

@@ -16,6 +16,7 @@ mod property;
 mod rule;
 mod state;
 pub mod templates;
+mod timing;
 mod value;
 
 pub use action::AttackAction;
@@ -26,4 +27,7 @@ pub use guard::{anchor_guard, property_read_is_fallible, CmpOp, Guard, ValueKey}
 pub use property::{type_option, MessageView, Property, PropertyError};
 pub use rule::Rule;
 pub use state::{Attack, AttackError, AttackState};
+pub use timing::{
+    ConnTiming, PairSamples, TimingCtx, TimingPlan, TimingStat, TimingStore, MAX_TIMING_WINDOW,
+};
 pub use value::{StoredMessage, Value};

@@ -230,9 +230,109 @@ attack table_overflow {
 }
 "#;
 
+/// The timing-observable fingerprinting attack ("Fingerprinting
+/// OpenFlow controllers" flavour): watch the `(c1, s1)` control channel
+/// until the `PACKET_IN → FLOW_MOD` service-time signature identifies
+/// the controller application, then jump to that application's
+/// worst-payload state.
+///
+/// The decision thresholds come from the enterprise simulator's
+/// virtual-time latencies observed at the proxy (per-application
+/// processing delay plus the 1 ms round trip on the controller link;
+/// exact and seed-invariant because the serial controller model adds no
+/// noise on the lightly loaded `s1` channel):
+///
+/// * Beacon      250 µs → 1.25 ms
+/// * Floodlight  300 µs → 1.30 ms
+/// * Ryu         800 µs → 1.80 ms
+/// * POX        1200 µs → 2.20 ms
+/// * Hub — behavioural, not temporal: it never installs a flow on `s1`
+///   (`timing_count(PACKET_IN, FLOW_MOD)` stays 0) while its per-packet
+///   flooding piles up `PACKET_OUT`s no learning switch emits that many
+///   of before its first install.
+///
+/// Every `classify_*` guard leads with an infallible `timing_count`
+/// read so the short-circuiting `&&` never evaluates a statistic over
+/// an empty sample ring.
+pub const FINGERPRINT_THEN_ATTACK: &str = r#"
+# Timing-observable controller fingerprinting, then a per-application
+# worst payload. Thresholds are virtual-time nanoseconds observed on
+# (c1, s1); see scenario::attacks::FINGERPRINT_THEN_ATTACK docs.
+attack fingerprint_then_attack {
+    start state watch {
+        rule classify_hub on (c1, s1) requires no_tls {
+            when timing_count(PACKET_IN, FLOW_MOD) == 0
+                 && timing_count(PACKET_IN, PACKET_OUT) >= 12
+            do { goto attack_hub; }
+        }
+        rule classify_beacon on (c1, s1) requires no_tls {
+            when timing_count(PACKET_IN, FLOW_MOD) >= 3
+                 && timing_mean(PACKET_IN, FLOW_MOD, 8) < 1275000
+            do { goto attack_beacon; }
+        }
+        rule classify_floodlight on (c1, s1) requires no_tls {
+            when timing_count(PACKET_IN, FLOW_MOD) >= 3
+                 && timing_mean(PACKET_IN, FLOW_MOD, 8) >= 1275000
+                 && timing_mean(PACKET_IN, FLOW_MOD, 8) < 1500000
+            do { goto attack_floodlight; }
+        }
+        rule classify_ryu on (c1, s1) requires no_tls {
+            when timing_count(PACKET_IN, FLOW_MOD) >= 3
+                 && timing_mean(PACKET_IN, FLOW_MOD, 8) >= 1500000
+                 && timing_mean(PACKET_IN, FLOW_MOD, 8) < 2000000
+            do { goto attack_ryu; }
+        }
+        rule classify_pox on (c1, s1) requires no_tls {
+            when timing_count(PACKET_IN, FLOW_MOD) >= 3
+                 && timing_mean(PACKET_IN, FLOW_MOD, 8) >= 2000000
+            do { goto attack_pox; }
+        }
+    }
+    # Floodlight's 5 s idle timeouts force re-installs; starving them
+    # pins forwarding to the slow PACKET_OUT path.
+    state attack_floodlight {
+        rule starve_installs on all requires no_tls {
+            when msg.type == FLOW_MOD
+            do { drop(msg); }
+        }
+    }
+    # POX releases buffered packets only via the FLOW_MOD (Figure 11's
+    # asterisk): suppression deadlocks the data plane.
+    state attack_pox {
+        rule deadlock_buffers on all requires no_tls {
+            when msg.type == FLOW_MOD
+            do { drop(msg); }
+        }
+    }
+    # Beacon shares POX's buffer-release-via-FLOW_MOD trait.
+    state attack_beacon {
+        rule deadlock_buffers on all requires no_tls {
+            when msg.type == FLOW_MOD
+            do { drop(msg); }
+        }
+    }
+    # Ryu's permanent flows make suppression toothless; sever its s1
+    # control channel instead (fail-secure s1 locks down).
+    state attack_ryu {
+        rule sever_s1 on (c1, s1) requires no_tls {
+            when true
+            do { drop(msg); }
+        }
+    }
+    # The hub forwards solely via PACKET_OUT: black-holing them stops
+    # every flow that misses into the controller.
+    state attack_hub {
+        rule blackhole_floods on all requires no_tls {
+            when msg.type == PACKET_OUT
+            do { drop(msg); }
+        }
+    }
+}
+"#;
+
 /// All bundled attacks with their names, for iteration in tests and
 /// examples.
-pub const ALL: [(&str, &str); 9] = [
+pub const ALL: [(&str, &str); 10] = [
     ("trivial_pass", TRIVIAL_PASS),
     ("flow_mod_suppression", FLOW_MOD_SUPPRESSION),
     ("connection_interruption", CONNECTION_INTERRUPTION),
@@ -242,4 +342,5 @@ pub const ALL: [(&str, &str); 9] = [
     ("replay_flow_mods", REPLAY_FLOW_MODS),
     ("fuzz_control_plane", FUZZ_CONTROL_PLANE),
     ("table_overflow", TABLE_OVERFLOW),
+    ("fingerprint_then_attack", FINGERPRINT_THEN_ATTACK),
 ];

@@ -527,6 +527,11 @@ impl Shared {
             self.counters
                 .sessions_closed
                 .fetch_add(1, Ordering::Relaxed);
+            // The connection is gone: drop the executor's per-connection
+            // state (timing rings, held messages) so the successor epoch
+            // starts from scratch. Taken after the sessions lock is
+            // released — exec-then-sessions is the lock order elsewhere.
+            self.exec.lock().release_connection(ConnectionId(conn));
         }
     }
 
@@ -546,6 +551,9 @@ impl Shared {
             self.counters
                 .sessions_closed
                 .fetch_add(1, Ordering::Relaxed);
+            // As in `sever_route`: a reconnect must never inherit stale
+            // timing samples from the ended epoch.
+            self.exec.lock().release_connection(ConnectionId(conn));
         }
     }
 

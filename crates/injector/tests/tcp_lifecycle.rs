@@ -26,6 +26,21 @@ attack delay_echo {
 }
 "#;
 
+/// Watches an inter-arrival pair on the first connection without ever
+/// firing (the count threshold is unreachable): the timing plan tracks
+/// `(ECHO_REQUEST, ECHO_REQUEST)`, so every switch message grows
+/// per-connection timing state in the executor.
+const WATCH_TIMING: &str = r#"
+attack watch_timing {
+    start state sigma1 {
+        rule watch on (c1, s1) requires no_tls {
+            when timing_count(ECHO_REQUEST, ECHO_REQUEST) >= 1000
+            do { drop(msg); }
+        }
+    }
+}
+"#;
+
 /// Delays *everything* from the first switch by the same 200 ms, so a
 /// pipelined batch becomes a set of equal-delay deliveries whose order
 /// is carried only by the executor's emission sequence.
@@ -251,6 +266,91 @@ fn shutdown_joins_all_worker_threads_within_deadline() {
     // Idempotent: a second call has nothing left to join.
     let again = proxy.shutdown();
     assert_eq!(again.threads_joined, 0);
+}
+
+/// Per-connection timing state must die with the session: a sever
+/// releases it, and the reconnected session starts from an empty sample
+/// ring instead of inheriting the predecessor's inter-arrival history.
+#[test]
+fn timing_state_is_released_on_teardown_and_not_inherited_on_reconnect() {
+    use attain_openflow::OfType;
+    let echo_samples = |proxy: &TcpProxy| {
+        proxy.with_executor(|e| {
+            e.timing()
+                .connection(ConnectionId(0))
+                .and_then(|c| c.pair(OfType::EchoRequest, OfType::EchoRequest))
+                .map(|s| s.total())
+        })
+    };
+
+    let (ctrl_addr, ctrl_rx) = fake_controller();
+    let proxy = spawn_proxy(WATCH_TIMING, ctrl_addr);
+    let listen = proxy.listen_addrs[0];
+
+    // First session: two echoes give the tracked pair a real sample.
+    let mut switch1 = TcpStream::connect(listen).unwrap();
+    switch1.write_all(&OfMessage::Hello.encode(1)).unwrap();
+    assert_eq!(
+        ctrl_rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+        OfMessage::Hello
+    );
+    assert_eq!(read_one(&mut switch1), Some(OfMessage::Hello));
+    switch1
+        .write_all(&OfMessage::EchoRequest(vec![1]).encode(2))
+        .unwrap();
+    switch1
+        .write_all(&OfMessage::EchoRequest(vec![2]).encode(3))
+        .unwrap();
+    assert!(wait_until(Duration::from_secs(5), || {
+        echo_samples(&proxy).is_some_and(|n| n >= 1)
+    }));
+    assert_eq!(proxy.with_executor(|e| e.timing().tracked_connections()), 1);
+
+    // Sever the route: the session dies and takes its timing state
+    // with it — nothing left to feed stale inter-arrival gaps from.
+    proxy.apply_fault(FaultAction::HoldDown { route: 0 });
+    assert_eq!(read_one(&mut switch1), None);
+    assert!(wait_until(Duration::from_secs(5), || {
+        proxy.with_executor(|e| e.timing().tracked_connections()) == 0
+    }));
+
+    // Reconnect after restore: the successor session's first echo must
+    // land in a fresh ring (one arrival, zero samples). Inherited state
+    // would show the predecessor's sample count instead.
+    proxy.apply_fault(FaultAction::Restore { route: 0 });
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut switch2 = loop {
+        assert!(Instant::now() < deadline, "route never restored");
+        let mut attempt = match TcpStream::connect(listen) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if attempt.write_all(&OfMessage::Hello.encode(4)).is_err() {
+            continue;
+        }
+        if read_one(&mut attempt) == Some(OfMessage::Hello) {
+            break attempt;
+        }
+        thread::sleep(Duration::from_millis(25));
+    };
+    switch2
+        .write_all(&OfMessage::EchoRequest(vec![3]).encode(5))
+        .unwrap();
+    assert!(wait_until(Duration::from_secs(5), || {
+        echo_samples(&proxy).is_some()
+    }));
+    assert_eq!(
+        echo_samples(&proxy),
+        Some(0),
+        "reconnected session inherited the old session's timing samples"
+    );
+
+    // The graceful-teardown path (peer close, not sever) releases too.
+    drop(switch2);
+    assert!(wait_until(Duration::from_secs(5), || {
+        proxy.with_executor(|e| e.timing().tracked_connections()) == 0
+    }));
+    proxy.shutdown();
 }
 
 /// The §VII-B interruption scenario over real sockets: sever and hold

@@ -337,6 +337,19 @@ impl Simulation {
             .unwrap_or_else(|| panic!("no controller named {name}"))
     }
 
+    /// The named controller host, mutably (e.g. to enable seeded
+    /// processing jitter before `run`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no controller has that name.
+    pub fn controller_mut(&mut self, name: &str) -> &mut ControllerHost {
+        self.controllers
+            .iter_mut()
+            .find(|c| c.name() == name)
+            .unwrap_or_else(|| panic!("no controller named {name}"))
+    }
+
     fn node_name(&self, id: NodeId) -> &str {
         match &self.nodes[id.0] {
             Node::Host(h) => h.name(),

@@ -23,6 +23,12 @@ cargo test -q -p attain-netsim --test faults same_seed_same_trace_different_seed
 echo "== rule dispatcher differential suite (scan ≡ compiled)"
 cargo test -q -p attain-core --test proptest_dispatch
 
+echo "== timing-observable differential suite (scan ≡ compiled, incl. no-sample paths)"
+cargo test -q -p attain-core --test proptest_timing
+
+echo "== controller fingerprinting (classification accuracy + confusion matrix)"
+cargo test -q -p attain-campaign --test fingerprint
+
 echo "== flow-table eviction differential suite + capacity inference"
 cargo test -q -p attain-netsim --test proptest_netsim
 cargo test -q -p attain-netsim --test capacity_inference

@@ -1,0 +1,120 @@
+//! Event-queue scaling: binary heap vs. hierarchical timer wheel.
+//!
+//! The sharded engine's claim is that pop/push cost stays flat as the
+//! pending-event population grows — the property that lets one process
+//! simulate a thousand-switch fabric with 100k in-flight flows. This
+//! bench pins it: `pop_push` holds a queue at a steady population of
+//! 10^3..10^6 pending events and measures one pop-plus-reschedule cycle
+//! (the simulator's hot loop) under both schedulers.
+//!
+//! The heap pays O(log n) sift costs that grow with the population; the
+//! wheel pays O(1) slot filing plus amortized cascades. Both backends
+//! pop in exactly the same order (pinned by the engine's unit tests and
+//! the `scale_determinism` suite); this bench is about cost only.
+//!
+//! A full run (not under `cargo test`) also writes
+//! `BENCH_queue_scaling.json` at the workspace root.
+
+use attain_bench::{timing, BenchReport};
+use attain_netsim::engine::{EventKind, EventQueue, NodeId, SchedulerConfig, TimerToken};
+use attain_netsim::SimTime;
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const POPULATIONS: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+fn timer(i: usize) -> EventKind {
+    EventKind::NodeTimer {
+        node: NodeId(i % 1024),
+        token: TimerToken::SwitchTick,
+    }
+}
+
+/// A queue pre-filled to `n` pending events spread over a seconds-wide
+/// horizon — the population mix a large fabric run sustains. Times are
+/// scheduled in nondecreasing order, as the simulator does (an effect's
+/// delay is never negative): feeding a timer wheel monotonically is
+/// part of its contract, and feeding it randomly shuffled times would
+/// measure a workload the engine cannot generate.
+fn filled(config: SchedulerConfig, n: usize) -> EventQueue {
+    let mut q = EventQueue::with_config(config, n);
+    // Deterministic varied strides (golden-ratio hash of i) so events
+    // spread unevenly across slots and levels without an RNG dependency.
+    let mut t: u64 = 0;
+    for i in 0..n {
+        let stride = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 50; // 0..16384 ns
+        t += stride;
+        q.schedule(SimTime(t), timer(i));
+    }
+    q
+}
+
+/// One hot-loop cycle: pop the minimum, schedule a successor a few
+/// microseconds ahead of it (what frame hops and timer re-arms do).
+fn pop_push_cycle(q: &mut EventQueue, i: usize) {
+    let (now, _kind) = q.pop().expect("queue stays populated");
+    q.schedule(now + SimTime::from_micros(7), timer(i));
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_scaling");
+    for &n in &POPULATIONS {
+        for (label, config) in [
+            ("heap", SchedulerConfig::heap(1)),
+            ("wheel", SchedulerConfig::wheel(1)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pop_push_{label}"), n),
+                &n,
+                |b, &n| {
+                    let mut q = filled(config, n);
+                    let mut i = n;
+                    b.iter(|| {
+                        pop_push_cycle(black_box(&mut q), i);
+                        i += 1;
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Re-measures every point with the plain wall-clock timer and writes
+/// the machine-readable report next to the workspace manifest.
+fn emit_report() {
+    let mut report = BenchReport::new("queue_scaling");
+    for &n in &POPULATIONS {
+        for (label, config) in [
+            ("heap", SchedulerConfig::heap(1)),
+            ("wheel", SchedulerConfig::wheel(1)),
+        ] {
+            let mut q = filled(config, n);
+            let mut i = n;
+            let ns = timing::measure_ns(|| {
+                pop_push_cycle(black_box(&mut q), i);
+                i += 1;
+            });
+            report.record(format!("pop_push_{label}/{n}"), ns);
+        }
+    }
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_queue_scaling.json"
+    );
+    match report.write(path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_queue);
+
+fn main() {
+    benches();
+    // Keep `cargo test` runs (which pass --test to harness-less bench
+    // binaries) fast: the report is a full-measurement artifact.
+    if !std::env::args().any(|a| a == "--test") {
+        emit_report();
+    }
+}

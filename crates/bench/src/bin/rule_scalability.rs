@@ -4,7 +4,7 @@
 //! `O(|Φ| · |α_max|)` when all of them do — plus the memory-complexity
 //! formulas for `N_D` and `N_C`.
 //!
-//! Usage: `cargo run --release -p attain-bench --bin scalability`
+//! Usage: `cargo run --release -p attain-bench --bin rule_scalability`
 
 use attain_bench::{bench_message, render_table, rule_sweep_executor};
 use attain_core::exec::InjectorInput;

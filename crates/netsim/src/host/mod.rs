@@ -68,6 +68,12 @@ impl Host {
         }
     }
 
+    /// Seeds the ARP table with a static `(ip, mac)` binding (topology
+    /// setup for generated workloads: no broadcast warm-up).
+    pub(crate) fn prime_arp(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.arp_table.insert(ip, mac);
+    }
+
     /// The host's node id.
     pub fn id(&self) -> NodeId {
         self.id

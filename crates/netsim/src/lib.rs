@@ -73,13 +73,15 @@ mod link;
 mod sim;
 mod switch;
 mod time;
+pub mod topo;
 mod trace;
+pub mod workload;
 
 pub use budget::{CancelToken, HaltReason, RunBudget};
-pub use builder::{ControllerRef, LinkParams, NetworkBuilder};
+pub use builder::{BuildError, ControllerRef, LinkParams, NetworkBuilder};
 pub use command::{HostCommand, ParseCommandError};
 pub use controller_host::ControllerHost;
-pub use engine::{ConnId, NodeId, TimerToken};
+pub use engine::{ConnId, NodeId, SchedulerConfig, SchedulerKind, TimerToken};
 pub use fault::{
     ControllerFaultStats, DetRng, FaultKind, FaultPlan, FaultReport, FaultSpec, FaultTarget,
     LinkStats, ParseFaultError, SwitchFaultStats,
@@ -94,4 +96,6 @@ pub use switch::{
     ApplyOutcome, EvictionPolicy, FailMode, FlowEntry, FlowModError, FlowTable, Switch,
 };
 pub use time::SimTime;
-pub use trace::{Trace, TraceDigest, TraceEvent, TraceKind};
+pub use topo::{FatTreeParams, LeafSpineParams, TopoError, Topology};
+pub use trace::{Trace, TraceDigest, TraceEvent, TraceKind, TraceMode};
+pub use workload::{FlowKind, TrafficMatrix, TrafficPattern, WorkloadStats};

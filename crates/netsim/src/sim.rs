@@ -4,7 +4,9 @@
 use crate::budget::{HaltReason, RunBudget};
 use crate::command::HostCommand;
 use crate::controller_host::ControllerHost;
-use crate::engine::{ConnId, Effect, EventKind, EventQueue, NodeId, TimerToken};
+use crate::engine::{
+    ConnId, Effect, EventKind, EventQueue, FrameArena, NodeId, SchedulerConfig, TimerToken,
+};
 use crate::fault::{
     ControllerFaultStats, FaultKind, FaultPlan, FaultReport, FaultSpec, FaultTarget, LinkStats,
     SwitchFaultStats,
@@ -12,11 +14,11 @@ use crate::fault::{
 use crate::host::Host;
 use crate::interpose::{Direction, Interposer, InterposerActions, ProxiedMessage};
 use crate::link::{Link, TxOutcome};
-use crate::switch::{EvictionPolicy, Switch};
+use crate::switch::{ApplyOutcome, EvictionPolicy, FlowModError, Switch};
 use crate::time::SimTime;
-use crate::trace::{Trace, TraceKind};
+use crate::trace::{Trace, TraceKind, TraceMode};
 use crate::{IperfStats, PingStats, ProbeStats};
-use attain_openflow::{Frame, PortNo};
+use attain_openflow::{FlowMod, Frame, PortNo};
 use std::collections::HashMap;
 
 /// A node: an end host or a switch.
@@ -64,6 +66,10 @@ pub struct Simulation {
     interposer: Option<Box<dyn Interposer>>,
     trace: Trace,
     names: HashMap<String, NodeId>,
+    /// In-flight data-plane frame payloads (see [`FrameArena`]).
+    arena: FrameArena,
+    /// High-water mark of pending events, sampled each dispatch loop.
+    peak_pending: usize,
     /// Data-plane frames dropped by link queues.
     pub frames_dropped: u64,
     budget: RunBudget,
@@ -89,6 +95,7 @@ impl std::fmt::Debug for Simulation {
 }
 
 impl Simulation {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         nodes: Vec<Node>,
         links: Vec<Link>,
@@ -96,10 +103,12 @@ impl Simulation {
         controllers: Vec<ControllerHost>,
         connections: Vec<Connection>,
         names: HashMap<String, NodeId>,
+        scheduler: SchedulerConfig,
+        capacity_hint: usize,
     ) -> Simulation {
         let mut sim = Simulation {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_config(scheduler, capacity_hint),
             nodes,
             links,
             port_map,
@@ -108,6 +117,8 @@ impl Simulation {
             interposer: None,
             trace: Trace::new(),
             names,
+            arena: FrameArena::with_capacity(capacity_hint.min(1 << 16)),
+            peak_pending: 0,
             frames_dropped: 0,
             budget: RunBudget::default(),
             events_dispatched: 0,
@@ -218,6 +229,21 @@ impl Simulation {
         self.events_dispatched
     }
 
+    /// Events currently pending in the future-event list.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// High-water mark of pending events observed so far.
+    pub fn peak_pending_events(&self) -> usize {
+        self.peak_pending.max(self.queue.len())
+    }
+
+    /// Data-plane frame payloads currently in flight (arena occupancy).
+    pub fn live_frames(&self) -> usize {
+        self.arena.live()
+    }
+
     /// The sticky halt reason, if a budget or cancellation ever fired.
     pub fn halt_reason(&self) -> Option<HaltReason> {
         self.halted
@@ -239,6 +265,7 @@ impl Simulation {
             if next > t {
                 break;
             }
+            self.peak_pending = self.peak_pending.max(self.queue.len());
             if let Some(token) = &self.budget.cancel {
                 if token.is_cancelled() {
                     // Nondeterministic by nature — do not trace it.
@@ -465,7 +492,73 @@ impl Simulation {
     /// Disables per-event trace recording (counters stay on), for long
     /// benchmark runs.
     pub fn set_trace_events(&mut self, on: bool) {
-        self.trace.record_events = on;
+        self.trace.set_mode(if on {
+            TraceMode::Full
+        } else {
+            TraceMode::Counters
+        });
+    }
+
+    /// Sets the trace mode (see [`TraceMode`]).
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.trace.set_mode(mode);
+    }
+
+    /// Installs a flow entry directly into the named switch's table, as
+    /// proactive provisioning would — no control-plane round trip and no
+    /// `FlowInstalled` trace event, so a pre-provisioned fabric digests
+    /// identically regardless of how many routes were pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` is unknown or names a host.
+    pub fn install_flow(
+        &mut self,
+        switch: &str,
+        fm: &FlowMod,
+    ) -> Result<ApplyOutcome, FlowModError> {
+        let id = self
+            .names
+            .get(switch)
+            .copied()
+            .unwrap_or_else(|| panic!("no node named {switch}"));
+        self.install_flow_at(id, fm)
+    }
+
+    /// [`Simulation::install_flow`] by node id (generators hold ids, not
+    /// names).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch` names a host.
+    pub fn install_flow_at(
+        &mut self,
+        switch: NodeId,
+        fm: &FlowMod,
+    ) -> Result<ApplyOutcome, FlowModError> {
+        let now = self.now;
+        match &mut self.nodes[switch.0] {
+            Node::Switch(s) => s.install_flow(fm, now),
+            Node::Host(_) => panic!("install_flow target {switch} is a host"),
+        }
+    }
+
+    /// Seeds `from`'s ARP table with `to`'s `(ip, mac)` binding, as a
+    /// static ARP entry would. Large generated workloads prime the pairs
+    /// they use so the fabric isn't warmed up by broadcast ARP storms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is not a host.
+    pub fn prime_arp(&mut self, from: NodeId, to: NodeId) {
+        let (ip, mac) = match &self.nodes[to.0] {
+            Node::Host(h) => (h.ip(), h.mac()),
+            Node::Switch(_) => panic!("prime_arp target {to} is a switch"),
+        };
+        match &mut self.nodes[from.0] {
+            Node::Host(h) => h.prime_arp(ip, mac),
+            Node::Switch(_) => panic!("prime_arp source {from} is a switch"),
+        }
     }
 
     // ---- dispatch -----------------------------------------------------
@@ -473,6 +566,7 @@ impl Simulation {
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Frame { node, port, frame } => {
+                let frame = self.arena.take(frame);
                 // A frame still in flight when its link was severed never
                 // arrives: the LinkDown fault discards it at delivery.
                 if let Some(&link_idx) = self.port_map.get(&(node, port)) {
@@ -831,6 +925,7 @@ impl Simulation {
                                 continue; // lost; counted on the link
                             }
                             let far = link.opposite(node).expect("node attached");
+                            let frame = self.arena.store(frame);
                             self.queue.schedule(
                                 at,
                                 EventKind::Frame {

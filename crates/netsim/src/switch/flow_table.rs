@@ -251,11 +251,16 @@ impl FlowTable {
 
     /// Creates an empty table with an explicit overflow policy.
     pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> FlowTable {
+        // Pre-size the exact tier for the configured bound (capped so a
+        // nominally huge table doesn't reserve memory it will never use):
+        // exact-match floods fill it to capacity, and growth rehashes
+        // during a million-flow warm-up are pure waste.
+        let presize = capacity.min(4096);
         FlowTable {
-            slots: Vec::new(),
+            slots: Vec::with_capacity(presize),
             free: Vec::new(),
-            order: Vec::new(),
-            exact: HashMap::new(),
+            order: Vec::with_capacity(presize),
+            exact: HashMap::with_capacity(presize),
             wild: Vec::new(),
             deadlines: BinaryHeap::new(),
             capacity,

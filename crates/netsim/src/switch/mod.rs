@@ -12,8 +12,8 @@ use crate::trace::TraceKind;
 use attain_openflow::packet::{self, Ethernet, IpPayload, Payload};
 use attain_openflow::{
     bad_request, flow_mod_failed, Action, CodecError, DatapathId, ErrorMsg, ErrorType, FlowKey,
-    FlowRemoved, Frame, MacAddr, OfMessage, OfType, PacketIn, PacketInReason, PhyPort, PortNo,
-    StatsBody, StatsReplyBody, SwitchConfig, SwitchDesc, SwitchFeatures, Xid,
+    FlowMod, FlowRemoved, Frame, MacAddr, OfMessage, OfType, PacketIn, PacketInReason, PhyPort,
+    PortNo, StatsBody, StatsReplyBody, SwitchConfig, SwitchDesc, SwitchFeatures, Xid,
 };
 use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
@@ -149,6 +149,23 @@ impl Switch {
     /// before any traffic.
     pub(crate) fn set_table_config(&mut self, capacity: usize, policy: EvictionPolicy) {
         self.table = FlowTable::with_policy(capacity, policy);
+    }
+
+    /// Applies a flow-mod directly to the table (proactive provisioning;
+    /// no control-plane traffic, no trace events).
+    pub(crate) fn install_flow(
+        &mut self,
+        fm: &FlowMod,
+        now: SimTime,
+    ) -> Result<ApplyOutcome, FlowModError> {
+        self.table.apply(fm, now)
+    }
+
+    /// Pre-sizes the MAC learning table for an expected number of
+    /// end hosts (builder topology hint; avoids rehash storms during
+    /// warm-up on generated fabrics).
+    pub(crate) fn reserve_mac_table(&mut self, hosts: usize) {
+        self.mac_table.reserve(hosts);
     }
 
     /// Whether any control connection is fully up.

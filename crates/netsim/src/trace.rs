@@ -104,6 +104,21 @@ pub enum TraceKind {
     Marker(String),
 }
 
+/// How much a [`Trace`] retains.
+///
+/// Counters (and therefore [`Trace::counter_digest`]) accumulate
+/// identically in both modes; only per-event record retention differs.
+/// 100k-flow runs use [`TraceMode::Counters`] so the trace stays O(
+/// connections × types), not O(events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Keep every event record plus the aggregate counters.
+    #[default]
+    Full,
+    /// Keep only the aggregate counters (drop per-event records).
+    Counters,
+}
+
 /// One timestamped trace record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -210,6 +225,21 @@ impl Trace {
         &self.events
     }
 
+    /// Sets the retention mode. Switching to [`TraceMode::Counters`]
+    /// stops recording from now on; already-recorded events are kept.
+    pub fn set_mode(&mut self, mode: TraceMode) {
+        self.record_events = mode == TraceMode::Full;
+    }
+
+    /// The current retention mode.
+    pub fn mode(&self) -> TraceMode {
+        if self.record_events {
+            TraceMode::Full
+        } else {
+            TraceMode::Counters
+        }
+    }
+
     /// Total control-plane messages observed (both directions, all
     /// connections).
     pub fn control_message_total(&self) -> u64 {
@@ -248,13 +278,31 @@ impl Trace {
             h.update(e.to_string().as_bytes());
             h.update(b"\n");
         }
+        self.digest_counters(&mut h);
+        TraceDigest(h.0)
+    }
+
+    /// Digests the counters alone, skipping per-event records.
+    ///
+    /// This is the digest that is mode-independent: a
+    /// [`TraceMode::Counters`] run's [`Trace::digest`] equals a
+    /// [`TraceMode::Full`] run's `counter_digest` byte for byte (the
+    /// event section of `digest` contributes nothing when no events were
+    /// recorded), which is what lets 100k-flow counters-only runs be
+    /// checked against full-trace reference runs.
+    pub fn counter_digest(&self) -> TraceDigest {
+        let mut h = Fnv1a::new();
+        self.digest_counters(&mut h);
+        TraceDigest(h.0)
+    }
+
+    fn digest_counters(&self, h: &mut Fnv1a) {
         for (&(conn, dir, ty), &n) in &self.counts {
             h.update(&(conn.0 as u64).to_be_bytes());
             h.update(&[matches!(dir, Direction::ControllerToSwitch) as u8]);
             h.update(&[ty.map(|t| t as u8 + 1).unwrap_or(0)]);
             h.update(&n.to_be_bytes());
         }
-        TraceDigest(h.0)
     }
 
     /// Messages observed on one connection, any type or direction.
@@ -372,6 +420,37 @@ mod tests {
         );
         assert!(t.events().is_empty());
         assert_ne!(t.digest(), empty);
+    }
+
+    #[test]
+    fn counters_mode_digest_matches_full_mode_counter_digest() {
+        let msg = |conn: usize| TraceKind::ControlMessage {
+            conn: ConnId(conn),
+            direction: Direction::SwitchToController,
+            of_type: Some(OfType::PacketIn),
+            len: 60,
+        };
+        let mut full = Trace::new();
+        assert_eq!(full.mode(), TraceMode::Full);
+        let mut counters = Trace::new();
+        counters.set_mode(TraceMode::Counters);
+        assert_eq!(counters.mode(), TraceMode::Counters);
+        for t in [full.events(), counters.events()] {
+            assert!(t.is_empty());
+        }
+        for trace in [&mut full, &mut counters] {
+            trace.push(SimTime::from_secs(1), msg(0));
+            trace.push(SimTime::from_secs(2), msg(0));
+            trace.push(SimTime::from_secs(3), msg(1));
+            trace.push(SimTime::from_secs(3), TraceKind::Marker("m".into()));
+        }
+        assert_eq!(full.events().len(), 4);
+        assert!(counters.events().is_empty());
+        // The full digest covers events; the counter digest is identical
+        // across modes, and in Counters mode it IS the digest.
+        assert_ne!(full.digest(), counters.digest());
+        assert_eq!(full.counter_digest(), counters.digest());
+        assert_eq!(counters.counter_digest(), counters.digest());
     }
 
     #[test]

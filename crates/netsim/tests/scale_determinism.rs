@@ -1,0 +1,210 @@
+//! Shard- and scheduler-invariance: the engine refactor's contract.
+//!
+//! The sharded timer-wheel engine must be *observationally invisible*:
+//! for any scenario, every `(scheduler, shard count)` combination —
+//! heap or hierarchical wheel, 1 shard or many — must produce the same
+//! virtual-time history byte for byte. These tests pin that contract on
+//! both kinds of scenario the repo cares about: the paper-style small
+//! controller networks (where the control-plane trace digest is the
+//! oracle) and generated datacenter fabrics under seeded traffic
+//! matrices (where the data-plane record is).
+
+use attain_controllers::ControllerKind;
+use attain_netsim::topo::{fat_tree, install_fat_tree_routes, FatTreeParams};
+use attain_netsim::workload::{FlowKind, TrafficMatrix, TrafficPattern};
+use attain_netsim::{
+    FaultPlan, HostCommand, NetworkBuilder, PassThrough, SchedulerConfig, SimTime, Simulation,
+};
+
+/// Scheduler/shard combinations every scenario is replayed under.
+fn configs() -> Vec<SchedulerConfig> {
+    vec![
+        SchedulerConfig::heap(1),
+        SchedulerConfig::heap(4),
+        SchedulerConfig::wheel(1),
+        SchedulerConfig::wheel(4),
+        SchedulerConfig::wheel(64),
+    ]
+}
+
+/// Everything externally observable about a finished run, rendered.
+/// Any reordering, retiming, loss, or duplication anywhere in the
+/// simulation shows up here.
+fn fingerprint(sim: &Simulation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("trace {}\n", sim.trace().digest()));
+    out.push_str(&format!("counters {}\n", sim.trace().counter_digest()));
+    out.push_str(&format!("events {}\n", sim.events_dispatched()));
+    for p in sim.ping_stats() {
+        out.push_str(&format!(
+            "ping {} {} {}/{} {:?}\n",
+            p.label,
+            p.dst,
+            p.received(),
+            p.transmitted(),
+            p.rtts_ms()
+        ));
+    }
+    for s in sim.iperf_stats() {
+        out.push_str(&format!("iperf {} {} {}\n", s.label, s.dst, s.bytes));
+    }
+    for l in sim.link_stats() {
+        out.push_str(&format!(
+            "link {}-{} tx {} drops {}/{}/{} corrupted {}\n",
+            l.a, l.b, l.tx, l.queue_drops, l.down_drops, l.lost, l.corrupted
+        ));
+    }
+    out
+}
+
+/// The paper-style 10-node line/star scenario: four switches, four
+/// hosts, one controller, ping + iperf crossing the fabric while a
+/// fault plan flaps a core link — the existing campaign shape.
+fn paper_scenario(config: SchedulerConfig, interpose: bool, fault: bool) -> Simulation {
+    let mut b = NetworkBuilder::new();
+    b.scheduler(config);
+    let h1 = b.host("h1", "10.0.0.1");
+    let h2 = b.host("h2", "10.0.0.2");
+    let h3 = b.host("h3", "10.0.0.3");
+    let h4 = b.host("h4", "10.0.0.4");
+    let s1 = b.switch("s1");
+    let s2 = b.switch("s2");
+    let s3 = b.switch("s3");
+    let s4 = b.switch("s4");
+    b.link(h1, s1);
+    b.link(h2, s2);
+    b.link(h3, s3);
+    b.link(h4, s4);
+    b.link(s1, s2);
+    b.link(s2, s3);
+    b.link(s3, s4);
+    let c1 = b.controller("c1", ControllerKind::Floodlight.instantiate());
+    b.control(c1, s1);
+    b.control(c1, s2);
+    b.control(c1, s3);
+    b.control(c1, s4);
+    let mut sim = b.build();
+    if interpose {
+        sim.set_interposer(Box::new(PassThrough));
+    }
+    if fault {
+        let mut plan = FaultPlan::seeded(7);
+        plan.at_str(SimTime::from_secs(14), "link s2-s3 down")
+            .unwrap()
+            .at_str(SimTime::from_secs(18), "link s2-s3 up")
+            .unwrap();
+        sim.apply_fault_plan(&plan);
+    }
+    let ping = |host, dst: &str, label: &str| HostCommand::Ping {
+        host,
+        dst: dst.parse().unwrap(),
+        count: 8,
+        interval: SimTime::from_secs(1),
+        label: label.into(),
+    };
+    let h1 = sim.node_id("h1").unwrap();
+    let h3 = sim.node_id("h3").unwrap();
+    sim.schedule_command(SimTime::from_secs(10), ping(h1, "10.0.0.4", "h1->h4"));
+    sim.schedule_command(SimTime::from_secs(11), ping(h3, "10.0.0.2", "h3->h2"));
+    sim.run_until(SimTime::from_secs(30));
+    sim
+}
+
+/// A generated fat-tree under a seeded traffic matrix, optionally with
+/// an interposer-less fault plan (no controller, so no interposer).
+fn fabric_scenario(k: usize, config: SchedulerConfig, fault: bool, seed: u64) -> Simulation {
+    let mut b = NetworkBuilder::new();
+    b.scheduler(config);
+    let t = fat_tree(&mut b, &FatTreeParams::new(k)).unwrap();
+    let mut sim = b.build();
+    install_fat_tree_routes(&mut sim, &t);
+    if fault {
+        // Flap one core uplink mid-run; seeded loss on another.
+        let mut plan = FaultPlan::seeded(seed);
+        plan.at_str(SimTime::from_secs(2), "link fta0_0-ftc0 down")
+            .unwrap()
+            .at_str(SimTime::from_secs(4), "link fta0_0-ftc0 up")
+            .unwrap();
+        sim.apply_fault_plan(&plan);
+    }
+    TrafficMatrix::new(48, seed)
+        .with_pattern(TrafficPattern::Hotspot {
+            hotspots: 3,
+            bias_pct: 70,
+        })
+        .apply(&mut sim, &t);
+    sim.run_until(SimTime::from_secs(8));
+    sim
+}
+
+#[test]
+fn paper_scenario_is_invariant_across_schedulers_and_shards() {
+    for interpose in [false, true] {
+        for fault in [false, true] {
+            let reference =
+                fingerprint(&paper_scenario(SchedulerConfig::heap(1), interpose, fault));
+            for config in configs() {
+                let got = fingerprint(&paper_scenario(config, interpose, fault));
+                assert_eq!(
+                    got, reference,
+                    "divergence under {config:?} (interpose={interpose}, fault={fault})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fat_tree_k4_traffic_matrix_is_invariant_across_schedulers_and_shards() {
+    for fault in [false, true] {
+        let reference = fingerprint(&fabric_scenario(4, SchedulerConfig::heap(1), fault, 42));
+        assert!(reference.contains("ping"), "scenario produced no flows");
+        for config in configs() {
+            let got = fingerprint(&fabric_scenario(4, config, fault, 42));
+            assert_eq!(
+                got, reference,
+                "divergence under {config:?} (fault={fault})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fat_tree_k8_traffic_matrix_is_invariant_across_shard_counts() {
+    // k=8: 80 switches, 128 hosts — one fabric size up, heap vs. wheel
+    // and 1 vs. 64 shards, two independent runs each (same-seed
+    // repeatability and cross-backend equality in one pin).
+    let reference = fingerprint(&fabric_scenario(8, SchedulerConfig::heap(1), false, 9));
+    for config in [
+        SchedulerConfig::heap(1),
+        SchedulerConfig::wheel(1),
+        SchedulerConfig::wheel(64),
+    ] {
+        let got = fingerprint(&fabric_scenario(8, config, false, 9));
+        assert_eq!(got, reference, "divergence under {config:?}");
+    }
+}
+
+#[test]
+fn iperf_workload_is_invariant_across_schedulers() {
+    let run = |config: SchedulerConfig| {
+        let mut b = NetworkBuilder::new();
+        b.scheduler(config);
+        let t = fat_tree(&mut b, &FatTreeParams::new(4)).unwrap();
+        let mut sim = b.build();
+        install_fat_tree_routes(&mut sim, &t);
+        TrafficMatrix::new(12, 5)
+            .with_pattern(TrafficPattern::Permutation)
+            .with_kind(FlowKind::Iperf {
+                duration: SimTime::from_secs(1),
+            })
+            .apply(&mut sim, &t);
+        sim.run_until(SimTime::from_secs(10));
+        fingerprint(&sim)
+    };
+    let reference = run(SchedulerConfig::heap(1));
+    assert!(reference.contains("iperf"), "scenario produced no flows");
+    for config in configs() {
+        assert_eq!(run(config), reference, "divergence under {config:?}");
+    }
+}

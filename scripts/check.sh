@@ -39,6 +39,14 @@ cargo run --release --bin campaign --features attain-campaign/dispatch_audit \
 cargo test -q -p attain --test campaign_conformance
 cargo test -q -p attain --test dsl_roundtrip
 
+echo "== shard/scheduler invariance suite (heap ≡ wheel, 1 ≡ N shards)"
+cargo test -q -p attain-netsim --test scale_determinism
+
+echo "== scalability smoke (fat-tree k=4, capped event budget)"
+cargo run --release --bin scalability \
+  -- --smoke --max-events 2000000 --json target/BENCH_scalability_smoke.json
+grep -q '"halt": "Horizon"' target/BENCH_scalability_smoke.json
+
 echo "== supervised execution (chaos cells contained, degraded-mode report)"
 cargo test -q -p attain-campaign --features test_faults
 if cargo run --release --bin campaign --features test_faults \
